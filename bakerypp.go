@@ -1,0 +1,114 @@
+// Package bakerypp implements Bakery++ — the register-overflow-free variant
+// of Lamport's bakery algorithm from "Avoiding Register Overflow in the
+// Bakery Algorithm" (Sayyadabdi & Sharifi, ICPP 2020) — together with the
+// classic algorithm and the related bounded mutual-exclusion locks the
+// paper compares against.
+//
+// # Quick start
+//
+//	lock := bakerypp.New(4, bakerypp.CapacityForBits(16)) // 4 workers, 16-bit tickets
+//	...
+//	lock.Lock(pid)
+//	// critical section
+//	lock.Unlock(pid)
+//
+// Participants are addressed by id in [0, N); each id must be driven by at
+// most one goroutine at a time — the paper's model of N sequential
+// processes. Bakery++ guarantees:
+//
+//   - mutual exclusion and first-come-first-served entry (like Bakery);
+//   - no participant ever writes another participant's registers;
+//   - no reliance on atomic read-modify-write operations; and
+//   - no ticket register ever needs to hold a value above the chosen
+//     capacity M — the paper's contribution (its Section 6.1 theorem).
+//
+// The repository also contains the verification and measurement machinery
+// used to reproduce the paper: a guarded-command specification language
+// (internal/gcl), an explicit-state model checker standing in for TLC
+// (internal/mc), a controlled-interleaving simulator (internal/sched), and
+// the experiment harness behind EXPERIMENTS.md (internal/harness); see the
+// cmd/ tools to drive them.
+package bakerypp
+
+import (
+	"sync"
+
+	"bakerypp/internal/algorithms"
+	"bakerypp/internal/core"
+)
+
+// Lock is a mutual-exclusion lock for a fixed set of participants addressed
+// by id. All constructors in this package return implementations of it.
+type Lock = algorithms.Lock
+
+// BakeryPP is the Bakery++ lock; see New.
+type BakeryPP = core.BakeryPP
+
+// CapacityForBits returns the ticket capacity M of a b-bit register
+// (2^b - 1).
+func CapacityForBits(bits int) int64 { return core.CapacityForBits(bits) }
+
+// New returns a Bakery++ lock for n participants whose ticket registers
+// hold values up to m (m >= 1). It never attempts to store a value above m.
+func New(n int, m int64) *BakeryPP { return core.New(n, m) }
+
+// NewForBits returns a Bakery++ lock with bits-wide ticket registers.
+func NewForBits(n, bits int) *BakeryPP { return core.NewForBits(n, bits) }
+
+// Instrumented is implemented by locks that count register-overflow
+// attempts (the Bakery++ lock, where the count is provably always zero, and
+// classic Bakery on emulated fixed-width registers, where it is not).
+type Instrumented interface {
+	Overflows() uint64
+}
+
+// NewClassicBakery returns Lamport's original bakery algorithm on idealised
+// unbounded registers (64-bit integers in practice). Under sustained
+// contention its tickets grow without bound; on real fixed-width registers
+// it eventually overflows and loses mutual exclusion — the problem Bakery++
+// removes. Use NewClassicBakeryForBits to observe the failure.
+func NewClassicBakery(n int) Lock { return algorithms.NewBakery(n) }
+
+// NewClassicBakeryForBits returns classic Bakery on emulated bits-wide
+// registers that silently wrap on overflow, reproducing the Section 3
+// malfunction.
+func NewClassicBakeryForBits(n, bits int) Lock { return algorithms.NewBakeryForBits(n, bits) }
+
+// NewBlackWhite returns Taubenfeld's Black-White Bakery lock (bounded by N
+// via a shared colour bit; not single-writer).
+func NewBlackWhite(n int) Lock { return algorithms.NewBlackWhite(n) }
+
+// NewPeterson returns the N-process Peterson filter lock (bounded; not
+// FCFS; victim registers are multi-writer).
+func NewPeterson(n int) Lock { return algorithms.NewPeterson(n) }
+
+// NewSzymanski returns Szymanski's FCFS lock (bounded 5-valued flags).
+func NewSzymanski(n int) Lock { return algorithms.NewSzymanski(n) }
+
+// NewTournament returns a tournament tree of two-process Peterson locks
+// (O(log N) entry; not FCFS).
+func NewTournament(n int) Lock { return algorithms.NewTournament(n) }
+
+// NewTicket returns a fetch-and-add ticket lock — a hardware
+// read-modify-write baseline, not a "true" mutual-exclusion algorithm in
+// the paper's sense.
+func NewTicket(n int) Lock { return algorithms.NewTicket(n) }
+
+// NewTAS and NewTTAS return test-and-set spinlock baselines.
+func NewTAS(n int) Lock { return algorithms.NewTAS(n) }
+
+// NewTTAS returns the test-and-test-and-set spinlock baseline.
+func NewTTAS(n int) Lock { return algorithms.NewTTAS(n) }
+
+// Locker adapts one participant slot of any Lock to the standard
+// sync.Locker interface, so these algorithms can guard anything a
+// sync.Mutex can (including sync.Cond).
+func Locker(l Lock, pid int) sync.Locker { return pidLocker{l, pid} }
+
+type pidLocker struct {
+	l   Lock
+	pid int
+}
+
+func (pl pidLocker) Lock()   { pl.l.Lock(pl.pid) }
+func (pl pidLocker) Unlock() { pl.l.Unlock(pl.pid) }

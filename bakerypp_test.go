@@ -1,0 +1,120 @@
+package bakerypp_test
+
+import (
+	"sync"
+	"testing"
+
+	"bakerypp"
+)
+
+func TestPublicConstructors(t *testing.T) {
+	locks := []bakerypp.Lock{
+		bakerypp.New(2, 100),
+		bakerypp.NewForBits(2, 8),
+		bakerypp.NewClassicBakery(2),
+		bakerypp.NewClassicBakeryForBits(2, 16),
+		bakerypp.NewBlackWhite(2),
+		bakerypp.NewPeterson(2),
+		bakerypp.NewSzymanski(2),
+		bakerypp.NewTournament(2),
+		bakerypp.NewTicket(2),
+		bakerypp.NewTAS(2),
+		bakerypp.NewTTAS(2),
+	}
+	names := map[string]bool{}
+	for _, l := range locks {
+		names[l.Name()] = true
+		var wg sync.WaitGroup
+		shared := 0
+		for pid := 0; pid < 2; pid++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				for i := 0; i < 500; i++ {
+					l.Lock(pid)
+					shared++
+					l.Unlock(pid)
+				}
+			}(pid)
+		}
+		wg.Wait()
+		if shared != 1000 {
+			t.Errorf("%s: shared = %d, want 1000", l.Name(), shared)
+		}
+	}
+	for _, want := range []string{"bakery++", "bakery", "bakery-16bit", "black-white",
+		"peterson-filter", "szymanski", "tournament", "ticket-faa", "tas", "ttas"} {
+		if !names[want] {
+			t.Errorf("missing lock name %q (have %v)", want, names)
+		}
+	}
+}
+
+func TestBakeryPPExposesInstrumentation(t *testing.T) {
+	// Resets require the live tickets to touch M, which is
+	// scheduling-dependent; retry a few rounds before declaring failure.
+	l := bakerypp.New(3, 3)
+	for round := 0; round < 5 && l.Resets() == 0; round++ {
+		var wg sync.WaitGroup
+		for pid := 0; pid < 3; pid++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				for i := 0; i < 5000; i++ {
+					l.Lock(pid)
+					l.Unlock(pid)
+				}
+			}(pid)
+		}
+		wg.Wait()
+	}
+	if l.Overflows() != 0 {
+		t.Error("Bakery++ attempted an overflow")
+	}
+	if l.Resets() == 0 {
+		t.Error("no resets at M=3 with 3 hot participants across 5 rounds")
+	}
+	if l.M() != 3 || l.N() != 3 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestCapacityForBits(t *testing.T) {
+	if bakerypp.CapacityForBits(8) != 255 {
+		t.Error("CapacityForBits(8) != 255")
+	}
+}
+
+func TestLockerAdapter(t *testing.T) {
+	l := bakerypp.New(1, 10)
+	var locker sync.Locker = l.Locker(0)
+	locker.Lock()
+	locker.Unlock()
+}
+
+func TestGenericLockerAdapter(t *testing.T) {
+	for _, l := range []bakerypp.Lock{
+		bakerypp.NewClassicBakery(2),
+		bakerypp.NewSzymanski(2),
+		bakerypp.NewTicket(2),
+	} {
+		var wg sync.WaitGroup
+		shared := 0
+		for pid := 0; pid < 2; pid++ {
+			locker := bakerypp.Locker(l, pid)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 500; i++ {
+					locker.Lock()
+					shared++
+					locker.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if shared != 1000 {
+			t.Errorf("%s via Locker: shared = %d", l.Name(), shared)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Command bakerybench runs the repository's experiment suite (E1–E11 of
+// DESIGN.md) and prints the tables recorded in EXPERIMENTS.md.
+//
+//	bakerybench               # run everything
+//	bakerybench -run E2,E9    # selected experiments
+//	bakerybench -list         # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bakerypp/internal/harness"
+)
+
+func main() {
+	var (
+		run  = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		list = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+	ids := strings.Split(*run, ",")
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+	}
+	if err := harness.RunExperiments(os.Stdout, ids); err != nil {
+		fmt.Fprintln(os.Stderr, "bakerybench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+// Embedded: the paper's Section 4 warning made visible. "Many modern
+// embedded systems are 32-bit machines"; small microcontrollers are 8-bit.
+// This example emulates 8-bit ticket registers and runs classic Bakery and
+// Bakery++ side by side under sustained contention.
+//
+// Classic Bakery's tickets climb to 255, wrap, and mutual exclusion
+// collapses (overlapping holders detected). Bakery++ on the same registers
+// resets tickets before they can exceed 255 and never misbehaves.
+//
+//	go run ./examples/embedded
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"bakerypp"
+)
+
+// drive hammers the lock from n workers and reports overlap violations and
+// overflow attempts.
+func drive(lock bakerypp.Lock, n, iters int) (violations int64, overflows uint64) {
+	var (
+		inCS atomic.Int32
+		bad  atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				lock.Lock(pid)
+				if inCS.Add(1) != 1 {
+					bad.Add(1)
+				}
+				runtime.Gosched() // widen any overlap window
+				inCS.Add(-1)
+				lock.Unlock(pid)
+			}
+		}(pid)
+	}
+	wg.Wait()
+	if ins, ok := lock.(bakerypp.Instrumented); ok {
+		overflows = ins.Overflows()
+	}
+	return bad.Load(), overflows
+}
+
+func main() {
+	const (
+		workers = 4
+		iters   = 20000
+		bits    = 8
+	)
+	fmt.Printf("emulating %d-bit ticket registers (capacity %d), %d workers x %d sections\n\n",
+		bits, bakerypp.CapacityForBits(bits), workers, iters)
+
+	classic := bakerypp.NewClassicBakeryForBits(workers, bits)
+	v, o := drive(classic, workers, iters)
+	fmt.Printf("classic bakery : overflow attempts=%-6d mutual-exclusion violations=%d\n", o, v)
+
+	bpp := bakerypp.NewForBits(workers, bits)
+	v2, o2 := drive(bpp, workers, iters)
+	fmt.Printf("bakery++       : overflow attempts=%-6d mutual-exclusion violations=%d (resets=%d)\n",
+		o2, v2, bpp.Resets())
+
+	switch {
+	case v2 != 0 || o2 != 0:
+		panic("bakery++ misbehaved — this contradicts the paper's theorem")
+	case o == 0:
+		fmt.Println("\nnote: classic bakery did not wrap this run; increase iters for more contention")
+	default:
+		fmt.Println("\nclassic bakery overflowed as Section 3 predicts; bakery++ did not — 'there is no reason to keep implementing Bakery in real computers'.")
+	}
+}

@@ -1,0 +1,62 @@
+// Safe registers: Bakery++ under the weakest register model.
+//
+// Lamport's bakery algorithm is the "first true solution" to mutual
+// exclusion partly because it tolerates registers so weak that a read
+// overlapping a write may return ANY value (paper Section 1.2, property 4).
+// This example runs Bakery++ over such registers — every overlapped read is
+// deliberately scrambled — and shows mutual exclusion surviving thousands
+// of flickered reads, with zero overflow attempts.
+//
+//	go run ./examples/saferegisters
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"bakerypp/internal/core"
+)
+
+func main() {
+	const (
+		workers = 4
+		iters   = 30000
+	)
+	lock := core.NewSafe(workers, core.CapacityForBits(8))
+
+	var (
+		inCS       atomic.Int32
+		violations atomic.Int64
+		wg         sync.WaitGroup
+	)
+	counter := 0
+	for pid := 0; pid < workers; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				lock.Lock(pid)
+				if inCS.Add(1) != 1 {
+					violations.Add(1)
+				}
+				counter++
+				runtime.Gosched()
+				inCS.Add(-1)
+				lock.Unlock(pid)
+			}
+		}(pid)
+	}
+	wg.Wait()
+
+	fmt.Printf("counter            = %d (want %d)\n", counter, workers*iters)
+	fmt.Printf("flickered reads    = %d (reads that returned arbitrary values)\n", lock.Flickers())
+	fmt.Printf("mutex violations   = %d\n", violations.Load())
+	fmt.Printf("overflow resets    = %d\n", lock.Resets())
+	if counter != workers*iters || violations.Load() != 0 {
+		panic("safe-register Bakery++ misbehaved")
+	}
+	fmt.Println("\nBakery++ holds over safe registers — and the model checker proves it over")
+	fmt.Println("ALL interleavings and flicker outcomes: go test -run BakeryPPSafeRegisters ./internal/mc/")
+}

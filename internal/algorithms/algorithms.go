@@ -1,0 +1,53 @@
+// Package algorithms provides runtime (goroutine-driven) implementations of
+// the mutual-exclusion algorithms the paper compares Bakery++ against in
+// Section 4, plus hardware read-modify-write locks as contrast:
+//
+//   - Bakery: Lamport's original algorithm on ideal or b-bit (wrapping)
+//     registers — the overflow victim of Section 3.
+//   - BlackWhite: Taubenfeld's Black-White Bakery (bounded via an extra
+//     shared colour bit; approach 2).
+//   - Peterson: the N-process filter lock (bounded, multi-writer victim
+//     registers, not FCFS).
+//   - Szymanski: Szymanski's flag-based FCFS algorithm (bounded, 5-valued
+//     flags, intricate).
+//   - Tournament: a tree of 2-process Peterson locks (bounded, O(log N)
+//     entry, not FCFS).
+//   - Ticket, TAS, TTAS: locks built on atomic read-modify-write
+//     operations. The paper's Section 3 notes such algorithms "assume
+//     lower-level mutual exclusion" and are therefore not "true" solutions;
+//     they appear here as the hardware baseline the benches compare against.
+//
+// All locks implement the Lock interface with explicit participant ids;
+// the Bakery++ implementation itself lives in internal/core.
+package algorithms
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Lock is a mutual-exclusion lock for a fixed set of participants addressed
+// by id. Each participant must be driven by at most one goroutine at a time.
+type Lock interface {
+	// Lock blocks until participant pid holds the critical section.
+	Lock(pid int)
+	// Unlock releases the critical section held by participant pid.
+	Unlock(pid int)
+	// Name identifies the lock in experiment tables.
+	Name() string
+}
+
+// pairLess is the bakery family's ordered-pair comparison:
+// (a, i) < (b, j) iff a < b, or a = b and i < j.
+func pairLess(a int64, i int, b int64, j int) bool {
+	return a < b || (a == b && i < j)
+}
+
+// pause yields the processor inside spin loops.
+func pause() { runtime.Gosched() }
+
+func checkPid(pid, n int) {
+	if pid < 0 || pid >= n {
+		panic(fmt.Sprintf("algorithms: participant %d out of range [0,%d)", pid, n))
+	}
+}

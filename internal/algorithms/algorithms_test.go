@@ -1,0 +1,217 @@
+package algorithms
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// stress drives every participant slot with its own goroutine; the lock
+// must serialise a deliberately non-atomic counter and an occupancy
+// detector must never see two holders.
+func stress(t *testing.T, l Lock, n, iters int) {
+	t.Helper()
+	var (
+		inCS       atomic.Int32
+		violations atomic.Int64
+		wg         sync.WaitGroup
+	)
+	plain := int64(0)
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for k := 0; k < iters; k++ {
+				l.Lock(pid)
+				if inCS.Add(1) != 1 {
+					violations.Add(1)
+				}
+				plain++
+				runtime.Gosched()
+				inCS.Add(-1)
+				l.Unlock(pid)
+			}
+		}(pid)
+	}
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%s: %d mutual-exclusion violations", l.Name(), v)
+	}
+	if want := int64(n) * int64(iters); plain != want {
+		t.Fatalf("%s: counter = %d, want %d", l.Name(), plain, want)
+	}
+}
+
+func TestMutualExclusionAllLocks(t *testing.T) {
+	const n, iters = 4, 2000
+	locks := []Lock{
+		NewBakery(n),
+		NewBakeryForBits(n, 40), // wide enough to never wrap in this test
+		NewBlackWhite(n),
+		NewPeterson(n),
+		NewSzymanski(n),
+		NewTournament(n),
+		NewTicket(n),
+		NewTAS(n),
+		NewTTAS(n),
+	}
+	for _, l := range locks {
+		l := l
+		t.Run(l.Name(), func(t *testing.T) {
+			t.Parallel()
+			stress(t, l, n, iters)
+		})
+	}
+}
+
+func TestTwoParticipants(t *testing.T) {
+	for _, l := range []Lock{NewBakery(2), NewBlackWhite(2), NewPeterson(2), NewSzymanski(2), NewTournament(2)} {
+		stress(t, l, 2, 3000)
+	}
+}
+
+func TestSingleParticipantLocks(t *testing.T) {
+	for _, l := range []Lock{NewBakery(1), NewBlackWhite(1), NewPeterson(1), NewSzymanski(1), NewTournament(1), NewTicket(1)} {
+		for i := 0; i < 100; i++ {
+			l.Lock(0)
+			l.Unlock(0)
+		}
+	}
+}
+
+func TestTournamentNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{3, 5, 6, 7} {
+		stress(t, NewTournament(n), n, 500)
+	}
+	if lv := NewTournament(5).Levels(); lv != 3 {
+		t.Errorf("Levels(5 participants) = %d, want 3", lv)
+	}
+	if lv := NewTournament(8).Levels(); lv != 3 {
+		t.Errorf("Levels(8 participants) = %d, want 3", lv)
+	}
+}
+
+// E3: narrow registers wrap and classic Bakery malfunctions — real
+// goroutines, real atomics, mutual exclusion measurably lost.
+func TestBakeryWrapMalfunction(t *testing.T) {
+	const n = 4
+	l := NewBakeryForBits(n, 3) // M = 7
+	var (
+		inCS       atomic.Int32
+		violations atomic.Int64
+		stop       atomic.Bool
+		wg         sync.WaitGroup
+	)
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for k := 0; k < 200000 && !stop.Load(); k++ {
+				l.Lock(pid)
+				if inCS.Add(1) != 1 {
+					violations.Add(1)
+					stop.Store(true)
+				}
+				runtime.Gosched()
+				inCS.Add(-1)
+				l.Unlock(pid)
+			}
+		}(pid)
+	}
+	wg.Wait()
+	if l.Overflows() == 0 {
+		t.Fatal("3-bit tickets never wrapped under contention")
+	}
+	if violations.Load() == 0 {
+		t.Error("tickets wrapped but mutual exclusion held for 800k sections; expected a violation")
+	}
+	t.Logf("overflows=%d violations=%d maxTicket=%d", l.Overflows(), violations.Load(), l.MaxTicket())
+}
+
+func TestBakeryIdealNoOverflow(t *testing.T) {
+	l := NewBakery(4)
+	stress(t, l, 4, 2000)
+	if l.Overflows() != 0 {
+		t.Error("ideal bakery recorded overflows")
+	}
+	if l.MaxTicket() < 2 {
+		t.Errorf("max ticket %d; expected some overlap under 4-way contention", l.MaxTicket())
+	}
+}
+
+// Taubenfeld's bound: Black-White tickets never exceed N (crash-free).
+func TestBlackWhiteTicketBound(t *testing.T) {
+	const n = 4
+	l := NewBlackWhite(n)
+	stress(t, l, n, 5000)
+	if got := l.MaxTicket(); got > int64(n) {
+		t.Errorf("black-white ticket reached %d, bound is %d", got, n)
+	}
+}
+
+func TestNames(t *testing.T) {
+	cases := map[string]Lock{
+		"bakery":          NewBakery(2),
+		"bakery-8bit":     NewBakeryForBits(2, 8),
+		"black-white":     NewBlackWhite(2),
+		"peterson-filter": NewPeterson(2),
+		"szymanski":       NewSzymanski(2),
+		"tournament":      NewTournament(2),
+		"ticket-faa":      NewTicket(2),
+		"tas":             NewTAS(2),
+		"ttas":            NewTTAS(2),
+	}
+	for want, l := range cases {
+		if got := l.Name(); got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestPidValidation(t *testing.T) {
+	locks := []Lock{NewBakery(2), NewBlackWhite(2), NewPeterson(2), NewSzymanski(2), NewTournament(2), NewTicket(2), NewTAS(2), NewTTAS(2)}
+	for _, l := range locks {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: out-of-range pid did not panic", l.Name())
+				}
+			}()
+			l.Lock(7)
+		}()
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	for _, bad := range []func(){
+		func() { NewBakery(0) },
+		func() { NewBakeryForBits(2, 0) },
+		func() { NewBakeryForBits(2, 63) },
+		func() { NewBlackWhite(0) },
+		func() { NewPeterson(0) },
+		func() { NewSzymanski(0) },
+		func() { NewTournament(0) },
+		func() { NewTicket(0) },
+		func() { NewTAS(0) },
+		func() { NewTTAS(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid constructor did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestPairLess(t *testing.T) {
+	if !pairLess(1, 1, 2, 0) || pairLess(2, 0, 1, 1) {
+		t.Error("value order wrong")
+	}
+	if !pairLess(2, 0, 2, 1) || pairLess(2, 1, 2, 0) {
+		t.Error("tie-break order wrong")
+	}
+}

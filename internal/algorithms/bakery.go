@@ -1,0 +1,112 @@
+package algorithms
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Bakery is Lamport's original bakery algorithm (the paper's Algorithm 1)
+// as a runtime lock. With Bits == 0 it assumes the paper's idealised
+// unbounded registers (64-bit integers stand in; overflowing them takes
+// centuries). With Bits > 0 every ticket register behaves like a real
+// b-bit register: stores wrap modulo 2^Bits, silently — exactly the
+// malfunction mode of Section 3, observable as mutual-exclusion violations
+// once tickets wrap (experiment E3).
+type Bakery struct {
+	n        int
+	m        int64 // capacity; 0 = unbounded
+	choosing []atomic.Int32
+	number   []atomic.Int64
+
+	overflows atomic.Uint64
+	maxTicket atomic.Int64
+}
+
+// NewBakery returns a bakery lock on idealised unbounded registers.
+func NewBakery(n int) *Bakery {
+	if n < 1 {
+		panic("algorithms: need at least one participant")
+	}
+	return &Bakery{
+		n:        n,
+		choosing: make([]atomic.Int32, n),
+		number:   make([]atomic.Int64, n),
+	}
+}
+
+// NewBakeryForBits returns a bakery lock whose ticket registers are bits
+// wide (1 <= bits <= 62) and wrap on overflow like real hardware.
+func NewBakeryForBits(n, bits int) *Bakery {
+	if bits < 1 || bits > 62 {
+		panic("algorithms: register width out of range")
+	}
+	l := NewBakery(n)
+	l.m = (int64(1) << uint(bits)) - 1
+	return l
+}
+
+// Name implements Lock.
+func (l *Bakery) Name() string {
+	if l.m == 0 {
+		return "bakery"
+	}
+	bits := 0
+	for v := l.m; v > 0; v >>= 1 {
+		bits++
+	}
+	return fmt.Sprintf("bakery-%dbit", bits)
+}
+
+// Overflows reports how many ticket stores wrapped (0 on ideal registers).
+func (l *Bakery) Overflows() uint64 { return l.overflows.Load() }
+
+// MaxTicket reports the largest ticket ever chosen (pre-wrap), showing the
+// unbounded growth of Section 3's scenario.
+func (l *Bakery) MaxTicket() int64 { return l.maxTicket.Load() }
+
+// Lock implements Lock; it is Algorithm 1 verbatim, with the ticket
+// register emulating finite width when configured.
+func (l *Bakery) Lock(pid int) {
+	checkPid(pid, l.n)
+	l.choosing[pid].Store(1)
+	var max int64
+	for j := range l.number {
+		if v := l.number[j].Load(); v > max {
+			max = v
+		}
+	}
+	ticket := max + 1
+	for cur := l.maxTicket.Load(); ticket > cur; cur = l.maxTicket.Load() {
+		if l.maxTicket.CompareAndSwap(cur, ticket) {
+			break
+		}
+	}
+	if l.m > 0 && ticket > l.m {
+		// The register physically cannot hold the value: it wraps, and
+		// the algorithm does not notice. A real CPU register would also
+		// wrap the local copy, so the wrapped value is used throughout.
+		l.overflows.Add(1)
+		ticket %= l.m + 1
+	}
+	l.number[pid].Store(ticket)
+	l.choosing[pid].Store(0)
+
+	for j := 0; j < l.n; j++ {
+		for l.choosing[j].Load() != 0 {
+			pause()
+		}
+		for {
+			nj := l.number[j].Load()
+			if nj == 0 || !pairLess(nj, j, ticket, pid) {
+				break
+			}
+			pause()
+		}
+	}
+}
+
+// Unlock implements Lock.
+func (l *Bakery) Unlock(pid int) {
+	checkPid(pid, l.n)
+	l.number[pid].Store(0)
+}

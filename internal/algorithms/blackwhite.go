@@ -1,0 +1,100 @@
+package algorithms
+
+import "sync/atomic"
+
+// BlackWhite is Taubenfeld's Black-White Bakery algorithm (DISC 2004): the
+// paper's Section 4 representative of bounding Bakery by "introducing new
+// shared variables". A single shared colour bit splits tickets into
+// epochs; the maximum is taken only over same-coloured tickets, which keeps
+// every ticket at most N. The cost, relative to Bakery++: an extra register
+// per process (mycolor) plus a colour bit written by every process —
+// abandoning Bakery's no-writes-to-others'-memory property.
+type BlackWhite struct {
+	n        int
+	color    atomic.Int32
+	choosing []atomic.Int32
+	mycolor  []atomic.Int32
+	number   []atomic.Int64
+
+	maxTicket atomic.Int64
+}
+
+// NewBlackWhite returns a Black-White Bakery lock for n participants.
+func NewBlackWhite(n int) *BlackWhite {
+	if n < 1 {
+		panic("algorithms: need at least one participant")
+	}
+	return &BlackWhite{
+		n:        n,
+		choosing: make([]atomic.Int32, n),
+		mycolor:  make([]atomic.Int32, n),
+		number:   make([]atomic.Int64, n),
+	}
+}
+
+// Name implements Lock.
+func (l *BlackWhite) Name() string { return "black-white" }
+
+// MaxTicket reports the largest ticket chosen; Taubenfeld's bound is N.
+func (l *BlackWhite) MaxTicket() int64 { return l.maxTicket.Load() }
+
+// Lock implements Lock.
+func (l *BlackWhite) Lock(pid int) {
+	checkPid(pid, l.n)
+	l.choosing[pid].Store(1)
+	myc := l.color.Load()
+	l.mycolor[pid].Store(myc)
+	var max int64
+	for j := range l.number {
+		if l.mycolor[j].Load() == myc {
+			if v := l.number[j].Load(); v > max {
+				max = v
+			}
+		}
+	}
+	ticket := max + 1
+	for cur := l.maxTicket.Load(); ticket > cur; cur = l.maxTicket.Load() {
+		if l.maxTicket.CompareAndSwap(cur, ticket) {
+			break
+		}
+	}
+	l.number[pid].Store(ticket)
+	l.choosing[pid].Store(0)
+
+	for j := 0; j < l.n; j++ {
+		if j == pid {
+			continue
+		}
+		for l.choosing[j].Load() != 0 {
+			pause()
+		}
+		for {
+			nj := l.number[j].Load()
+			if nj == 0 {
+				break
+			}
+			if l.mycolor[j].Load() == myc {
+				// Same epoch: bakery order.
+				if !pairLess(nj, j, ticket, pid) {
+					break
+				}
+			} else {
+				// Different epochs: the colour that differs from the
+				// shared colour is the older epoch and goes first.
+				if l.color.Load() != myc {
+					break
+				}
+			}
+			pause()
+		}
+	}
+}
+
+// Unlock implements Lock: leaving the critical section flips the shared
+// colour away from the leaver's, handing priority to the other epoch once
+// the leaver's epoch drains.
+func (l *BlackWhite) Unlock(pid int) {
+	checkPid(pid, l.n)
+	l.color.Store(1 - l.mycolor[pid].Load())
+	l.number[pid].Store(0)
+}

@@ -1,0 +1,47 @@
+package algorithms
+
+import "testing"
+
+// The colour bit must flip away from the leaver's colour on every exit —
+// the epoch hand-off that bounds Black-White tickets.
+func TestBlackWhiteColorFlips(t *testing.T) {
+	l := NewBlackWhite(2)
+	if got := l.color.Load(); got != 0 {
+		t.Fatalf("initial color = %d", got)
+	}
+	l.Lock(0) // takes colour 0
+	l.Unlock(0)
+	if got := l.color.Load(); got != 1 {
+		t.Errorf("color after white exit = %d, want 1", got)
+	}
+	l.Lock(1) // takes colour 1
+	l.Unlock(1)
+	if got := l.color.Load(); got != 0 {
+		t.Errorf("color after black exit = %d, want 0", got)
+	}
+}
+
+// A ticket lock grants strictly in FIFO ticket order; with a single
+// participant the counters advance in lockstep.
+func TestTicketCountersAdvance(t *testing.T) {
+	l := NewTicket(1)
+	for i := int64(0); i < 5; i++ {
+		l.Lock(0)
+		if l.next.Load() != i+1 || l.owner.Load() != i {
+			t.Fatalf("iteration %d: next=%d owner=%d", i, l.next.Load(), l.owner.Load())
+		}
+		l.Unlock(0)
+	}
+}
+
+// Szymanski flags return to 0 after a full cycle.
+func TestSzymanskiFlagsQuiesce(t *testing.T) {
+	l := NewSzymanski(3)
+	l.Lock(1)
+	l.Unlock(1)
+	for i := 0; i < 3; i++ {
+		if got := l.flag[i].Load(); got != 0 {
+			t.Errorf("flag[%d] = %d after quiescence", i, got)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package algorithms
+
+import "sync/atomic"
+
+// Peterson is the N-process filter generalisation of Peterson's algorithm.
+// The paper's Section 4 contrasts it with Bakery++: it is bounded (levels
+// and victims never exceed N) but its victim registers are written by every
+// competing process, and it is not first-come-first-served.
+type Peterson struct {
+	n      int
+	level  []atomic.Int32 // 0 = idle; competing processes hold 1..n-1
+	victim []atomic.Int32 // victim[l] = pid+1, 0 = none; cell 0 unused
+}
+
+// NewPeterson returns a filter lock for n participants.
+func NewPeterson(n int) *Peterson {
+	if n < 1 {
+		panic("algorithms: need at least one participant")
+	}
+	return &Peterson{
+		n:      n,
+		level:  make([]atomic.Int32, n),
+		victim: make([]atomic.Int32, n),
+	}
+}
+
+// Name implements Lock.
+func (l *Peterson) Name() string { return "peterson-filter" }
+
+// Lock implements Lock.
+func (l *Peterson) Lock(pid int) {
+	checkPid(pid, l.n)
+	me := int32(pid + 1)
+	for lv := 1; lv < l.n; lv++ {
+		l.level[pid].Store(int32(lv))
+		l.victim[lv].Store(me)
+		for {
+			if l.victim[lv].Load() != me {
+				break
+			}
+			behind := true
+			for k := 0; k < l.n; k++ {
+				if k != pid && l.level[k].Load() >= int32(lv) {
+					behind = false
+					break
+				}
+			}
+			if behind {
+				break
+			}
+			pause()
+		}
+	}
+}
+
+// Unlock implements Lock.
+func (l *Peterson) Unlock(pid int) {
+	checkPid(pid, l.n)
+	l.level[pid].Store(0)
+}

@@ -1,0 +1,113 @@
+package algorithms
+
+import "sync/atomic"
+
+// The locks in this file are built on atomic read-modify-write operations
+// (fetch-and-add, test-and-set). The paper's Section 3 is explicit that
+// "algorithms that assume atomic read/write operations are not true mutual
+// exclusion algorithms, because they assume lower-level mutual exclusion" —
+// and RMW primitives assume even more. They are included as the hardware
+// baseline the benchmark tables compare the register-only algorithms
+// against.
+
+// Ticket is the classic fetch-and-add ticket lock: FIFO, two words total,
+// but built entirely on a read-modify-write primitive.
+type Ticket struct {
+	n     int
+	next  atomic.Int64
+	owner atomic.Int64
+}
+
+// NewTicket returns a ticket lock for n participants.
+func NewTicket(n int) *Ticket {
+	if n < 1 {
+		panic("algorithms: need at least one participant")
+	}
+	return &Ticket{n: n}
+}
+
+// Name implements Lock.
+func (l *Ticket) Name() string { return "ticket-faa" }
+
+// Lock implements Lock.
+func (l *Ticket) Lock(pid int) {
+	checkPid(pid, l.n)
+	t := l.next.Add(1) - 1
+	for l.owner.Load() != t {
+		pause()
+	}
+}
+
+// Unlock implements Lock.
+func (l *Ticket) Unlock(pid int) {
+	checkPid(pid, l.n)
+	l.owner.Add(1)
+}
+
+// TAS is a test-and-set spinlock.
+type TAS struct {
+	n     int
+	state atomic.Int32
+}
+
+// NewTAS returns a test-and-set lock for n participants.
+func NewTAS(n int) *TAS {
+	if n < 1 {
+		panic("algorithms: need at least one participant")
+	}
+	return &TAS{n: n}
+}
+
+// Name implements Lock.
+func (l *TAS) Name() string { return "tas" }
+
+// Lock implements Lock.
+func (l *TAS) Lock(pid int) {
+	checkPid(pid, l.n)
+	for !l.state.CompareAndSwap(0, 1) {
+		pause()
+	}
+}
+
+// Unlock implements Lock.
+func (l *TAS) Unlock(pid int) {
+	checkPid(pid, l.n)
+	l.state.Store(0)
+}
+
+// TTAS is the test-and-test-and-set spinlock: spin reading until the lock
+// looks free, then attempt the RMW, reducing coherence traffic.
+type TTAS struct {
+	n     int
+	state atomic.Int32
+}
+
+// NewTTAS returns a test-and-test-and-set lock for n participants.
+func NewTTAS(n int) *TTAS {
+	if n < 1 {
+		panic("algorithms: need at least one participant")
+	}
+	return &TTAS{n: n}
+}
+
+// Name implements Lock.
+func (l *TTAS) Name() string { return "ttas" }
+
+// Lock implements Lock.
+func (l *TTAS) Lock(pid int) {
+	checkPid(pid, l.n)
+	for {
+		for l.state.Load() != 0 {
+			pause()
+		}
+		if l.state.CompareAndSwap(0, 1) {
+			return
+		}
+	}
+}
+
+// Unlock implements Lock.
+func (l *TTAS) Unlock(pid int) {
+	checkPid(pid, l.n)
+	l.state.Store(0)
+}

@@ -1,0 +1,96 @@
+package algorithms
+
+import "sync/atomic"
+
+// Szymanski is Szymanski's mutual-exclusion algorithm: bounded (flags take
+// five values) and first-come-first-served, but — as the paper's Section 4
+// puts it — "much more complicated than Bakery++". The waiting-room
+// metaphor: processes gather in a prologue, the door closes behind the
+// last one in, and the room drains in id order before reopening.
+type Szymanski struct {
+	n    int
+	flag []atomic.Int32 // 0..4
+}
+
+// NewSzymanski returns a Szymanski lock for n participants.
+func NewSzymanski(n int) *Szymanski {
+	if n < 1 {
+		panic("algorithms: need at least one participant")
+	}
+	return &Szymanski{n: n, flag: make([]atomic.Int32, n)}
+}
+
+// Name implements Lock.
+func (l *Szymanski) Name() string { return "szymanski" }
+
+// Lock implements Lock.
+func (l *Szymanski) Lock(pid int) {
+	checkPid(pid, l.n)
+	// Announce intention.
+	l.flag[pid].Store(1)
+	// Wait for the waiting-room door: nobody at 3 or beyond.
+	for {
+		open := true
+		for j := 0; j < l.n; j++ {
+			if l.flag[j].Load() >= 3 {
+				open = false
+				break
+			}
+		}
+		if open {
+			break
+		}
+		pause()
+	}
+	// Enter the waiting room.
+	l.flag[pid].Store(3)
+	// If someone is still announcing (flag 1), step back to 2 and wait for
+	// a committed process (flag 4) to appear before committing.
+	intender := false
+	for j := 0; j < l.n; j++ {
+		if l.flag[j].Load() == 1 {
+			intender = true
+			break
+		}
+	}
+	if intender {
+		l.flag[pid].Store(2)
+		for {
+			committed := false
+			for j := 0; j < l.n; j++ {
+				if l.flag[j].Load() == 4 {
+					committed = true
+					break
+				}
+			}
+			if committed {
+				break
+			}
+			pause()
+		}
+	}
+	l.flag[pid].Store(4)
+	// Drain: lower-id processes leave the room first.
+	for j := 0; j < pid; j++ {
+		for l.flag[j].Load() >= 2 {
+			pause()
+		}
+	}
+}
+
+// Unlock implements Lock. The exit protocol waits until no higher-id
+// process is between states 2 and 3 (still crossing the doorway), then
+// resets the flag.
+func (l *Szymanski) Unlock(pid int) {
+	checkPid(pid, l.n)
+	for j := pid + 1; j < l.n; j++ {
+		for {
+			f := l.flag[j].Load()
+			if f < 2 || f > 3 {
+				break
+			}
+			pause()
+		}
+	}
+	l.flag[pid].Store(0)
+}

@@ -1,0 +1,69 @@
+package algorithms
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Tournament is a tree of two-process Peterson locks: each participant owns
+// a leaf and climbs to the root, winning one two-way duel per level. Entry
+// and exit touch O(log N) registers — the classic space/time trade against
+// the bakery family's O(N) scan — at the cost of FCFS order.
+type Tournament struct {
+	n      int
+	leaves int
+	nodes  []tnode // heap layout, root at index 1
+}
+
+type tnode struct {
+	flag [2]atomic.Int32
+	turn atomic.Int32
+}
+
+// NewTournament returns a tournament lock for n participants.
+func NewTournament(n int) *Tournament {
+	if n < 1 {
+		panic("algorithms: need at least one participant")
+	}
+	leaves := 1
+	for leaves < n {
+		leaves *= 2
+	}
+	return &Tournament{n: n, leaves: leaves, nodes: make([]tnode, leaves)}
+}
+
+// Name implements Lock.
+func (l *Tournament) Name() string { return "tournament" }
+
+// Levels returns the number of duels a participant fights per acquisition.
+func (l *Tournament) Levels() int { return bits.Len(uint(l.leaves)) - 1 }
+
+// Lock implements Lock: acquire every Peterson node from leaf to root.
+func (l *Tournament) Lock(pid int) {
+	checkPid(pid, l.n)
+	for v := l.leaves + pid; v > 1; v >>= 1 {
+		node := &l.nodes[v>>1]
+		side := int32(v & 1)
+		node.flag[side].Store(1)
+		node.turn.Store(side)
+		for node.flag[1-side].Load() == 1 && node.turn.Load() == side {
+			pause()
+		}
+	}
+}
+
+// Unlock implements Lock: release root to leaf (reverse acquisition order).
+func (l *Tournament) Unlock(pid int) {
+	checkPid(pid, l.n)
+	// Recompute the path, then walk it top-down.
+	var path [64]int
+	depth := 0
+	for v := l.leaves + pid; v > 1; v >>= 1 {
+		path[depth] = v
+		depth++
+	}
+	for i := depth - 1; i >= 0; i-- {
+		v := path[i]
+		l.nodes[v>>1].flag[v&1].Store(0)
+	}
+}

@@ -1,0 +1,265 @@
+// Package core implements the paper's contribution, Bakery++ (Algorithm 2),
+// as a runnable N-participant mutual-exclusion lock over bounded registers.
+//
+// Bakery++ is Lamport's bakery algorithm plus two conditional statements
+// that make register overflow impossible: an entry gate that waits while any
+// ticket register holds a value at (or beyond) the register capacity M, and
+// a pre-increment check that resets the process's own registers and retries
+// instead of storing a value above M. It preserves the bakery algorithm's
+// distinguishing properties: first-come-first-served entry, no process ever
+// writes another process's registers, and no reliance on lower-level mutual
+// exclusion (no compare-and-swap, no fetch-and-add; reads and writes only).
+//
+// The lock is exercised through explicit participant ids:
+//
+//	l := core.New(4, core.CapacityForBits(8)) // 4 participants, 8-bit tickets
+//	l.Lock(pid)
+//	... critical section ...
+//	l.Unlock(pid)
+//
+// Each participant must be driven by at most one goroutine at a time; that
+// is the paper's system model (N sequential processes), not an
+// implementation shortcut.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"bakerypp/internal/registers"
+)
+
+// CapacityForBits returns the ticket capacity M of a b-bit register,
+// re-exported from the registers substrate for API convenience.
+func CapacityForBits(bits int) int64 { return registers.CapacityForBits(bits) }
+
+// BakeryPP is the Bakery++ lock. The zero value is unusable; construct with
+// New or NewForBits.
+type BakeryPP struct {
+	n        int
+	m        int64
+	choosing *registers.File
+	number   *registers.File
+	overflow registers.Counter
+
+	resets    atomic.Uint64
+	gateWaits atomic.Uint64
+	crashes   atomic.Uint64
+}
+
+// New returns a Bakery++ lock for n participants with register capacity m
+// (the largest value any ticket register may hold; m >= 1).
+func New(n int, m int64) *BakeryPP {
+	if n < 1 {
+		panic("core: need at least one participant")
+	}
+	if m < 1 {
+		panic("core: register capacity must be >= 1")
+	}
+	l := &BakeryPP{n: n, m: m}
+	l.choosing = registers.NewFile(n, 1, registers.Trap, &l.overflow)
+	l.number = registers.NewFile(n, m, registers.Trap, &l.overflow)
+	return l
+}
+
+// NewForBits returns a Bakery++ lock whose ticket registers are bits wide
+// (capacity 2^bits - 1).
+func NewForBits(n, bits int) *BakeryPP {
+	return New(n, registers.CapacityForBits(bits))
+}
+
+// NewPadded returns a Bakery++ lock whose registers are spaced one cache
+// line apart instead of packed like a real shared array — the false-sharing
+// ablation (DESIGN.md): same algorithm, different memory layout, so the
+// throughput delta isolates coherence traffic from the O(N) scan cost.
+func NewPadded(n int, m int64) *BakeryPP {
+	if n < 1 {
+		panic("core: need at least one participant")
+	}
+	if m < 1 {
+		panic("core: register capacity must be >= 1")
+	}
+	l := &BakeryPP{n: n, m: m}
+	l.choosing = registers.NewFilePadded(n, 1, registers.Trap, &l.overflow)
+	l.number = registers.NewFilePadded(n, m, registers.Trap, &l.overflow)
+	return l
+}
+
+// Padded reports whether the lock uses the cache-line-padded layout.
+func (l *BakeryPP) Padded() bool { return l.number.Padded() }
+
+// Name identifies the lock in experiment tables.
+func (l *BakeryPP) Name() string { return "bakery++" }
+
+// N returns the number of participants.
+func (l *BakeryPP) N() int { return l.n }
+
+// M returns the register capacity.
+func (l *BakeryPP) M() int64 { return l.m }
+
+// Resets reports how many times the overflow-avoidance reset fired (the
+// branch back to L1) — the "price of guaranteeing that no overflows ever
+// occur" measured by experiment E5.
+func (l *BakeryPP) Resets() uint64 { return l.resets.Load() }
+
+// GateWaits reports how many spin iterations participants spent at the L1
+// gate waiting for a saturated ticket to be reset.
+func (l *BakeryPP) GateWaits() uint64 { return l.gateWaits.Load() }
+
+// Overflows reports overflow attempts on the underlying registers. The
+// paper's Theorem (Section 6.1) proves this is always zero; the accessor
+// exists so tests and experiments can assert it.
+func (l *BakeryPP) Overflows() uint64 { return l.overflow.Overflows() }
+
+func (l *BakeryPP) checkPid(pid int) {
+	if pid < 0 || pid >= l.n {
+		panic(fmt.Sprintf("core: participant %d out of range [0,%d)", pid, l.n))
+	}
+}
+
+// Lock acquires the critical section for participant pid, blocking until it
+// is safe to enter. It follows Algorithm 2 line by line.
+func (l *BakeryPP) Lock(pid int) {
+	l.checkPid(pid)
+	for {
+		// L1: if there exists q with number[q] >= M then goto L1.
+		for l.number.AnyAtLeast(l.m) {
+			l.gateWaits.Add(1)
+			runtime.Gosched()
+		}
+		l.store(l.choosing, pid, 1)
+		// number[i] := maximum(number[0], ..., number[N-1]); starting the
+		// scan at pid exercises the "any arbitrary order" freedom.
+		ticket := l.number.MaxFrom(pid)
+		if ticket >= l.m {
+			// Overflow imminent: reset own registers and retry.
+			l.store(l.number, pid, 0)
+			l.store(l.choosing, pid, 0)
+			l.resets.Add(1)
+			continue
+		}
+		ticket++
+		l.store(l.number, pid, ticket)
+		l.store(l.choosing, pid, 0)
+
+		for j := 0; j < l.n; j++ {
+			// L2: if choosing[j] != 0 then goto L2.
+			for l.choosing.Load(j) != 0 {
+				runtime.Gosched()
+			}
+			// L3: if number[j] != 0 and (number[j], j) < (number[i], i)
+			// then goto L3.
+			for {
+				nj := l.number.Load(j)
+				if nj == 0 || !pairLess(nj, j, ticket, pid) {
+					break
+				}
+				runtime.Gosched()
+			}
+		}
+		return
+	}
+}
+
+// Unlock releases the critical section for participant pid.
+func (l *BakeryPP) Unlock(pid int) {
+	l.checkPid(pid)
+	l.store(l.number, pid, 0)
+}
+
+// Crash simulates the paper's fail-and-restart rule (correctness
+// conditions 3-4 and assumption 1.5) for participant pid: the participant
+// abandons whatever it was doing — including the critical section — and
+// its shared registers reset to their initial values, as if the process
+// halted and restarted in its noncritical section. It must be called by
+// the goroutine driving pid (a real crash kills the process's own control
+// flow; another goroutine cannot crash it).
+func (l *BakeryPP) Crash(pid int) {
+	l.checkPid(pid)
+	l.crashes.Add(1)
+	l.store(l.number, pid, 0)
+	l.store(l.choosing, pid, 0)
+}
+
+// Crashes reports how many times Crash was invoked.
+func (l *BakeryPP) Crashes() uint64 { return l.crashes.Load() }
+
+// TryLock attempts to acquire the critical section without waiting: it runs
+// the doorway, then makes a single pass over the trial loop and withdraws
+// (resetting its own registers, exactly like a crash-restart, which the
+// algorithm tolerates by design) if anyone blocks it. It reports whether
+// the critical section was acquired; on false the lock is untouched.
+//
+// TryLock is an extension beyond the paper — withdrawal is sound because
+// correctness conditions 3-4 already allow a process to reset its own
+// registers and return to its noncritical section at any time. It is NOT
+// FCFS: a withdrawn attempt abandons its place in line.
+func (l *BakeryPP) TryLock(pid int) bool {
+	l.checkPid(pid)
+	if l.number.AnyAtLeast(l.m) {
+		return false
+	}
+	l.store(l.choosing, pid, 1)
+	ticket := l.number.MaxFrom(pid)
+	if ticket >= l.m {
+		l.store(l.number, pid, 0)
+		l.store(l.choosing, pid, 0)
+		l.resets.Add(1)
+		return false
+	}
+	ticket++
+	l.store(l.number, pid, ticket)
+	l.store(l.choosing, pid, 0)
+
+	for j := 0; j < l.n; j++ {
+		if j == pid {
+			continue
+		}
+		if l.choosing.Load(j) != 0 {
+			l.withdraw(pid)
+			return false
+		}
+		if nj := l.number.Load(j); nj != 0 && pairLess(nj, j, ticket, pid) {
+			l.withdraw(pid)
+			return false
+		}
+	}
+	return true
+}
+
+// withdraw abandons a pending attempt, resetting the participant's own
+// registers (the crash-restart rule).
+func (l *BakeryPP) withdraw(pid int) {
+	l.store(l.number, pid, 0)
+}
+
+// store writes through the bounded register, asserting the Section 6.1
+// theorem: Bakery++ never attempts to store a value above the capacity.
+func (l *BakeryPP) store(f *registers.File, i int, v int64) {
+	if f.Store(i, v) {
+		panic(fmt.Sprintf(
+			"core: bakery++ attempted to store %d with capacity %d — violates Theorem 6.1", v, f.Capacity()))
+	}
+}
+
+// pairLess is the paper's ordered-pair comparison: (a, i) < (b, j).
+func pairLess(a int64, i int, b int64, j int) bool {
+	return a < b || (a == b && i < j)
+}
+
+// Locker adapts one participant slot to the standard sync.Locker interface,
+// so Bakery++ can guard anything a sync.Mutex can (including sync.Cond).
+func (l *BakeryPP) Locker(pid int) sync.Locker {
+	l.checkPid(pid)
+	return pidLocker{l, pid}
+}
+
+type pidLocker struct {
+	l   *BakeryPP
+	pid int
+}
+
+func (pl pidLocker) Lock()   { pl.l.Lock(pl.pid) }
+func (pl pidLocker) Unlock() { pl.l.Unlock(pl.pid) }

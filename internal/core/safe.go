@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"bakerypp/internal/registers"
+)
+
+// SafeBakeryPP is Bakery++ running over Lamport-"safe" registers — the
+// weakest register model, in which a read that overlaps a write may return
+// ANY value in the register's domain. The paper's Section 1.2 lists
+// tolerance of exactly this behaviour among the bakery algorithm's
+// remarkable properties ("the value obtained by the read operation may have
+// any arbitrary value"), and its Section 5 remark about using >= rather
+// than = in the overflow checks exists precisely because flickery reads are
+// allowed.
+//
+// Every register here is single-writer (each participant writes only its
+// own number and choosing cells, as the algorithm requires), and readers
+// that overlap a write observe adversarial in-domain values. Overflow
+// safety is unaffected: flicker values never exceed M, so the chosen
+// maximum never exceeds M, and the pre-increment check still bounds every
+// store — Theorem 6.1 goes through register model and all.
+type SafeBakeryPP struct {
+	n        int
+	m        int64
+	choosing []*registers.Safe
+	number   []*registers.Safe
+	resets   atomic.Uint64
+}
+
+// NewSafe returns a Bakery++ lock over safe registers for n participants
+// with ticket capacity m.
+func NewSafe(n int, m int64) *SafeBakeryPP {
+	if n < 1 {
+		panic("core: need at least one participant")
+	}
+	if m < 1 {
+		panic("core: register capacity must be >= 1")
+	}
+	l := &SafeBakeryPP{n: n, m: m,
+		choosing: make([]*registers.Safe, n),
+		number:   make([]*registers.Safe, n),
+	}
+	for i := 0; i < n; i++ {
+		l.choosing[i] = registers.NewSafe(1)
+		l.number[i] = registers.NewSafe(m)
+	}
+	return l
+}
+
+// Name identifies the lock in experiment tables.
+func (l *SafeBakeryPP) Name() string { return "bakery++(safe-regs)" }
+
+// N returns the number of participants.
+func (l *SafeBakeryPP) N() int { return l.n }
+
+// M returns the ticket capacity.
+func (l *SafeBakeryPP) M() int64 { return l.m }
+
+// Resets reports overflow-avoidance resets.
+func (l *SafeBakeryPP) Resets() uint64 { return l.resets.Load() }
+
+// Flickers reports how many reads across all registers overlapped a write
+// and returned an arbitrary value — evidence the adversarial register model
+// was actually exercised.
+func (l *SafeBakeryPP) Flickers() uint64 {
+	var total uint64
+	for i := 0; i < l.n; i++ {
+		total += l.choosing[i].Flickers() + l.number[i].Flickers()
+	}
+	return total
+}
+
+func (l *SafeBakeryPP) checkPid(pid int) {
+	if pid < 0 || pid >= l.n {
+		panic(fmt.Sprintf("core: participant %d out of range [0,%d)", pid, l.n))
+	}
+}
+
+// Lock acquires the critical section for pid over safe registers.
+func (l *SafeBakeryPP) Lock(pid int) {
+	l.checkPid(pid)
+	for {
+		// L1 gate. A flickered read here can only delay or admit early;
+		// safety never depends on it.
+		for {
+			high := false
+			for j := 0; j < l.n; j++ {
+				if l.number[j].Read() >= l.m {
+					high = true
+					break
+				}
+			}
+			if !high {
+				break
+			}
+			runtime.Gosched()
+		}
+		l.choosing[pid].Write(1)
+		var max int64
+		for k := 0; k < l.n; k++ {
+			j := (pid + k) % l.n
+			if v := l.number[j].Read(); v > max {
+				max = v // flicker values are in [0, M], so max <= M always
+			}
+		}
+		if max >= l.m {
+			l.number[pid].Write(0)
+			l.choosing[pid].Write(0)
+			l.resets.Add(1)
+			continue
+		}
+		ticket := max + 1
+		l.number[pid].Write(ticket)
+		l.choosing[pid].Write(0)
+
+		for j := 0; j < l.n; j++ {
+			for l.choosing[j].Read() != 0 {
+				runtime.Gosched()
+			}
+			for {
+				nj := l.number[j].Read()
+				if nj == 0 || !pairLess(nj, j, ticket, pid) {
+					break
+				}
+				runtime.Gosched()
+			}
+		}
+		return
+	}
+}
+
+// Unlock releases the critical section.
+func (l *SafeBakeryPP) Unlock(pid int) {
+	l.checkPid(pid)
+	l.number[pid].Write(0)
+}

@@ -1,0 +1,62 @@
+package gcl
+
+import "testing"
+
+func benchProg(n int) *Prog {
+	p := New("bench", n)
+	p.SetM(7)
+	p.SharedArray("number", n, 0)
+	p.Own("number")
+	p.LocalVar("j", 0)
+	p.Label("a", Goto("b",
+		SetSelf("number", Add(MaxSh("number"), C(1))),
+		SetL("j", C(0))))
+	p.Label("b", Br(Lt(L("j"), C(n)), "c"), Br(Ge(L("j"), C(n)), "d"))
+	p.Label("c", Goto("b", SetL("j", Add(L("j"), C(1)))))
+	p.Label("d", Goto("a", SetSelf("number", C(0))))
+	return p.MustBuild()
+}
+
+func BenchmarkAllSuccs(b *testing.B) {
+	p := benchProg(4)
+	s := p.InitState()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		succs := p.AllSuccs(s, ModeUnbounded)
+		s = succs[i%len(succs)].State
+		if p.Shared(s, "number", 0) > 6 {
+			s = p.InitState()
+		}
+	}
+}
+
+func BenchmarkKey(b *testing.B) {
+	p := benchProg(8)
+	s := p.InitState()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Key(s)
+	}
+}
+
+func BenchmarkCrashSucc(b *testing.B) {
+	p := benchProg(4)
+	s := p.InitState()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.CrashSucc(s, i%4)
+	}
+}
+
+func BenchmarkGuardEval(b *testing.B) {
+	p := benchProg(4)
+	s := p.InitState()
+	guard := AndN(4, func(q int) Expr {
+		return Lt(ShI("number", C(q)), C(7))
+	})
+	c := &Ctx{P: p, S: s, Pid: 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = guard(c)
+	}
+}

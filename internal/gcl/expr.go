@@ -1,0 +1,243 @@
+package gcl
+
+import "fmt"
+
+// Ctx is the evaluation context of an expression: a program, a state, and
+// the id of the process executing the action.
+type Ctx struct {
+	P   *Prog
+	S   State
+	Pid int
+}
+
+// Expr evaluates to an int32 in a context. Booleans are represented as 0
+// (false) and 1 (true), C-style.
+type Expr func(c *Ctx) int32
+
+// C returns a constant expression.
+func C(v int) Expr {
+	x := int32(v)
+	return func(*Ctx) int32 { return x }
+}
+
+// Self returns the executing process id.
+func Self() Expr {
+	return func(c *Ctx) int32 { return int32(c.Pid) }
+}
+
+// L reads the executing process's local variable.
+func L(name string) Expr {
+	return func(c *Ctx) int32 { return c.P.Local(c.S, c.Pid, name) }
+}
+
+// Sh reads a shared scalar.
+func Sh(name string) Expr {
+	return func(c *Ctx) int32 { return c.P.Shared(c.S, name, 0) }
+}
+
+// ShI reads a shared array cell at a computed index.
+func ShI(name string, idx Expr) Expr {
+	return func(c *Ctx) int32 { return c.P.Shared(c.S, name, int(idx(c))) }
+}
+
+// ShSelf reads the executing process's own cell of a shared array; it is
+// ShI(name, Self()) without the closure hop.
+func ShSelf(name string) Expr {
+	return func(c *Ctx) int32 { return c.P.Shared(c.S, name, c.Pid) }
+}
+
+// MaxSh returns the maximum over all cells of a shared array, the paper's
+// "maximum (number[1], ..., number[N])" read as one atomic action (the
+// coarse-grained doorway; internal/specs also provides a fine-grained
+// variant that reads one cell per step).
+func MaxSh(name string) Expr {
+	return func(c *Ctx) int32 { return c.P.MaxShared(c.S, name) }
+}
+
+// Max2 returns the larger of a and b.
+func Max2(a, b Expr) Expr {
+	return func(c *Ctx) int32 {
+		x, y := a(c), b(c)
+		if x > y {
+			return x
+		}
+		return y
+	}
+}
+
+// MaxN returns the maximum of val(q) over all q in 0..n-1 with cond(q) true,
+// or 0 if no condition holds. It expresses the Black-White Bakery's
+// colour-restricted maximum "max{number[j] : colour of j equals mine}".
+func MaxN(n int, f func(q int) (cond, val Expr)) Expr {
+	conds := make([]Expr, n)
+	vals := make([]Expr, n)
+	for q := 0; q < n; q++ {
+		conds[q], vals[q] = f(q)
+	}
+	return func(c *Ctx) int32 {
+		max := int32(0)
+		for q := 0; q < n; q++ {
+			if conds[q](c) != 0 {
+				if v := vals[q](c); v > max {
+					max = v
+				}
+			}
+		}
+		return max
+	}
+}
+
+// Add returns a+b.
+func Add(a, b Expr) Expr { return func(c *Ctx) int32 { return a(c) + b(c) } }
+
+// Sub returns a-b.
+func Sub(a, b Expr) Expr { return func(c *Ctx) int32 { return a(c) - b(c) } }
+
+// Mod returns a mod b (b must evaluate nonzero).
+func Mod(a, b Expr) Expr {
+	return func(c *Ctx) int32 {
+		d := b(c)
+		if d == 0 {
+			panic("gcl: modulo by zero")
+		}
+		return a(c) % d
+	}
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Eq returns a == b.
+func Eq(a, b Expr) Expr { return func(c *Ctx) int32 { return b2i(a(c) == b(c)) } }
+
+// Ne returns a != b.
+func Ne(a, b Expr) Expr { return func(c *Ctx) int32 { return b2i(a(c) != b(c)) } }
+
+// Lt returns a < b.
+func Lt(a, b Expr) Expr { return func(c *Ctx) int32 { return b2i(a(c) < b(c)) } }
+
+// Le returns a <= b.
+func Le(a, b Expr) Expr { return func(c *Ctx) int32 { return b2i(a(c) <= b(c)) } }
+
+// Gt returns a > b.
+func Gt(a, b Expr) Expr { return func(c *Ctx) int32 { return b2i(a(c) > b(c)) } }
+
+// Ge returns a >= b.
+func Ge(a, b Expr) Expr { return func(c *Ctx) int32 { return b2i(a(c) >= b(c)) } }
+
+// Not returns the boolean negation of a.
+func Not(a Expr) Expr { return func(c *Ctx) int32 { return b2i(a(c) == 0) } }
+
+// And returns the conjunction of its operands, short-circuiting.
+func And(xs ...Expr) Expr {
+	return func(c *Ctx) int32 {
+		for _, x := range xs {
+			if x(c) == 0 {
+				return 0
+			}
+		}
+		return 1
+	}
+}
+
+// Or returns the disjunction of its operands, short-circuiting.
+func Or(xs ...Expr) Expr {
+	return func(c *Ctx) int32 {
+		for _, x := range xs {
+			if x(c) != 0 {
+				return 1
+			}
+		}
+		return 0
+	}
+}
+
+// AndN builds a universal quantification over 0..n-1: the conjunction of
+// f(0), ..., f(n-1).
+func AndN(n int, f func(q int) Expr) Expr {
+	xs := make([]Expr, n)
+	for q := 0; q < n; q++ {
+		xs[q] = f(q)
+	}
+	return And(xs...)
+}
+
+// OrN builds an existential quantification over 0..n-1.
+func OrN(n int, f func(q int) Expr) Expr {
+	xs := make([]Expr, n)
+	for q := 0; q < n; q++ {
+		xs[q] = f(q)
+	}
+	return Or(xs...)
+}
+
+// LexLt returns the paper's ordered-pair comparison: (a1, b1) < (a2, b2)
+// iff a1 < a2, or a1 = a2 and b1 < b2 (Algorithm 1's "<" on tickets).
+func LexLt(a1, b1, a2, b2 Expr) Expr {
+	return func(c *Ctx) int32 {
+		x1, x2 := a1(c), a2(c)
+		if x1 != x2 {
+			return b2i(x1 < x2)
+		}
+		return b2i(b1(c) < b2(c))
+	}
+}
+
+// Assign is one variable update within an action's effect. All right-hand
+// sides of an effect are evaluated against the pre-state, then applied
+// simultaneously (TLA+ priming semantics).
+type Assign struct {
+	Name  string
+	Idx   Expr // nil for shared scalars; unused for locals
+	Val   Expr
+	Local bool
+}
+
+// Set assigns a shared scalar.
+func Set(name string, val Expr) Assign { return Assign{Name: name, Val: val} }
+
+// SetI assigns a shared array cell at a computed index.
+func SetI(name string, idx, val Expr) Assign { return Assign{Name: name, Idx: idx, Val: val} }
+
+// SetSelf assigns the executing process's own cell of a shared array.
+func SetSelf(name string, val Expr) Assign { return Assign{Name: name, Idx: Self(), Val: val} }
+
+// SetL assigns a local variable of the executing process.
+func SetL(name string, val Expr) Assign { return Assign{Name: name, Val: val, Local: true} }
+
+// Branch is one guarded alternative of a labelled action: when Guard holds
+// (nil means always), the Effect assignments are applied and control moves
+// to Next. A label with several branches whose guards overlap is
+// nondeterministic; a label none of whose guards hold is blocked (an await).
+type Branch struct {
+	Guard Expr
+	Eff   []Assign
+	Next  string
+	// Tag annotates the branch for statistics ("reset", "cs-enter", ...);
+	// it has no semantic effect.
+	Tag string
+}
+
+// Br returns a guarded branch.
+func Br(guard Expr, next string, eff ...Assign) Branch {
+	return Branch{Guard: guard, Eff: eff, Next: next}
+}
+
+// Goto returns an unguarded branch.
+func Goto(next string, eff ...Assign) Branch {
+	return Branch{Eff: eff, Next: next}
+}
+
+// WithTag returns a copy of the branch carrying a statistics tag.
+func (b Branch) WithTag(tag string) Branch {
+	b.Tag = tag
+	return b
+}
+
+func (b Branch) String() string {
+	return fmt.Sprintf("-> %s (%d assigns, tag=%q)", b.Next, len(b.Eff), b.Tag)
+}

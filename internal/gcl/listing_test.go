@@ -1,0 +1,62 @@
+package gcl
+
+import (
+	"strings"
+	"testing"
+)
+
+func listingProg() *Prog {
+	p := New("demo", 2)
+	p.SetM(3)
+	p.SharedArray("number", 2, 0)
+	p.SharedVar("color", 1)
+	p.Own("number")
+	p.LocalVar("j", 0)
+	p.Label("ncs", Goto("w").WithTag("try"))
+	p.Label("w", Br(Eq(Sh("color"), C(0)), "ncs", SetL("j", C(0))))
+	return p.MustBuild()
+}
+
+func TestBranchesAt(t *testing.T) {
+	p := listingProg()
+	ncs := p.BranchesAt("ncs")
+	if len(ncs) != 1 {
+		t.Fatalf("ncs branches = %d", len(ncs))
+	}
+	if ncs[0].Guarded || ncs[0].Next != "w" || ncs[0].Tag != "try" || ncs[0].Assigns != 0 {
+		t.Errorf("ncs branch info = %+v", ncs[0])
+	}
+	w := p.BranchesAt("w")
+	if !w[0].Guarded || w[0].Assigns != 1 {
+		t.Errorf("w branch info = %+v", w[0])
+	}
+}
+
+func TestListingContents(t *testing.T) {
+	out := listingProg().Listing()
+	for _, want := range []string{
+		"program demo: N=2, M=3",
+		"shared number[2] = 0 (owned)",
+		"shared color = 1",
+		"local  j = 0",
+		"ncs:",
+		"[try]",
+		"when <guard>",
+		"always",
+		"-> w",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestListingCoversAllLabels(t *testing.T) {
+	p := listingProg()
+	out := p.Listing()
+	for _, label := range p.Labels() {
+		if !strings.Contains(out, label+":") {
+			t.Errorf("label %s missing from listing", label)
+		}
+	}
+}

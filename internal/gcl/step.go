@@ -1,0 +1,173 @@
+package gcl
+
+import "fmt"
+
+// Mode selects how shared stores interact with the register capacity M.
+type Mode uint8
+
+const (
+	// ModeUnbounded stores values verbatim, flagging (but not altering)
+	// stores above M. This is the model-checking mode: the paper's
+	// no-overflow invariant is "no reachable state holds a value > M".
+	ModeUnbounded Mode = iota
+	// ModeWrap stores v mod (M+1) like a real b-bit register, flagging the
+	// overflow. This is the simulation mode under which classic Bakery
+	// malfunctions (paper Section 3).
+	ModeWrap
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeUnbounded:
+		return "unbounded"
+	case ModeWrap:
+		return "wrap"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Succ is one successor of a state: the action of process Pid taking branch
+// Branch of its current label.
+type Succ struct {
+	State State
+	Pid   int
+	// Label is the label the action executed at (the pre-state pc).
+	Label string
+	// Branch is the index of the branch taken within the label.
+	Branch int
+	// Tag is the branch's statistics tag, if any.
+	Tag string
+	// Overflow reports that some assignment in the effect attempted to
+	// store a value greater than M into a shared variable.
+	Overflow bool
+}
+
+// Enabled reports whether process pid has at least one enabled branch in s.
+func (p *Prog) Enabled(s State, pid int) bool {
+	c := Ctx{P: p, S: s, Pid: pid}
+	for _, b := range p.branches[p.PC(s, pid)] {
+		if b.Guard == nil || b.Guard(&c) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// EnabledAny reports whether any process has an enabled branch in s; a state
+// where no process is enabled is a deadlock.
+func (p *Prog) EnabledAny(s State) bool {
+	for pid := 0; pid < p.N; pid++ {
+		if p.Enabled(s, pid) {
+			return true
+		}
+	}
+	return false
+}
+
+// Succs appends to out every successor of s reachable by one action of
+// process pid and returns the extended slice.
+func (p *Prog) Succs(s State, pid int, mode Mode, out []Succ) []Succ {
+	if !p.built {
+		panic("gcl: Succs before Build")
+	}
+	pc := p.PC(s, pid)
+	c := Ctx{P: p, S: s, Pid: pid}
+	for bi, b := range p.branches[pc] {
+		if b.Guard != nil && b.Guard(&c) == 0 {
+			continue
+		}
+		next, overflow := p.apply(s, pid, b, mode)
+		out = append(out, Succ{
+			State:    next,
+			Pid:      pid,
+			Label:    p.labels[pc],
+			Branch:   bi,
+			Tag:      b.Tag,
+			Overflow: overflow,
+		})
+	}
+	return out
+}
+
+// AllSuccs returns every successor of s across all processes.
+func (p *Prog) AllSuccs(s State, mode Mode) []Succ {
+	var out []Succ
+	for pid := 0; pid < p.N; pid++ {
+		out = p.Succs(s, pid, mode, out)
+	}
+	return out
+}
+
+// apply executes branch b for pid against s and returns the successor state
+// and whether any shared store overflowed. Right-hand sides (and indices)
+// are evaluated against the pre-state; writes land simultaneously.
+func (p *Prog) apply(s State, pid int, b Branch, mode Mode) (State, bool) {
+	c := Ctx{P: p, S: s, Pid: pid}
+	type write struct {
+		word int
+		val  int32
+	}
+	writes := make([]write, 0, len(b.Eff))
+	overflow := false
+	for _, a := range b.Eff {
+		v := a.Val(&c)
+		if v < 0 {
+			panic(fmt.Sprintf("gcl: %s: assignment to %q computes negative value %d",
+				p.Name, a.Name, v))
+		}
+		var word int
+		if a.Local {
+			info, ok := p.localInfo[a.Name]
+			if !ok {
+				panic(fmt.Sprintf("gcl: %s: unknown local %q", p.Name, a.Name))
+			}
+			word = p.sharedLen + pid*p.localLen + info.off
+		} else {
+			info, ok := p.sharedInfo[a.Name]
+			if !ok {
+				panic(fmt.Sprintf("gcl: %s: unknown shared variable %q", p.Name, a.Name))
+			}
+			idx := 0
+			if a.Idx != nil {
+				idx = int(a.Idx(&c))
+			}
+			if idx < 0 || idx >= info.size {
+				panic(fmt.Sprintf("gcl: %s: index %d out of range for %q", p.Name, idx, a.Name))
+			}
+			word = info.off + idx
+			if p.M > 0 && int64(v) > p.M {
+				overflow = true
+				if mode == ModeWrap {
+					v = int32(int64(v) % (p.M + 1))
+				}
+			}
+		}
+		writes = append(writes, write{word, v})
+	}
+	next := p.Clone(s)
+	for _, w := range writes {
+		next[w.word] = w.val
+	}
+	p.SetPC(next, pid, p.labelIdx[b.Next])
+	return next, overflow
+}
+
+// CrashSucc returns the state after process pid crashes and restarts per the
+// paper's correctness conditions 3–4: the process goes to its noncritical
+// section (the first label), its locals return to their initial values, and
+// its cells of every owned shared array read 0 (their initial values).
+// Shared variables not marked Own are left untouched — the crash model only
+// resets memory the process itself owns.
+func (p *Prog) CrashSucc(s State, pid int) State {
+	next := p.Clone(s)
+	p.SetPC(next, pid, 0)
+	for _, d := range p.locals {
+		p.SetLocal(next, pid, d.Name, d.Init)
+	}
+	for name := range p.owned {
+		info := p.sharedInfo[name]
+		next[info.off+pid] = info.init
+	}
+	return next
+}

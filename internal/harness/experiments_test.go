@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 12 {
+		t.Fatalf("got %d experiments, want 12", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	ids := ExperimentIDs()
+	if len(ids) != 12 || ids[0] != "E1" {
+		t.Errorf("ExperimentIDs = %v", ids)
+	}
+}
+
+func TestRunExperimentsUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiments(&buf, []string{"E99"}); err == nil {
+		t.Error("unknown experiment ID accepted")
+	}
+}
+
+// Each model-checking / simulator experiment runs standalone and produces
+// its table. The heavy runtime experiments (E3, E4, E5) are covered by the
+// benchmarks and by TestRunRuntimeExperiments below.
+func TestRunCheapExperiments(t *testing.T) {
+	for _, id := range []string{"E1", "E2", "E6", "E7", "E9", "E10", "E11", "E12"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := RunExperiments(&buf, []string{id}); err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "### "+id) {
+				t.Errorf("%s output missing header:\n%s", id, out)
+			}
+			if len(out) < 200 {
+				t.Errorf("%s output suspiciously short:\n%s", id, out)
+			}
+		})
+	}
+}
+
+func TestRunE8(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiments(&buf, []string{"E8"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"bakery", "bakerypp", "blackwhite", "peterson", "szymanski", "unbounded"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("E8 table missing %q", want)
+		}
+	}
+}
+
+func TestExpectedVerdictsInE1E2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiments(&buf, []string{"E1"}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "VIOLATION") {
+		t.Errorf("E1 must verify every Bakery++ config:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := RunExperiments(&buf, []string{"E2"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "VIOLATION:no-overflow") {
+		t.Error("E2 must show Bakery's overflow violation")
+	}
+	if !strings.Contains(out, "counterexample") {
+		t.Error("E2 must print the counterexample")
+	}
+}
+
+// The runtime experiments complete and their tables include every lock.
+func TestRunRuntimeExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runtime experiments take seconds")
+	}
+	var buf bytes.Buffer
+	if err := RunExperiments(&buf, []string{"E3", "E5"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"32-bit", "bakery-8bit", "bakery++", "resets/op"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("runtime experiment output missing %q", want)
+		}
+	}
+}

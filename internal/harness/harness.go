@@ -1,0 +1,148 @@
+// Package harness drives runtime locks under configurable workloads and
+// measures what the paper's evaluation talks about: throughput, acquisition
+// latency, mutual-exclusion violations (for deliberately broken
+// configurations such as wrapped-register Bakery), and Bakery++'s
+// overflow-avoidance overhead. The experiments file assembles these runs —
+// together with the model checker and the interleaving simulator — into the
+// E1–E11 tables recorded in EXPERIMENTS.md.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bakerypp/internal/stats"
+	"bakerypp/internal/workload"
+)
+
+// Lock is the runtime lock contract (identical to algorithms.Lock, declared
+// consumer-side so the harness depends only on behaviour).
+type Lock interface {
+	Lock(pid int)
+	Unlock(pid int)
+	Name() string
+}
+
+// RunConfig describes one measured run.
+type RunConfig struct {
+	// Lock is the (fresh) lock instance to exercise.
+	Lock Lock
+	// N is the number of participants; each gets one worker goroutine.
+	N int
+	// Iters is the number of critical sections per participant.
+	Iters int
+	// Pattern supplies think/hold spin times; defaults to Sustained.
+	Pattern workload.Pattern
+	// MeasureLatency records per-acquisition latency histograms (adds two
+	// clock reads per operation).
+	MeasureLatency bool
+	// Seed derives per-worker random sources.
+	Seed int64
+}
+
+// RunResult is the outcome of one run.
+type RunResult struct {
+	Lock    string
+	N       int
+	Ops     int64
+	Elapsed time.Duration
+	// Violations counts occupancy-detector trips: entries into the
+	// critical section while another participant was inside.
+	Violations int64
+	// MaxConcurrency is the largest number of participants ever observed
+	// inside the critical section simultaneously (1 for a correct lock).
+	MaxConcurrency int32
+	// Latency is the merged acquisition-latency histogram in nanoseconds
+	// (nil unless MeasureLatency).
+	Latency *stats.Histogram
+}
+
+// Throughput returns critical sections per second.
+func (r *RunResult) Throughput() float64 { return stats.Rate(r.Ops, r.Elapsed) }
+
+// String summarises the run.
+func (r *RunResult) String() string {
+	s := fmt.Sprintf("%s N=%d: %d ops in %v (%s), violations=%d maxconc=%d",
+		r.Lock, r.N, r.Ops, r.Elapsed.Round(time.Millisecond),
+		stats.FormatRate(r.Throughput()), r.Violations, r.MaxConcurrency)
+	if r.Latency != nil {
+		s += " latency{" + r.Latency.DurationSummary() + "}"
+	}
+	return s
+}
+
+// Run executes the configured workload and returns measurements.
+func Run(cfg RunConfig) *RunResult {
+	if cfg.N < 1 {
+		panic("harness: N must be >= 1")
+	}
+	if cfg.Iters < 1 {
+		panic("harness: Iters must be >= 1")
+	}
+	if cfg.Pattern.Think == nil {
+		cfg.Pattern = workload.Sustained()
+	}
+	res := &RunResult{Lock: cfg.Lock.Name(), N: cfg.N}
+
+	var (
+		inCS       atomic.Int32
+		maxConc    atomic.Int32
+		violations atomic.Int64
+		wg         sync.WaitGroup
+	)
+	hists := make([]*stats.Histogram, cfg.N)
+	start := time.Now()
+	for pid := 0; pid < cfg.N; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(pid)))
+			var h *stats.Histogram
+			if cfg.MeasureLatency {
+				h = stats.NewHistogram()
+				hists[pid] = h
+			}
+			for k := 0; k < cfg.Iters; k++ {
+				workload.Spin(cfg.Pattern.Think(rng))
+				var t0 time.Time
+				if h != nil {
+					t0 = time.Now()
+				}
+				cfg.Lock.Lock(pid)
+				if h != nil {
+					h.Record(time.Since(t0).Nanoseconds())
+				}
+				now := inCS.Add(1)
+				if now != 1 {
+					violations.Add(1)
+				}
+				for cur := maxConc.Load(); now > cur; cur = maxConc.Load() {
+					if maxConc.CompareAndSwap(cur, now) {
+						break
+					}
+				}
+				workload.Spin(cfg.Pattern.Hold(rng))
+				inCS.Add(-1)
+				cfg.Lock.Unlock(pid)
+			}
+		}(pid)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Ops = int64(cfg.N) * int64(cfg.Iters)
+	res.Violations = violations.Load()
+	res.MaxConcurrency = maxConc.Load()
+	if cfg.MeasureLatency {
+		merged := stats.NewHistogram()
+		for _, h := range hists {
+			if h != nil {
+				merged.Merge(h)
+			}
+		}
+		res.Latency = merged
+	}
+	return res
+}

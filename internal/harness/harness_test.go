@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"bakerypp/internal/algorithms"
+	"bakerypp/internal/core"
+	"bakerypp/internal/workload"
+)
+
+func TestRunValidation(t *testing.T) {
+	l := algorithms.NewTicket(1)
+	for _, cfg := range []RunConfig{
+		{Lock: l, N: 0, Iters: 1},
+		{Lock: l, N: 1, Iters: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid config did not panic")
+				}
+			}()
+			Run(cfg)
+		}()
+	}
+}
+
+func TestRunCorrectLock(t *testing.T) {
+	res := Run(RunConfig{
+		Lock:  core.New(4, 1<<20),
+		N:     4,
+		Iters: 2000,
+	})
+	if res.Violations != 0 {
+		t.Errorf("violations = %d", res.Violations)
+	}
+	if res.MaxConcurrency != 1 {
+		t.Errorf("max concurrency = %d, want 1", res.MaxConcurrency)
+	}
+	if res.Ops != 8000 {
+		t.Errorf("ops = %d, want 8000", res.Ops)
+	}
+	if res.Throughput() <= 0 {
+		t.Error("throughput not positive")
+	}
+}
+
+// brokenLock grants the critical section unconditionally; the detector must
+// notice overlapping holders.
+type brokenLock struct{}
+
+func (brokenLock) Lock(int)     {}
+func (brokenLock) Unlock(int)   {}
+func (brokenLock) Name() string { return "broken" }
+
+func TestDetectorCatchesBrokenLock(t *testing.T) {
+	res := Run(RunConfig{
+		Lock:    brokenLock{},
+		N:       4,
+		Iters:   5000,
+		Pattern: workload.ShortCS(50),
+	})
+	if res.Violations == 0 && res.MaxConcurrency < 2 {
+		t.Error("detector saw no overlap from a no-op lock under 4-way contention")
+	}
+}
+
+func TestLatencyMeasurement(t *testing.T) {
+	res := Run(RunConfig{
+		Lock:           algorithms.NewTicket(2),
+		N:              2,
+		Iters:          1000,
+		MeasureLatency: true,
+	})
+	if res.Latency == nil || res.Latency.Count() != 2000 {
+		t.Fatalf("latency histogram missing or wrong count: %v", res.Latency)
+	}
+	if res.Latency.Max() <= 0 {
+		t.Error("latency max not positive")
+	}
+	if !strings.Contains(res.String(), "latency{") {
+		t.Error("String() missing latency summary")
+	}
+}
+
+func TestPatternsAreExercised(t *testing.T) {
+	for _, p := range []workload.Pattern{
+		workload.Sustained(), workload.ThinkHeavy(50),
+		workload.Uniform(20, 5), workload.Exponential(10, 2),
+	} {
+		res := Run(RunConfig{Lock: core.New(2, 1000), N: 2, Iters: 300, Pattern: p})
+		if res.Violations != 0 {
+			t.Errorf("pattern %s: violations", p.Name)
+		}
+	}
+}
+
+func TestRunResultString(t *testing.T) {
+	res := Run(RunConfig{Lock: algorithms.NewTAS(2), N: 2, Iters: 100})
+	s := res.String()
+	for _, want := range []string{"tas", "N=2", "200 ops", "violations=0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}

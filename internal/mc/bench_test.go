@@ -1,0 +1,71 @@
+package mc
+
+import (
+	"fmt"
+	"testing"
+
+	"bakerypp/internal/gcl"
+	"bakerypp/internal/specs"
+)
+
+// Substrate benchmarks: verification throughput of the model checker on the
+// repository's standard configurations.
+
+func BenchmarkCheckBakeryPP(b *testing.B) {
+	for _, cfg := range []specs.Config{{N: 2, M: 3}, {N: 3, M: 2}} {
+		b.Run(fmt.Sprintf("N=%d/M=%d", cfg.N, cfg.M), func(b *testing.B) {
+			opts := Options{Invariants: []Invariant{Mutex(), NoOverflow()}}
+			states := 0
+			for i := 0; i < b.N; i++ {
+				res := Check(specs.BakeryPP(cfg), opts)
+				if res.Violation != nil {
+					b.Fatal("violation")
+				}
+				states = res.States
+			}
+			b.ReportMetric(float64(states), "states")
+		})
+	}
+}
+
+func BenchmarkCheckSafeRegisters(b *testing.B) {
+	opts := Options{Invariants: []Invariant{Mutex(), NoOverflow()}}
+	for i := 0; i < b.N; i++ {
+		if res := Check(specs.BakeryPPSafe(2, 2), opts); res.Violation != nil {
+			b.Fatal("violation")
+		}
+	}
+}
+
+func BenchmarkBuildGraph(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildGraph(specs.BakeryPP(specs.Config{N: 2, M: 3}), Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFindStarvation(b *testing.B) {
+	g, err := BuildGraph(specs.BakeryPP(specs.Config{N: 3, M: 2}), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := g.expl.p
+	l1 := p.LabelIndex("l1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := g.FindStarvation(func(pr *gcl.Prog, s gcl.State) bool {
+			return pr.PC(s, 2) == l1
+		}, []int{0, 1}); rep == nil {
+			b.Fatal("no cycle")
+		}
+	}
+}
+
+func BenchmarkCheckFCFS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if res := CheckFCFS(specs.BakeryPP(specs.Config{N: 2, M: 2}), 0, 1, 0); !res.Holds {
+			b.Fatal("violated")
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package mc
+
+import (
+	"testing"
+
+	"bakerypp/internal/gcl"
+)
+
+// An invariant already false in the initial state yields a zero-step
+// counterexample.
+func TestViolationAtInitialState(t *testing.T) {
+	p := gcl.New("initbad", 1)
+	p.SetM(1)
+	p.SharedVar("number", 5) // starts above M
+	p.Label("ncs", gcl.Goto("ncs"))
+	p.MustBuild()
+	res := Check(p, Options{Invariants: []Invariant{NoOverflow()}})
+	if res.Violation == nil {
+		t.Fatal("initial-state violation missed")
+	}
+	if res.Violation.Trace.Len() != 0 {
+		t.Errorf("trace length = %d, want 0", res.Violation.Trace.Len())
+	}
+	if res.States != 1 {
+		t.Errorf("states = %d, want 1", res.States)
+	}
+}
+
+// NoOverflow is vacuous for programs without a declared capacity.
+func TestNoOverflowVacuousWithoutM(t *testing.T) {
+	p := gcl.New("unbounded", 1)
+	p.SharedVar("x", 0)
+	p.Label("a", gcl.Goto("a", gcl.Set("x", gcl.Add(gcl.Sh("x"), gcl.C(1)))))
+	p.MustBuild()
+	res := Check(p, Options{Invariants: []Invariant{NoOverflow()}, MaxStates: 100})
+	if res.Violation != nil {
+		t.Error("vacuous invariant reported a violation")
+	}
+	if res.Complete {
+		t.Error("counter program cannot complete in 100 states")
+	}
+}
+
+// Deadlock detection and invariants interact: the violation is found first
+// when it is shallower.
+func TestViolationBeforeDeadlock(t *testing.T) {
+	p := gcl.New("both", 1)
+	p.SetM(1)
+	p.SharedVar("number", 0)
+	p.Label("a", gcl.Goto("b", gcl.Set("number", gcl.C(5))))
+	p.Label("b", gcl.Br(gcl.Eq(gcl.Sh("number"), gcl.C(0)), "a"))
+	p.MustBuild()
+	res := Check(p, Options{Invariants: []Invariant{NoOverflow()}, Deadlock: true})
+	if res.Violation == nil {
+		t.Fatal("violation not found")
+	}
+	if res.Deadlock != nil {
+		t.Error("deadlock reported despite earlier violation")
+	}
+}
+
+// Graph construction on a single-state program.
+func TestGraphSingleState(t *testing.T) {
+	p := gcl.New("still", 1)
+	p.SharedVar("x", 0)
+	p.Label("a", gcl.Br(gcl.Eq(gcl.Sh("x"), gcl.C(1)), "a")) // never enabled
+	p.MustBuild()
+	g, err := BuildGraph(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumStates() != 1 {
+		t.Errorf("states = %d, want 1", g.NumStates())
+	}
+	if sccs := g.SCCs(); len(sccs) != 1 || len(sccs[0]) != 1 {
+		t.Errorf("SCCs = %v", sccs)
+	}
+	if rep := g.FindNoProgress([]int{0}); rep != nil {
+		t.Error("stuck single state reported as livelock (no edges, no cycle)")
+	}
+}

@@ -1,0 +1,141 @@
+package mc
+
+import (
+	"fmt"
+
+	"bakerypp/internal/gcl"
+)
+
+// This file checks first-come-first-served entry — the bakery algorithm's
+// first remarkable property (paper Section 1.2) — as a model-checked
+// property rather than a simulation statistic. FCFS is not a state
+// invariant: it relates the order of doorway completions to the order of
+// critical-section entries along an execution, so it is checked as a
+// monitor automaton composed with the program:
+//
+//	phase 0: watching. When `first` completes its doorway
+//	         (tag "doorway-done") -> phase 1.
+//	phase 1: first has a ticket. If first enters cs -> phase 0 (served in
+//	         order). If `second` leaves its noncritical section
+//	         (tag "try") -> phase 2.
+//	phase 2: second arrived strictly after first's doorway completed.
+//	         If second enters cs before first -> FCFS VIOLATION.
+//	         If first enters cs -> phase 0.
+//
+// The product state space (program state × phase) is explored exhaustively;
+// a violation comes with the shortest witnessing interleaving.
+
+// FCFSResult reports an FCFS check.
+type FCFSResult struct {
+	Prog   *gcl.Prog
+	First  int
+	Second int
+	// Holds is true when no reachable execution violates FCFS for the
+	// ordered pair (first, second).
+	Holds bool
+	// Complete is false if the state bound was hit first.
+	Complete bool
+	States   int
+	// Witness is the violating execution when Holds is false.
+	Witness *Trace
+}
+
+// String renders a one-line summary.
+func (r *FCFSResult) String() string {
+	status := "FCFS holds"
+	if !r.Holds {
+		status = "FCFS VIOLATED"
+	} else if !r.Complete {
+		status = "FCFS holds up to state bound"
+	}
+	return fmt.Sprintf("%s: %s for pair (%d, %d) — %d product states",
+		r.Prog.Name, status, r.First, r.Second, r.States)
+}
+
+// CheckFCFS verifies first-come-first-served entry for the ordered process
+// pair (first, second): whenever first completes its doorway before second
+// begins competing, first enters the critical section before second. The
+// program must carry the specs package's "doorway-done", "try" and
+// "cs-enter" branch tags. maxStates bounds the product exploration
+// (0 = DefaultMaxStates).
+func CheckFCFS(p *gcl.Prog, first, second, maxStates int) *FCFSResult {
+	if first == second || first < 0 || second < 0 || first >= p.N || second >= p.N {
+		panic(fmt.Sprintf("mc: bad FCFS pair (%d, %d) for N=%d", first, second, p.N))
+	}
+	tags := p.BranchTags()
+	for _, need := range []string{"doorway-done", "try", "cs-enter"} {
+		if tags[need] == 0 {
+			panic(fmt.Sprintf("mc: %s lacks the %q tag needed for FCFS checking", p.Name, need))
+		}
+	}
+	if maxStates == 0 {
+		maxStates = DefaultMaxStates
+	}
+	res := &FCFSResult{Prog: p, First: first, Second: second, Holds: true}
+
+	type node struct {
+		st     gcl.State
+		phase  int8
+		parent int32
+		byPid  int8
+		label  string
+	}
+	nodes := []node{{st: p.InitState(), phase: 0, parent: -1, byPid: -1}}
+	seen := map[string]bool{p.Key(nodes[0].st) + "\x000": true}
+
+	buildTrace := func(i int32, extra *gcl.Succ) *Trace {
+		var rev []int32
+		for k := i; k >= 0; k = nodes[k].parent {
+			rev = append(rev, k)
+		}
+		t := &Trace{Prog: p, Init: nodes[rev[len(rev)-1]].st}
+		for k := len(rev) - 2; k >= 0; k-- {
+			nd := nodes[rev[k]]
+			t.Steps = append(t.Steps, Step{Pid: int(nd.byPid), Label: nd.label, State: nd.st})
+		}
+		if extra != nil {
+			t.Steps = append(t.Steps, Step{Pid: extra.Pid, Label: extra.Label, State: extra.State})
+		}
+		return t
+	}
+
+	for head := int32(0); head < int32(len(nodes)); head++ {
+		if len(nodes) >= maxStates {
+			res.Complete = false
+			res.States = len(nodes)
+			return res
+		}
+		nd := nodes[head]
+		for _, sc := range p.AllSuccs(nd.st, gcl.ModeUnbounded) {
+			phase := nd.phase
+			switch {
+			case phase == 0 && sc.Pid == first && sc.Tag == "doorway-done":
+				phase = 1
+			case phase == 1 && sc.Pid == first && sc.Tag == "cs-enter":
+				phase = 0
+			case phase == 1 && sc.Pid == second && sc.Tag == "try":
+				phase = 2
+			case phase == 2 && sc.Pid == first && sc.Tag == "cs-enter":
+				phase = 0
+			case phase == 2 && sc.Pid == second && sc.Tag == "cs-enter":
+				res.Holds = false
+				res.States = len(nodes)
+				sc := sc
+				res.Witness = buildTrace(head, &sc)
+				return res
+			}
+			key := p.Key(sc.State) + "\x00" + string(rune('0'+phase))
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			nodes = append(nodes, node{
+				st: sc.State, phase: phase, parent: head,
+				byPid: int8(sc.Pid), label: sc.Label,
+			})
+		}
+	}
+	res.Complete = true
+	res.States = len(nodes)
+	return res
+}

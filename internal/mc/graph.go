@@ -1,0 +1,350 @@
+package mc
+
+import (
+	"fmt"
+	"time"
+
+	"bakerypp/internal/gcl"
+)
+
+// Edge is one transition of the reachability graph.
+type Edge struct {
+	To    int32
+	Pid   int8
+	Label string
+}
+
+// Graph is the full reachability graph of a program, built by BuildGraph.
+// States are indexed densely in BFS discovery order; index 0 is the initial
+// state.
+type Graph struct {
+	// Summary carries the same statistics a Check would produce (states,
+	// transitions, first invariant violation if any).
+	Summary *Result
+	expl    *explorer
+	Adj     [][]Edge
+}
+
+// NumStates returns the number of reachable states.
+func (g *Graph) NumStates() int { return len(g.expl.states) }
+
+// State returns the state at a graph index.
+func (g *Graph) State(i int) gcl.State { return g.expl.states[i] }
+
+// BuildGraph explores the complete reachable state space of p and returns
+// its transition graph. Unlike Check it does not stop at invariant
+// violations (Summary.Violation still records the first one found); it
+// fails only if the state bound is exceeded, since an incomplete graph
+// would make cycle analysis meaningless.
+func BuildGraph(p *gcl.Prog, opts Options) (*Graph, error) {
+	start := time.Now()
+	e := newExplorer(p, opts)
+	res := &Result{Prog: p}
+	g := &Graph{Summary: res, expl: e}
+
+	init := p.InitState()
+	e.add(init, -1, -1, "")
+	g.Adj = append(g.Adj, nil)
+	if name, bad := e.checkInvariants(init); bad {
+		t := e.trace(0)
+		res.Violation = &Violation{Invariant: name, Trace: t}
+	}
+
+	for head := 0; head < len(e.states); head++ {
+		if len(e.states) > e.opts.MaxStates {
+			return nil, fmt.Errorf("mc: %s: state bound %d exceeded while building graph",
+				p.Name, e.opts.MaxStates)
+		}
+		s := e.states[head]
+		res.Depth = int(e.depth[head])
+		for _, sc := range e.successors(s) {
+			res.Transitions++
+			idx, fresh := e.add(sc.State, int32(head), int32(sc.Pid), sc.Label)
+			if fresh {
+				g.Adj = append(g.Adj, nil)
+				if name, bad := e.checkInvariants(sc.State); bad && res.Violation == nil {
+					t := e.trace(idx)
+					res.Violation = &Violation{Invariant: name, Trace: t}
+				}
+			}
+			g.Adj[head] = append(g.Adj[head], Edge{To: idx, Pid: int8(sc.Pid), Label: sc.Label})
+		}
+	}
+	res.States = len(e.states)
+	res.Complete = true
+	res.Elapsed = time.Since(start)
+	return g, nil
+}
+
+// Trace reconstructs the BFS path from the initial state to graph index i.
+func (g *Graph) Trace(i int) Trace { return g.expl.trace(int32(i)) }
+
+// SCCs returns the strongly connected components of the graph (Tarjan,
+// iterative), in reverse topological order. Trivial single-state components
+// without a self-loop are included; callers filter as needed.
+func (g *Graph) SCCs() [][]int32 {
+	n := len(g.Adj)
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var (
+		stack   []int32
+		sccs    [][]int32
+		counter int32
+	)
+
+	type frame struct {
+		v    int32
+		edge int
+	}
+	var call []frame
+	for root := int32(0); root < int32(n); root++ {
+		if index[root] != -1 {
+			continue
+		}
+		call = append(call[:0], frame{v: root})
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			if f.edge < len(g.Adj[f.v]) {
+				w := g.Adj[f.v][f.edge].To
+				f.edge++
+				if index[w] == -1 {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				if pv := call[len(call)-1].v; low[v] < low[pv] {
+					low[pv] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int32
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+	return sccs
+}
+
+// StarvationReport describes a reachable cycle on which a predicate holds
+// forever while a given set of processes keeps taking steps — the shape of
+// the paper's Section 6.3 scenario ("the two fast processes keep competing
+// ... and they reach M again" while the slow process never leaves L1).
+type StarvationReport struct {
+	// ComponentSize is the number of states in the witnessing SCC.
+	ComponentSize int
+	// EntryLen is the number of steps from the initial state to the
+	// component.
+	EntryLen int
+	// Entry is the path from the initial state into the component.
+	Entry Trace
+	// MovesByPid counts, for each process, the transitions it owns inside
+	// the component.
+	MovesByPid []int
+	// Component lists the graph indices of the component's states, so
+	// callers can assert additional properties (e.g. that the starved
+	// process is genuinely blocked somewhere on the cycle, ruling out
+	// plain unfair-scheduler starvation).
+	Component []int32
+}
+
+// FindStarvation searches for a reachable strongly connected component with
+// at least one edge, all of whose states satisfy pred, and inside which
+// every process in mustMove takes at least one step. It returns nil if no
+// such component exists. pred typically pins the starved process to a label
+// (e.g. "pc of process 2 is l1") while mustMove lists the fast processes.
+func (g *Graph) FindStarvation(pred func(p *gcl.Prog, s gcl.State) bool, mustMove []int) *StarvationReport {
+	n := len(g.Adj)
+	ok := make([]bool, n)
+	for i := 0; i < n; i++ {
+		ok[i] = pred(g.expl.p, g.expl.states[i])
+	}
+	// Build the subgraph induced by pred and run SCC over it by masking
+	// edges whose endpoints fall outside.
+	masked := &Graph{expl: g.expl, Adj: make([][]Edge, n)}
+	for v := 0; v < n; v++ {
+		if !ok[v] {
+			continue
+		}
+		for _, e := range g.Adj[v] {
+			if ok[e.To] {
+				masked.Adj[v] = append(masked.Adj[v], e)
+			}
+		}
+	}
+	for _, comp := range masked.SCCs() {
+		if len(comp) == 1 && !hasSelfLoop(masked, comp[0]) {
+			continue
+		}
+		inComp := map[int32]bool{}
+		for _, v := range comp {
+			if !ok[v] {
+				inComp = nil
+				break
+			}
+			inComp[v] = true
+		}
+		if inComp == nil {
+			continue
+		}
+		moves := make([]int, g.expl.p.N)
+		for _, v := range comp {
+			for _, e := range masked.Adj[v] {
+				if inComp[e.To] && e.Pid >= 0 {
+					moves[e.Pid]++
+				}
+			}
+		}
+		all := true
+		for _, pid := range mustMove {
+			if moves[pid] == 0 {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		entry := comp[0]
+		for _, v := range comp {
+			if g.expl.depth[v] < g.expl.depth[entry] {
+				entry = v
+			}
+		}
+		return &StarvationReport{
+			ComponentSize: len(comp),
+			EntryLen:      int(g.expl.depth[entry]),
+			Entry:         g.expl.trace(entry),
+			MovesByPid:    moves,
+			Component:     comp,
+		}
+	}
+	return nil
+}
+
+// NoProgressReport describes a reachable cycle on which every listed
+// process keeps taking steps yet no critical-section entry ever happens —
+// a global livelock. For Bakery++ its absence (a nil report with mustMove =
+// all processes) means the algorithm cannot spin forever without service
+// under weak fairness: any cycle that starves one process still serves the
+// others (the Section 6.3 cycle found by FindStarvation has cs-enter edges
+// for the fast pair).
+type NoProgressReport struct {
+	ComponentSize int
+	MovesByPid    []int
+	Entry         Trace
+}
+
+// FindNoProgress searches for a reachable SCC with at least one edge, in
+// which every process in mustMove takes a step but no edge carries the
+// "cs-enter" tag. It returns nil when no such component exists.
+func (g *Graph) FindNoProgress(mustMove []int) *NoProgressReport {
+	n := len(g.Adj)
+	// Mask out cs-enter edges and SCC the remainder: a qualifying cycle
+	// must avoid entries entirely.
+	masked := &Graph{expl: g.expl, Adj: make([][]Edge, n)}
+	enter := map[int32]bool{}
+	for v := 0; v < n; v++ {
+		for _, e := range g.Adj[v] {
+			tag := g.tagOf(v, e)
+			if tag == "cs-enter" {
+				enter[int32(v)] = true
+				continue
+			}
+			masked.Adj[v] = append(masked.Adj[v], e)
+		}
+	}
+	_ = enter
+	for _, comp := range masked.SCCs() {
+		if len(comp) == 1 && !hasSelfLoop(masked, comp[0]) {
+			continue
+		}
+		inComp := map[int32]bool{}
+		for _, v := range comp {
+			inComp[v] = true
+		}
+		moves := make([]int, g.expl.p.N)
+		for _, v := range comp {
+			for _, e := range masked.Adj[v] {
+				if inComp[e.To] && e.Pid >= 0 {
+					moves[e.Pid]++
+				}
+			}
+		}
+		ok := true
+		for _, pid := range mustMove {
+			if moves[pid] == 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		entry := comp[0]
+		for _, v := range comp {
+			if g.expl.depth[v] < g.expl.depth[entry] {
+				entry = v
+			}
+		}
+		return &NoProgressReport{
+			ComponentSize: len(comp),
+			MovesByPid:    moves,
+			Entry:         g.expl.trace(entry),
+		}
+	}
+	return nil
+}
+
+// tagOf recovers the branch tag of an edge by re-deriving it from the
+// source state (edges do not store tags to keep the graph small).
+func (g *Graph) tagOf(from int, e Edge) string {
+	if e.Label == crashLabel {
+		return ""
+	}
+	p := g.expl.p
+	s := g.expl.states[from]
+	for _, sc := range p.Succs(s, int(e.Pid), g.expl.opts.Mode, nil) {
+		if sc.Label == e.Label && p.Key(sc.State) == p.Key(g.expl.states[e.To]) {
+			return sc.Tag
+		}
+	}
+	return ""
+}
+
+func hasSelfLoop(g *Graph, v int32) bool {
+	for _, e := range g.Adj[v] {
+		if e.To == v {
+			return true
+		}
+	}
+	return false
+}

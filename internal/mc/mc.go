@@ -1,0 +1,307 @@
+// Package mc is an explicit-state model checker for gcl programs — this
+// repository's stand-in for the TLC model checker the paper used to verify
+// Bakery++. Like TLC's safety mode, it enumerates the reachable states of
+// the interleaving semantics breadth-first, evaluates invariants on every
+// state, detects deadlocks, and reconstructs a shortest counterexample
+// trace when a check fails.
+//
+// Beyond plain safety checking it can (a) add crash/restart transitions
+// implementing the paper's correctness conditions 3–4, (b) build the full
+// reachability graph, and (c) search the graph for starvation scenarios
+// such as the Section 6.3 livelock (a slow process pinned at L1 while fast
+// processes cycle through their critical sections) via strongly-connected
+// component analysis.
+package mc
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bakerypp/internal/gcl"
+)
+
+// Invariant is a named state predicate that must hold on every reachable
+// state.
+type Invariant struct {
+	Name  string
+	Holds func(p *gcl.Prog, s gcl.State) bool
+}
+
+// Mutex is the mutual-exclusion invariant: at most one process resides at
+// the label "cs" (the specs package convention for "inside the critical
+// section").
+func Mutex() Invariant {
+	return Invariant{
+		Name: "mutual-exclusion",
+		Holds: func(p *gcl.Prog, s gcl.State) bool {
+			return p.CountAtLabel(s, "cs") <= 1
+		},
+	}
+}
+
+// NoOverflow is the paper's overflow invariant: no shared register ever
+// holds a value greater than the program's capacity M ("we say an overflow
+// occurs if C tries to store a value v > M", Section 3). Programs are
+// checked in ModeUnbounded, so an attempted over-store is visible as a
+// reachable state holding the raw value.
+func NoOverflow() Invariant {
+	return Invariant{
+		Name: "no-overflow",
+		Holds: func(p *gcl.Prog, s gcl.State) bool {
+			if p.M <= 0 {
+				return true
+			}
+			for _, name := range p.SharedNames() {
+				if int64(p.MaxShared(s, name)) > p.M {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// AtMostAtLabel bounds how many processes may simultaneously sit at a label.
+func AtMostAtLabel(label string, k int) Invariant {
+	return Invariant{
+		Name: fmt.Sprintf("at-most-%d-at-%s", k, label),
+		Holds: func(p *gcl.Prog, s gcl.State) bool {
+			return p.CountAtLabel(s, label) <= k
+		},
+	}
+}
+
+// Options configures a check.
+type Options struct {
+	// Invariants to verify; both Check and BuildGraph evaluate them.
+	Invariants []Invariant
+	// Deadlock, when set, reports a state in which no process has an
+	// enabled action. Crash transitions do not count as progress.
+	Deadlock bool
+	// Crash adds crash/restart transitions for the processes listed in
+	// CrashPids (all processes when empty): at any moment a process may
+	// reset its owned registers and locals and return to "ncs".
+	Crash     bool
+	CrashPids []int
+	// MaxStates bounds exploration; 0 means DefaultMaxStates. Exceeding
+	// the bound stops the search with Complete = false.
+	MaxStates int
+	// Mode is the store semantics; model checking uses ModeUnbounded so
+	// the NoOverflow invariant can observe attempted over-stores.
+	Mode gcl.Mode
+}
+
+// DefaultMaxStates bounds exploration when Options.MaxStates is zero.
+const DefaultMaxStates = 2_000_000
+
+// Step is one transition of a trace: process Pid executed the action at
+// Label (or the pseudo-label "CRASH"), producing State.
+type Step struct {
+	Pid   int
+	Label string
+	State gcl.State
+}
+
+// Trace is a finite execution from the initial state.
+type Trace struct {
+	Prog  *gcl.Prog
+	Init  gcl.State
+	Steps []Step
+}
+
+// String renders the trace one state per line.
+func (t *Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "init: %s\n", t.Prog.Format(t.Init))
+	for i, st := range t.Steps {
+		fmt.Fprintf(&b, "%3d: p%d:%s -> %s\n", i+1, st.Pid, st.Label, t.Prog.Format(st.State))
+	}
+	return b.String()
+}
+
+// Len returns the number of steps.
+func (t *Trace) Len() int { return len(t.Steps) }
+
+// Violation reports an invariant failure with a shortest counterexample.
+type Violation struct {
+	Invariant string
+	Trace     Trace
+}
+
+// Result summarises a check.
+type Result struct {
+	Prog        *gcl.Prog
+	States      int
+	Transitions int
+	Depth       int
+	// Complete reports that the whole reachable state space was explored
+	// (no violation, no MaxStates cutoff).
+	Complete  bool
+	Violation *Violation
+	Deadlock  *Trace
+	Elapsed   time.Duration
+}
+
+// String renders a one-line verification summary.
+func (r *Result) String() string {
+	status := "OK"
+	switch {
+	case r.Violation != nil:
+		status = "VIOLATION of " + r.Violation.Invariant
+	case r.Deadlock != nil:
+		status = "DEADLOCK"
+	case !r.Complete:
+		status = "INCOMPLETE (state bound reached)"
+	}
+	return fmt.Sprintf("%s: %s — %d states, %d transitions, depth %d, %v",
+		r.Prog.Name, status, r.States, r.Transitions, r.Depth, r.Elapsed.Round(time.Millisecond))
+}
+
+// crashLabel is the pseudo-label recorded for crash transitions.
+const crashLabel = "CRASH"
+
+// explorer is the shared BFS engine behind Check and BuildGraph.
+type explorer struct {
+	p        *gcl.Prog
+	opts     Options
+	states   []gcl.State
+	parent   []int32
+	parentBy []int32 // pid of the action producing this state; -1 for init
+	parentLb []string
+	depth    []int32
+	seen     map[string]int32
+	crashers []int
+}
+
+func newExplorer(p *gcl.Prog, opts Options) *explorer {
+	if opts.MaxStates == 0 {
+		opts.MaxStates = DefaultMaxStates
+	}
+	e := &explorer{p: p, opts: opts, seen: map[string]int32{}}
+	if opts.Crash {
+		e.crashers = opts.CrashPids
+		if len(e.crashers) == 0 {
+			for pid := 0; pid < p.N; pid++ {
+				e.crashers = append(e.crashers, pid)
+			}
+		}
+	}
+	return e
+}
+
+// add registers a state, returning its index and whether it was new.
+func (e *explorer) add(s gcl.State, parent int32, byPid int32, label string) (int32, bool) {
+	key := e.p.Key(s)
+	if idx, ok := e.seen[key]; ok {
+		return idx, false
+	}
+	idx := int32(len(e.states))
+	e.seen[key] = idx
+	e.states = append(e.states, s)
+	e.parent = append(e.parent, parent)
+	e.parentBy = append(e.parentBy, byPid)
+	e.parentLb = append(e.parentLb, label)
+	if parent < 0 {
+		e.depth = append(e.depth, 0)
+	} else {
+		e.depth = append(e.depth, e.depth[parent]+1)
+	}
+	return idx, true
+}
+
+// trace reconstructs the path from the initial state to states[idx].
+func (e *explorer) trace(idx int32) Trace {
+	var rev []int32
+	for i := idx; i >= 0; i = e.parent[i] {
+		rev = append(rev, i)
+	}
+	t := Trace{Prog: e.p, Init: e.states[rev[len(rev)-1]]}
+	for k := len(rev) - 2; k >= 0; k-- {
+		i := rev[k]
+		t.Steps = append(t.Steps, Step{
+			Pid:   int(e.parentBy[i]),
+			Label: e.parentLb[i],
+			State: e.states[i],
+		})
+	}
+	return t
+}
+
+// checkInvariants returns the name of the first violated invariant, if any.
+func (e *explorer) checkInvariants(s gcl.State) (string, bool) {
+	for _, inv := range e.opts.Invariants {
+		if !inv.Holds(e.p, s) {
+			return inv.Name, true
+		}
+	}
+	return "", false
+}
+
+// successors yields all program successors of s plus crash transitions.
+func (e *explorer) successors(s gcl.State) []gcl.Succ {
+	succs := e.p.AllSuccs(s, e.opts.Mode)
+	for _, pid := range e.crashers {
+		succs = append(succs, gcl.Succ{
+			State: e.p.CrashSucc(s, pid),
+			Pid:   pid,
+			Label: crashLabel,
+		})
+	}
+	return succs
+}
+
+// Check explores the reachable states of p breadth-first, verifying the
+// configured invariants, and returns as soon as a violation or deadlock is
+// found (the BFS order makes the returned counterexample shortest).
+func Check(p *gcl.Prog, opts Options) *Result {
+	start := time.Now()
+	e := newExplorer(p, opts)
+	res := &Result{Prog: p}
+
+	finish := func() *Result {
+		res.States = len(e.states)
+		res.Elapsed = time.Since(start)
+		return res
+	}
+
+	init := p.InitState()
+	idx, _ := e.add(init, -1, -1, "")
+	if name, bad := e.checkInvariants(init); bad {
+		t := e.trace(idx)
+		res.Violation = &Violation{Invariant: name, Trace: t}
+		return finish()
+	}
+
+	for head := 0; head < len(e.states); head++ {
+		if len(e.states) >= e.opts.MaxStates {
+			return finish()
+		}
+		s := e.states[head]
+		res.Depth = int(e.depth[head])
+		succs := e.successors(s)
+		progress := false
+		for _, sc := range succs {
+			if sc.Label != crashLabel {
+				progress = true
+			}
+			res.Transitions++
+			idx, fresh := e.add(sc.State, int32(head), int32(sc.Pid), sc.Label)
+			if !fresh {
+				continue
+			}
+			if name, bad := e.checkInvariants(sc.State); bad {
+				t := e.trace(idx)
+				res.Violation = &Violation{Invariant: name, Trace: t}
+				return finish()
+			}
+		}
+		if opts.Deadlock && !progress {
+			t := e.trace(int32(head))
+			res.Deadlock = &t
+			return finish()
+		}
+	}
+	res.Complete = true
+	return finish()
+}

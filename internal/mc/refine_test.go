@@ -1,0 +1,134 @@
+package mc
+
+import (
+	"testing"
+
+	"bakerypp/internal/gcl"
+	"bakerypp/internal/specs"
+)
+
+// E11: Bakery++ observably refines classic Bakery — every entry/exit event
+// sequence Bakery++ produces (within the bound) is one Bakery can produce.
+func TestBakeryPPRefinesBakery(t *testing.T) {
+	impl := specs.BakeryPP(specs.Config{N: 2, M: 2})
+	spec := specs.Bakery(specs.Config{N: 2, M: 1 << 14})
+	res, err := CheckBoundedRefinement(impl, spec, RefinementOptions{MaxEvents: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("refinement failed at event %s:\n%s",
+			res.FailEvent, res.Counterexample.String())
+	}
+	if res.Nodes == 0 || res.Beliefs == 0 {
+		t.Error("search explored nothing")
+	}
+	t.Logf("refinement holds: %d nodes, %d beliefs", res.Nodes, res.Beliefs)
+}
+
+// Ablation variants refine Bakery too.
+func TestBakeryPPVariantsRefineBakery(t *testing.T) {
+	spec := specs.Bakery(specs.Config{N: 2, M: 1 << 14})
+	for _, cfg := range []specs.Config{
+		{N: 2, M: 2, NoGate: true},
+		{N: 2, M: 2, SplitReset: true},
+	} {
+		impl := specs.BakeryPP(cfg)
+		res, err := CheckBoundedRefinement(impl, spec, RefinementOptions{MaxEvents: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Holds {
+			t.Errorf("%s: refinement failed at %s", impl.Name, res.FailEvent)
+		}
+	}
+}
+
+// Negative control: the modulo strawman admits two concurrent entries —
+// an observable behaviour Bakery cannot produce — so refinement must fail
+// with a concrete counterexample.
+func TestModBakeryDoesNotRefineBakery(t *testing.T) {
+	impl := specs.ModBakery(2, 2)
+	spec := specs.Bakery(specs.Config{N: 2, M: 1 << 14})
+	res, err := CheckBoundedRefinement(impl, spec, RefinementOptions{MaxEvents: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("modbakery reported as a refinement of bakery; it must not be")
+	}
+	if res.Counterexample == nil || res.Counterexample.Len() == 0 {
+		t.Fatal("no counterexample trace")
+	}
+	// The unmatched event must be a second enter while one process is
+	// already inside.
+	if res.FailEvent != "enter:0" && res.FailEvent != "enter:1" {
+		t.Errorf("fail event = %q, want an enter event", res.FailEvent)
+	}
+	last := res.Counterexample.Steps[len(res.Counterexample.Steps)-1].State
+	if got := impl.CountAtLabel(last, "cs"); got != 2 {
+		t.Errorf("counterexample ends with %d in cs, want 2", got)
+	}
+}
+
+// The coarse and fine-grained doorway encodings are observationally
+// equivalent: each refines the other (DESIGN.md ablation 1, both
+// directions).
+func TestCoarseFineObservationalEquivalence(t *testing.T) {
+	coarse := func() *gcl.Prog { return specs.BakeryPP(specs.Config{N: 2, M: 2}) }
+	fine := func() *gcl.Prog { return specs.BakeryPP(specs.Config{N: 2, M: 2, Fine: true}) }
+	res, err := CheckBoundedRefinement(fine(), coarse(), RefinementOptions{MaxEvents: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Errorf("fine does not refine coarse: %s", res.FailEvent)
+	}
+	res, err = CheckBoundedRefinement(coarse(), fine(), RefinementOptions{MaxEvents: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Errorf("coarse does not refine fine: %s", res.FailEvent)
+	}
+}
+
+// Sanity: a program refines itself.
+func TestSelfRefinement(t *testing.T) {
+	p := specs.BakeryPP(specs.Config{N: 2, M: 2})
+	res, err := CheckBoundedRefinement(p, specs.BakeryPP(specs.Config{N: 2, M: 2}),
+		RefinementOptions{MaxEvents: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Errorf("self-refinement failed at %s", res.FailEvent)
+	}
+}
+
+func TestRefinementValidation(t *testing.T) {
+	a := specs.BakeryPP(specs.Config{N: 2, M: 2})
+	b := specs.BakeryPP(specs.Config{N: 3, M: 2})
+	if _, err := CheckBoundedRefinement(a, b, RefinementOptions{}); err == nil {
+		t.Error("mismatched process counts accepted")
+	}
+	noCS := gcl.New("nocs", 2)
+	noCS.Label("ncs", gcl.Goto("ncs"))
+	noCS.MustBuild()
+	if _, err := CheckBoundedRefinement(noCS, noCS, RefinementOptions{}); err == nil {
+		t.Error("program without cs accepted")
+	}
+}
+
+func TestEventOf(t *testing.T) {
+	p := specs.BakeryPP(specs.Config{N: 2, M: 2})
+	if got := eventOf(p, 1, "t1", "cs"); got != "enter:1" {
+		t.Errorf("eventOf enter = %q", got)
+	}
+	if got := eventOf(p, 0, "cs", "ncs"); got != "exit:0" {
+		t.Errorf("eventOf exit = %q", got)
+	}
+	if got := eventOf(p, 0, "t1", "t2"); got != "" {
+		t.Errorf("eventOf internal = %q", got)
+	}
+}

@@ -1,0 +1,65 @@
+package mc
+
+import (
+	"testing"
+
+	"bakerypp/internal/specs"
+)
+
+// E12, model half: Bakery++ is safe under Lamport-safe register semantics —
+// reads overlapping writes return arbitrary in-domain values, and both
+// mutual exclusion and the overflow bound still hold over ALL interleavings
+// and ALL flicker outcomes. This is strictly stronger than the atomic-step
+// verification of E1.
+func TestBakeryPPSafeRegisters(t *testing.T) {
+	for _, cfg := range []struct{ n, m int }{{2, 2}, {2, 3}} {
+		p := specs.BakeryPPSafe(cfg.n, cfg.m)
+		res := Check(p, Options{Invariants: safety()})
+		if res.Violation != nil {
+			t.Fatalf("N=%d M=%d: violation of %s:\n%s", cfg.n, cfg.m,
+				res.Violation.Invariant, res.Violation.Trace.String())
+		}
+		if !res.Complete {
+			t.Fatalf("N=%d M=%d: incomplete at %d states", cfg.n, cfg.m, res.States)
+		}
+		t.Logf("bakerypp-safe N=%d M=%d: %d states, %d transitions",
+			cfg.n, cfg.m, res.States, res.Transitions)
+	}
+}
+
+func TestBakeryPPSafeRegistersThreeProcs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three-process safe-register space is large")
+	}
+	p := specs.BakeryPPSafe(3, 2)
+	res := Check(p, Options{Invariants: safety(), MaxStates: 1_500_000})
+	if res.Violation != nil {
+		t.Fatalf("violation of %s:\n%s", res.Violation.Invariant, res.Violation.Trace.String())
+	}
+	t.Logf("bakerypp-safe N=3 M=2: %d states explored (complete=%v)", res.States, res.Complete)
+}
+
+// The safe-register spec still refines Bakery observably.
+func TestBakeryPPSafeRefinesBakery(t *testing.T) {
+	impl := specs.BakeryPPSafe(2, 2)
+	spec := specs.Bakery(specs.Config{N: 2, M: 1 << 14})
+	res, err := CheckBoundedRefinement(impl, spec, RefinementOptions{MaxEvents: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("refinement failed at %s:\n%s", res.FailEvent, res.Counterexample.String())
+	}
+}
+
+// Crash transitions compose with the safe-register model.
+func TestBakeryPPSafeUnderCrashes(t *testing.T) {
+	p := specs.BakeryPPSafe(2, 2)
+	res := Check(p, Options{Invariants: safety(), Crash: true})
+	if res.Violation != nil {
+		t.Fatalf("violation of %s:\n%s", res.Violation.Invariant, res.Violation.Trace.String())
+	}
+	if !res.Complete {
+		t.Fatalf("incomplete at %d states", res.States)
+	}
+}

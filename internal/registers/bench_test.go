@@ -1,0 +1,78 @@
+package registers
+
+import "testing"
+
+func BenchmarkRegStoreWrap(b *testing.B) {
+	r := NewReg(255, Wrap, nil)
+	for i := 0; i < b.N; i++ {
+		r.Store(int64(i))
+	}
+}
+
+func BenchmarkAtomicStoreLoad(b *testing.B) {
+	a := NewAtomic(255, Trap, &Counter{})
+	b.RunParallel(func(pb *testing.PB) {
+		i := int64(0)
+		for pb.Next() {
+			a.Store(i & 1023)
+			_ = a.Load()
+			i++
+		}
+	})
+}
+
+func BenchmarkFileMax(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			f := NewFile(n, 1<<20, Unbounded, nil)
+			for i := 0; i < n; i++ {
+				f.Store(i, int64(i*7))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = f.MaxFrom(i % n)
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch n {
+	case 4:
+		return "N=4"
+	case 16:
+		return "N=16"
+	default:
+		return "N=64"
+	}
+}
+
+func BenchmarkSafeReadQuiescent(b *testing.B) {
+	s := NewSafe(255)
+	s.Write(42)
+	for i := 0; i < b.N; i++ {
+		_ = s.Read()
+	}
+}
+
+func BenchmarkSafeReadContended(b *testing.B) {
+	s := NewSafe(255)
+	stop := make(chan struct{})
+	go func() {
+		v := int64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Write(v & 255)
+				v++
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Read()
+	}
+	close(stop)
+}

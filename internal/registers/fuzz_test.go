@@ -1,0 +1,45 @@
+package registers
+
+import "testing"
+
+// FuzzClamp checks the overflow-policy algebra for arbitrary stores: the
+// stored value is always within [0, M] for bounded policies, and overflow
+// is reported exactly when the attempt exceeded M.
+func FuzzClamp(f *testing.F) {
+	f.Add(uint32(300), uint8(8), uint8(1))
+	f.Add(uint32(0), uint8(1), uint8(2))
+	f.Add(uint32(65536), uint8(16), uint8(3))
+	f.Fuzz(func(t *testing.T, vRaw uint32, bitsRaw, polRaw uint8) {
+		bits := int(bitsRaw%32) + 1
+		m := CapacityForBits(bits)
+		pol := Policy(polRaw%3 + 1) // Wrap, Saturate, Trap
+		var c Counter
+		r := NewReg(m, pol, &c)
+		v := int64(vRaw)
+		over := r.Store(v)
+		got := r.Load()
+		if got < 0 || got > m {
+			t.Fatalf("stored %d escaped [0, %d] under %s", got, m, pol)
+		}
+		if over != (v > m) {
+			t.Fatalf("overflow flag %v for store %d with M=%d", over, v, m)
+		}
+		switch pol {
+		case Wrap, Trap:
+			if got != v%(m+1) {
+				t.Fatalf("wrap stored %d, want %d", got, v%(m+1))
+			}
+		case Saturate:
+			want := v
+			if want > m {
+				want = m
+			}
+			if got != want {
+				t.Fatalf("saturate stored %d, want %d", got, want)
+			}
+		}
+		if pol == Trap && over && c.Overflows() != 1 {
+			t.Fatal("trap did not count the overflow")
+		}
+	})
+}

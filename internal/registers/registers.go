@@ -1,0 +1,319 @@
+// Package registers models the finite shared registers that real
+// implementations of the bakery family of mutual-exclusion algorithms
+// communicate through.
+//
+// The paper "Avoiding Register Overflow in the Bakery Algorithm"
+// (Sayyadabdi & Sharifi, ICPP 2020) defines a register of capacity M as one
+// that can hold any value v with 0 <= v <= M, and defines an overflow as an
+// attempt to store a value v > M. This package provides that model in three
+// flavours:
+//
+//   - Reg: a plain register for single-goroutine use by the deterministic
+//     simulator and the model checker.
+//   - Atomic: a linearizable register backed by sync/atomic for the runtime
+//     lock implementations.
+//   - Safe: a single-writer multi-reader register with Lamport's "safe"
+//     semantics — a read that overlaps a write may return any value in
+//     [0, M]. The bakery algorithm is correct even over safe registers,
+//     which is why the paper calls it the first "true" solution.
+//
+// All flavours share the Policy vocabulary describing what a finite machine
+// does when an overflow is attempted.
+package registers
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Policy selects the behaviour of a bounded register when a store of a value
+// greater than its capacity M is attempted.
+type Policy uint8
+
+const (
+	// Unbounded never overflows; it models the idealised registers the
+	// original Bakery algorithm assumes ("registers that can hold
+	// arbitrarily large values", paper Section 3).
+	Unbounded Policy = iota
+	// Wrap stores v mod (M+1), the behaviour of a b-bit hardware register
+	// with M = 2^b - 1. This is the policy under which classic Bakery
+	// malfunctions.
+	Wrap
+	// Saturate clamps stored values at M.
+	Saturate
+	// Trap behaves like Wrap but the overflow is also recorded in the
+	// register's Counter, so experiments can count overflow incidents.
+	Trap
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case Unbounded:
+		return "unbounded"
+	case Wrap:
+		return "wrap"
+	case Saturate:
+		return "saturate"
+	case Trap:
+		return "trap"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// Counter accumulates overflow events across any number of registers. It is
+// safe for concurrent use.
+type Counter struct {
+	overflows atomic.Uint64
+}
+
+// Add records n overflow events.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.overflows.Add(n)
+	}
+}
+
+// Overflows reports the number of overflow events recorded so far.
+func (c *Counter) Overflows() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.overflows.Load()
+}
+
+// CapacityForBits returns the capacity M of a b-bit unsigned register,
+// 2^b - 1. Bits outside [1, 62] panic: the simulator represents register
+// contents as int64 and needs headroom to detect overflow before clamping.
+func CapacityForBits(b int) int64 {
+	if b < 1 || b > 62 {
+		panic(fmt.Sprintf("registers: unsupported register width %d bits", b))
+	}
+	return (int64(1) << uint(b)) - 1
+}
+
+// BitsForCapacity returns the minimal number of bits needed to store values
+// in [0, m].
+func BitsForCapacity(m int64) int {
+	if m < 0 {
+		panic("registers: negative capacity")
+	}
+	bits := 1
+	for v := int64(1); v < m; v = v*2 + 1 {
+		bits++
+	}
+	return bits
+}
+
+// clamp applies pol to the attempted store v against capacity m and reports
+// the stored value and whether the store overflowed. m <= 0 together with
+// Unbounded means no bound at all.
+func clamp(v, m int64, pol Policy, events *Counter) (stored int64, overflowed bool) {
+	if v < 0 {
+		// The bakery family only ever stores naturals; a negative store
+		// is a programming error in this repository, not an overflow.
+		panic(fmt.Sprintf("registers: store of negative value %d", v))
+	}
+	if pol == Unbounded || v <= m {
+		return v, false
+	}
+	switch pol {
+	case Wrap:
+		return v % (m + 1), true
+	case Saturate:
+		return m, true
+	case Trap:
+		events.Add(1)
+		return v % (m + 1), true
+	default:
+		panic("registers: unknown policy")
+	}
+}
+
+// Reg is a plain bounded register for single-goroutine use (the simulator
+// and the model checker serialise all accesses by construction).
+type Reg struct {
+	m      int64
+	pol    Policy
+	events *Counter
+	v      int64
+}
+
+// NewReg returns a register of capacity m with the given overflow policy.
+// events may be nil; it is only consulted by the Trap policy.
+func NewReg(m int64, pol Policy, events *Counter) *Reg {
+	if pol != Unbounded && m < 1 {
+		panic("registers: bounded register needs capacity >= 1")
+	}
+	return &Reg{m: m, pol: pol, events: events}
+}
+
+// Load returns the current contents.
+func (r *Reg) Load() int64 { return r.v }
+
+// Store writes v subject to the register's policy and reports whether the
+// store overflowed (attempted v > M).
+func (r *Reg) Store(v int64) (overflowed bool) {
+	r.v, overflowed = clamp(v, r.m, r.pol, r.events)
+	return overflowed
+}
+
+// Capacity returns M, the largest storable value (0 for Unbounded means "no
+// bound" only if the register was constructed with Unbounded).
+func (r *Reg) Capacity() int64 { return r.m }
+
+// Atomic is a linearizable bounded register safe for concurrent use. It is
+// the building block of the runtime lock implementations: each array cell
+// (number[i], choosing[i]) is one Atomic register, preserving the paper's
+// single-writer discipline at the algorithm level while letting Go's memory
+// model order the accesses.
+type Atomic struct {
+	m      int64
+	pol    Policy
+	events *Counter
+	v      atomic.Int64
+}
+
+// NewAtomic returns a concurrent register of capacity m with the given
+// policy. events may be nil.
+func NewAtomic(m int64, pol Policy, events *Counter) *Atomic {
+	if pol != Unbounded && m < 1 {
+		panic("registers: bounded register needs capacity >= 1")
+	}
+	return &Atomic{m: m, pol: pol, events: events}
+}
+
+// Load returns the current contents.
+func (a *Atomic) Load() int64 { return a.v.Load() }
+
+// Store writes v subject to the register's policy and reports whether the
+// store overflowed.
+func (a *Atomic) Store(v int64) (overflowed bool) {
+	stored, overflowed := clamp(v, a.m, a.pol, a.events)
+	a.v.Store(stored)
+	return overflowed
+}
+
+// Capacity returns M.
+func (a *Atomic) Capacity() int64 { return a.m }
+
+// File is an array of Atomic registers indexed by process id — exactly the
+// shape of the paper's shared arrays number[1..N] and choosing[1..N]. All
+// registers share one capacity, policy and overflow counter.
+//
+// By default registers are packed contiguously, like a real shared integer
+// array; NewFilePadded spaces them one cache line apart so experiments can
+// measure how much of the bakery family's contention cost is false sharing
+// versus the algorithmic O(N) scan.
+type File struct {
+	m      int64
+	pol    Policy
+	events *Counter
+	n      int
+	stride int
+	regs   []Atomic
+}
+
+// NewFile returns a register file of n packed registers of capacity m.
+func NewFile(n int, m int64, pol Policy, events *Counter) *File {
+	return newFile(n, m, pol, events, 1)
+}
+
+// cacheLine is the assumed coherence granule; 64 bytes on every platform
+// this repository targets.
+const cacheLine = 64
+
+// NewFilePadded returns a register file whose registers are spaced a cache
+// line apart (the padding ablation of DESIGN.md).
+func NewFilePadded(n int, m int64, pol Policy, events *Counter) *File {
+	stride := (cacheLine + int(unsafeAtomicSize) - 1) / int(unsafeAtomicSize)
+	if stride < 1 {
+		stride = 1
+	}
+	return newFile(n, m, pol, events, stride)
+}
+
+// unsafeAtomicSize is the size of one Atomic in bytes; kept as a constant
+// (checked by test) to avoid importing unsafe.
+const unsafeAtomicSize = 32
+
+func newFile(n int, m int64, pol Policy, events *Counter, stride int) *File {
+	if n < 1 {
+		panic("registers: file needs at least one register")
+	}
+	if pol != Unbounded && m < 1 {
+		panic("registers: bounded register needs capacity >= 1")
+	}
+	f := &File{m: m, pol: pol, events: events, n: n, stride: stride,
+		regs: make([]Atomic, n*stride)}
+	for i := 0; i < n; i++ {
+		r := &f.regs[i*stride]
+		r.m = m
+		r.pol = pol
+		r.events = events
+	}
+	return f
+}
+
+// at returns register i respecting the stride.
+func (f *File) at(i int) *Atomic { return &f.regs[i*f.stride] }
+
+// Padded reports whether the file spaces registers across cache lines.
+func (f *File) Padded() bool { return f.stride > 1 }
+
+// Len returns the number of registers.
+func (f *File) Len() int { return f.n }
+
+// Capacity returns M.
+func (f *File) Capacity() int64 { return f.m }
+
+// Load returns register i.
+func (f *File) Load(i int) int64 { return f.at(i).Load() }
+
+// Store writes v into register i, reporting overflow.
+func (f *File) Store(i int, v int64) bool { return f.at(i).Store(v) }
+
+// Reset sets register i back to its initial value 0 — the paper's crash
+// rule: "if a process crashes ... any read operation from its memory units
+// is expected to return 0 eventually" (correctness condition 4).
+func (f *File) Reset(i int) { f.at(i).v.Store(0) }
+
+// Max returns the maximum over all registers, reading them one at a time in
+// ascending index order. The paper notes the maximum function "can take its
+// argument in any arbitrary order"; MaxFrom exercises other orders.
+func (f *File) Max() int64 { return f.MaxFrom(0) }
+
+// MaxFrom returns the maximum over all registers, reading them one at a time
+// starting at index start and wrapping around. Any start yields the same
+// result under quiescence; under concurrency the value is one of the
+// possible serialisations, which is all the algorithm requires.
+func (f *File) MaxFrom(start int) int64 {
+	max := int64(0)
+	for k := 0; k < f.n; k++ {
+		if v := f.at((start + k) % f.n).Load(); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// AnyAtLeast reports whether some register currently holds a value >= bound.
+// This is the existential test at Bakery++'s label L1.
+func (f *File) AnyAtLeast(bound int64) bool {
+	for i := 0; i < f.n; i++ {
+		if f.at(i).Load() >= bound {
+			return true
+		}
+	}
+	return false
+}
+
+// Snapshot copies the current contents of every register. The copy is not an
+// atomic snapshot (neither is the algorithm's); it reads cell by cell.
+func (f *File) Snapshot() []int64 {
+	out := make([]int64, f.n)
+	for i := 0; i < f.n; i++ {
+		out[i] = f.at(i).Load()
+	}
+	return out
+}

@@ -1,0 +1,378 @@
+package registers
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"unsafe"
+)
+
+func TestCapacityForBits(t *testing.T) {
+	cases := []struct {
+		bits int
+		want int64
+	}{
+		{1, 1}, {2, 3}, {3, 7}, {8, 255}, {16, 65535}, {32, 4294967295},
+	}
+	for _, c := range cases {
+		if got := CapacityForBits(c.bits); got != c.want {
+			t.Errorf("CapacityForBits(%d) = %d, want %d", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestCapacityForBitsPanicsOutOfRange(t *testing.T) {
+	for _, b := range []int{0, -1, 63, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CapacityForBits(%d) did not panic", b)
+				}
+			}()
+			CapacityForBits(b)
+		}()
+	}
+}
+
+func TestBitsForCapacity(t *testing.T) {
+	cases := []struct {
+		m    int64
+		want int
+	}{
+		{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {255, 8}, {256, 9}, {65535, 16},
+	}
+	for _, c := range cases {
+		if got := BitsForCapacity(c.m); got != c.want {
+			t.Errorf("BitsForCapacity(%d) = %d, want %d", c.m, got, c.want)
+		}
+	}
+}
+
+func TestBitsCapacityRoundTrip(t *testing.T) {
+	f := func(b uint8) bool {
+		bits := int(b%62) + 1
+		return BitsForCapacity(CapacityForBits(bits)) == bits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegUnbounded(t *testing.T) {
+	r := NewReg(0, Unbounded, nil)
+	if over := r.Store(1 << 40); over {
+		t.Error("unbounded register reported overflow")
+	}
+	if got := r.Load(); got != 1<<40 {
+		t.Errorf("Load = %d, want %d", got, int64(1)<<40)
+	}
+}
+
+func TestRegWrap(t *testing.T) {
+	r := NewReg(7, Wrap, nil) // 3-bit register
+	if over := r.Store(7); over {
+		t.Error("store of M reported overflow; M itself is storable")
+	}
+	if over := r.Store(8); !over {
+		t.Error("store of M+1 did not report overflow")
+	}
+	if got := r.Load(); got != 0 {
+		t.Errorf("wrapped value = %d, want 0", got)
+	}
+	r.Store(13)
+	if got := r.Load(); got != 5 {
+		t.Errorf("wrapped value = %d, want 5", got)
+	}
+}
+
+func TestRegSaturate(t *testing.T) {
+	r := NewReg(7, Saturate, nil)
+	r.Store(100)
+	if got := r.Load(); got != 7 {
+		t.Errorf("saturated value = %d, want 7", got)
+	}
+}
+
+func TestRegTrapCounts(t *testing.T) {
+	var c Counter
+	r := NewReg(3, Trap, &c)
+	r.Store(2)
+	r.Store(4)
+	r.Store(9)
+	if got := c.Overflows(); got != 2 {
+		t.Errorf("overflow count = %d, want 2", got)
+	}
+	if got := r.Load(); got != 1 { // 9 mod 4
+		t.Errorf("trapped value = %d, want 1", got)
+	}
+}
+
+func TestRegNegativeStorePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative store did not panic")
+		}
+	}()
+	NewReg(3, Wrap, nil).Store(-1)
+}
+
+func TestNewRegValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bounded register with capacity 0 did not panic")
+		}
+	}()
+	NewReg(0, Wrap, nil)
+}
+
+// Property: a Wrap register never holds a value outside [0, M].
+func TestWrapStaysInDomain(t *testing.T) {
+	f := func(vals []uint16, mRaw uint8) bool {
+		m := int64(mRaw%63) + 1
+		r := NewReg(m, Wrap, nil)
+		for _, v := range vals {
+			r.Store(int64(v))
+			if got := r.Load(); got < 0 || got > m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: overflow is reported exactly when the attempted value exceeds M.
+func TestOverflowIffExceedsCapacity(t *testing.T) {
+	f := func(v uint16, mRaw uint8) bool {
+		m := int64(mRaw%63) + 1
+		r := NewReg(m, Wrap, nil)
+		over := r.Store(int64(v))
+		return over == (int64(v) > m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtomicConcurrentStores(t *testing.T) {
+	var c Counter
+	a := NewAtomic(255, Trap, &c)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				a.Store(int64(g*1000 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := a.Load(); got < 0 || got > 255 {
+		t.Errorf("atomic register escaped domain: %d", got)
+	}
+	if c.Overflows() == 0 {
+		t.Error("expected some overflows from stores above 255")
+	}
+}
+
+func TestFileBasics(t *testing.T) {
+	f := NewFile(4, 15, Wrap, nil)
+	if f.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", f.Len())
+	}
+	f.Store(0, 3)
+	f.Store(1, 9)
+	f.Store(2, 15)
+	if got := f.Max(); got != 15 {
+		t.Errorf("Max = %d, want 15", got)
+	}
+	if !f.AnyAtLeast(15) {
+		t.Error("AnyAtLeast(15) = false, want true")
+	}
+	if f.AnyAtLeast(16) {
+		t.Error("AnyAtLeast(16) = true, want false")
+	}
+	f.Reset(2)
+	if got := f.Load(2); got != 0 {
+		t.Errorf("after Reset, Load(2) = %d, want 0", got)
+	}
+	snap := f.Snapshot()
+	want := []int64{3, 9, 0, 0}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Errorf("Snapshot[%d] = %d, want %d", i, snap[i], want[i])
+		}
+	}
+}
+
+// Property: Max is independent of the read order ("the maximum function can
+// take its argument in any arbitrary order", Algorithm 1 comment), under
+// quiescence.
+func TestMaxOrderIndependence(t *testing.T) {
+	f := func(vals []uint8, start uint8) bool {
+		n := len(vals)
+		if n == 0 {
+			n = 1
+			vals = []uint8{0}
+		}
+		file := NewFile(n, 255, Wrap, nil)
+		for i, v := range vals {
+			file.Store(i, int64(v))
+		}
+		return file.MaxFrom(int(start)%n) == file.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFileWrapOverflow(t *testing.T) {
+	var c Counter
+	f := NewFile(2, 3, Trap, &c)
+	if over := f.Store(0, 4); !over {
+		t.Error("expected overflow storing 4 into capacity-3 register")
+	}
+	if got := f.Load(0); got != 0 {
+		t.Errorf("wrapped value = %d, want 0", got)
+	}
+	if c.Overflows() != 1 {
+		t.Errorf("overflows = %d, want 1", c.Overflows())
+	}
+}
+
+func TestSafeQuiescentReads(t *testing.T) {
+	s := NewSafe(255)
+	for _, v := range []int64{0, 1, 128, 255} {
+		s.Write(v)
+		if got := s.Read(); got != v {
+			t.Errorf("quiescent Read after Write(%d) = %d", v, got)
+		}
+	}
+}
+
+func TestSafeWriteOutOfRangePanics(t *testing.T) {
+	s := NewSafe(7)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range write did not panic")
+		}
+	}()
+	s.Write(8)
+}
+
+// Safe reads must stay within the register domain even when they overlap
+// writes (the "arbitrary value" must still be a value a register can hold).
+func TestSafeConcurrentReadsStayInDomain(t *testing.T) {
+	const m = 7
+	s := NewSafe(m)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20000; i++ {
+			s.Write(int64(i % (m + 1)))
+		}
+	}()
+	bad := 0
+	for {
+		select {
+		case <-done:
+			if bad > 0 {
+				t.Errorf("%d reads escaped [0,%d]", bad, m)
+			}
+			return
+		default:
+			if v := s.Read(); v < 0 || v > m {
+				bad++
+			}
+		}
+	}
+}
+
+// The flicker sequence must cover the domain: an adversarial safe register
+// should be able to return any value, not just the old or new one.
+func TestSafeArbitraryCoversDomain(t *testing.T) {
+	s := NewSafe(3)
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[s.arbitrary()] = true
+	}
+	for v := int64(0); v <= 3; v++ {
+		if !seen[v] {
+			t.Errorf("flicker never produced %d", v)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	cases := map[Policy]string{
+		Unbounded: "unbounded",
+		Wrap:      "wrap",
+		Saturate:  "saturate",
+		Trap:      "trap",
+		Policy(9): "policy(9)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("Policy(%d).String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestAtomicSizeConstant(t *testing.T) {
+	if got := unsafe.Sizeof(Atomic{}); got != unsafeAtomicSize {
+		t.Errorf("Atomic size = %d, constant says %d", got, unsafeAtomicSize)
+	}
+}
+
+func TestPaddedFileBehavesLikePacked(t *testing.T) {
+	packed := NewFile(4, 15, Wrap, nil)
+	padded := NewFilePadded(4, 15, Wrap, nil)
+	if packed.Padded() || !padded.Padded() {
+		t.Fatal("Padded() flags wrong")
+	}
+	if padded.Len() != 4 {
+		t.Fatalf("padded Len = %d", padded.Len())
+	}
+	for _, f := range []*File{packed, padded} {
+		f.Store(0, 3)
+		f.Store(1, 20) // wraps to 4
+		f.Store(3, 15)
+		if got := f.Load(1); got != 4 {
+			t.Errorf("Load(1) = %d, want 4", got)
+		}
+		if got := f.Max(); got != 15 {
+			t.Errorf("Max = %d, want 15", got)
+		}
+		if !f.AnyAtLeast(15) || f.AnyAtLeast(16) {
+			t.Error("AnyAtLeast wrong")
+		}
+		snap := f.Snapshot()
+		if len(snap) != 4 || snap[3] != 15 {
+			t.Errorf("Snapshot = %v", snap)
+		}
+		f.Reset(3)
+		if f.Load(3) != 0 {
+			t.Error("Reset failed")
+		}
+	}
+}
+
+func TestPaddedFileSpacing(t *testing.T) {
+	f := NewFilePadded(2, 7, Wrap, nil)
+	a := uintptr(unsafe.Pointer(f.at(0)))
+	b := uintptr(unsafe.Pointer(f.at(1)))
+	if b-a < cacheLine {
+		t.Errorf("padded registers %d bytes apart, want >= %d", b-a, cacheLine)
+	}
+}
+
+func TestNilCounterSafe(t *testing.T) {
+	var c *Counter
+	c.Add(3) // must not panic
+	if c.Overflows() != 0 {
+		t.Error("nil counter reported overflows")
+	}
+}

@@ -1,0 +1,84 @@
+package registers
+
+import "sync/atomic"
+
+// Safe is a single-writer multi-reader register with Lamport's "safe"
+// register semantics: a read that does not overlap a write returns the most
+// recently written value; a read that overlaps a write may return any value
+// in the register's domain [0, M].
+//
+// The bakery algorithm (and Bakery++) is correct over safe registers — the
+// fourth remarkable property listed in the paper's Section 1.2: "if a read
+// operation occurs simultaneously with a write operation, then the value
+// obtained by the read operation may have any arbitrary value". Safe lets
+// tests and experiments exercise precisely that adversarial behaviour on
+// real goroutines: while a write is in progress, readers observe values
+// scrambled deterministically from a flicker sequence, never exceeding M.
+type Safe struct {
+	m int64
+	// seq is even when no write is in progress and odd while one is, in
+	// the style of a seqlock. flick seeds the arbitrary values returned
+	// to overlapping readers; nflick counts them.
+	seq    atomic.Uint64
+	flick  atomic.Uint64
+	nflick atomic.Uint64
+	v      atomic.Int64
+}
+
+// Flickers reports how many reads overlapped a write and returned an
+// arbitrary value instead of the stored one.
+func (s *Safe) Flickers() uint64 { return s.nflick.Load() }
+
+// flickStride is the splitmix64 increment.
+const flickStride = 0x9e3779b97f4a7c15
+
+// NewSafe returns a safe register of capacity m >= 1 holding 0.
+func NewSafe(m int64) *Safe {
+	if m < 1 {
+		panic("registers: safe register needs capacity >= 1")
+	}
+	return &Safe{m: m}
+}
+
+// Capacity returns M.
+func (s *Safe) Capacity() int64 { return s.m }
+
+// Write stores v, which must be in [0, M]; the writer is the register's
+// unique owner. While the write is "in flight" concurrent readers may
+// observe arbitrary values.
+func (s *Safe) Write(v int64) {
+	if v < 0 || v > s.m {
+		panic("registers: safe register write out of range")
+	}
+	s.seq.Add(1) // becomes odd: write in progress
+	s.v.Store(v)
+	s.seq.Add(1) // becomes even: write complete
+}
+
+// Read returns the register's value under safe semantics: if no write
+// overlaps the read, the last written value; otherwise an arbitrary value in
+// [0, M] drawn from the flicker sequence.
+func (s *Safe) Read() int64 {
+	before := s.seq.Load()
+	v := s.v.Load()
+	after := s.seq.Load()
+	if before == after && before%2 == 0 {
+		return v
+	}
+	return s.arbitrary()
+}
+
+// arbitrary produces a deterministic-but-uncorrelated value in [0, M] using
+// a splitmix64 step over the flicker counter. Determinism keeps failures
+// reproducible; adversarial distribution over the whole domain maximises the
+// damage a flickery read can do.
+func (s *Safe) arbitrary() int64 {
+	s.nflick.Add(1)
+	x := s.flick.Add(flickStride)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x % uint64(s.m+1))
+}

@@ -1,0 +1,323 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"bakerypp/internal/gcl"
+	"bakerypp/internal/specs"
+)
+
+func TestRunValidation(t *testing.T) {
+	p := specs.BakeryPP(specs.Config{N: 2, M: 4})
+	if _, err := Run(p, Options{}); err == nil {
+		t.Error("Steps=0 accepted")
+	}
+}
+
+// A healthy Bakery++ run: progress for everyone, tickets within M, no
+// overflow attempts, no mutex trouble, resets occurring when M is tight.
+func TestBakeryPPHealthyRun(t *testing.T) {
+	p := specs.BakeryPP(specs.Config{N: 3, M: 3})
+	st, err := Run(p, Options{Steps: 300000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deadlocked {
+		t.Fatalf("deadlocked at step %d", st.DeadlockStep)
+	}
+	if st.TotalCS() == 0 {
+		t.Fatal("no critical-section entries in 300k steps")
+	}
+	for pid, n := range st.CSEntries {
+		if n == 0 {
+			t.Errorf("process %d never entered cs", pid)
+		}
+	}
+	if st.Overflows != 0 {
+		t.Errorf("Bakery++ attempted %d overflows", st.Overflows)
+	}
+	if int64(st.MaxTicket) > int64(p.M) {
+		t.Errorf("ticket %d exceeds M=%d", st.MaxTicket, p.M)
+	}
+	if st.MutexViolations != 0 {
+		t.Errorf("mutex violations: %d", st.MutexViolations)
+	}
+	var resets int64
+	for _, r := range st.Resets {
+		resets += r
+	}
+	if resets == 0 {
+		t.Error("expected overflow resets with M=3 and 3 processes")
+	}
+	if st.FCFSInversions != 0 {
+		t.Errorf("Bakery++ is FCFS; observed %d inversions", st.FCFSInversions)
+	}
+}
+
+// Classic Bakery with ideal registers: correct, FCFS, but tickets grow past
+// any bound under sustained contention (Lamport's remark quoted in
+// Section 5: "if there is always at least one processor in the bakery ...
+// arbitrarily large").
+func TestBakeryTicketGrowthUnbounded(t *testing.T) {
+	p := specs.Bakery(specs.Config{N: 3, M: 1 << 14})
+	st, err := Run(p, Options{Steps: 400000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MutexViolations != 0 {
+		t.Error("ideal bakery violated mutex")
+	}
+	if st.FCFSInversions != 0 {
+		t.Errorf("ideal bakery is FCFS; observed %d inversions", st.FCFSInversions)
+	}
+	if st.MaxTicket < 100 {
+		t.Errorf("tickets should grow under contention; max = %d", st.MaxTicket)
+	}
+}
+
+// E3 backbone: classic Bakery on wrapped (real) registers malfunctions —
+// mutual exclusion is violated after tickets wrap at M.
+func TestBakeryWrapMalfunction(t *testing.T) {
+	p := specs.Bakery(specs.Config{N: 3, M: 7}) // 3-bit registers
+	st, err := Run(p, Options{Steps: 500000, Seed: 3, Mode: gcl.ModeWrap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Overflows == 0 {
+		t.Fatal("expected overflows on 3-bit registers")
+	}
+	if st.MutexViolations == 0 {
+		t.Fatal("expected mutual-exclusion violations after wrap")
+	}
+	if st.FirstViolationStep < st.FirstOverflowStep {
+		t.Errorf("violation at %d precedes first overflow at %d",
+			st.FirstViolationStep, st.FirstOverflowStep)
+	}
+}
+
+// Bakery++ under the same wrapped registers: never overflows, never
+// violates — the paper's headline claim as an executable experiment.
+func TestBakeryPPWrapSafe(t *testing.T) {
+	p := specs.BakeryPP(specs.Config{N: 3, M: 7})
+	st, err := Run(p, Options{Steps: 500000, Seed: 3, Mode: gcl.ModeWrap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Overflows != 0 {
+		t.Errorf("Bakery++ attempted %d overflows", st.Overflows)
+	}
+	if st.MutexViolations != 0 {
+		t.Errorf("Bakery++ violated mutex %d times", st.MutexViolations)
+	}
+	if st.TotalCS() == 0 {
+		t.Error("no progress")
+	}
+}
+
+func TestCrashInjectionKeepsBakeryPPSafe(t *testing.T) {
+	p := specs.BakeryPP(specs.Config{N: 3, M: 4})
+	st, err := Run(p, Options{Steps: 200000, Seed: 4, CrashRate: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crashes int64
+	for _, c := range st.Crashes {
+		crashes += c
+	}
+	if crashes == 0 {
+		t.Fatal("no crashes injected at rate 0.001 over 200k steps")
+	}
+	if st.MutexViolations != 0 || st.Overflows != 0 {
+		t.Errorf("violations=%d overflows=%d under crashes",
+			st.MutexViolations, st.Overflows)
+	}
+	if st.TotalCS() == 0 {
+		t.Error("crash-restart blocked all progress")
+	}
+}
+
+func TestCrashPidsRestricted(t *testing.T) {
+	p := specs.BakeryPP(specs.Config{N: 3, M: 4})
+	st, err := Run(p, Options{Steps: 100000, Seed: 5, CrashRate: 0.01, CrashPids: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Crashes[0] != 0 || st.Crashes[2] != 0 {
+		t.Error("non-listed processes crashed")
+	}
+	if st.Crashes[1] == 0 {
+		t.Error("listed process never crashed")
+	}
+}
+
+// Peterson's filter lock is not FCFS: under a random scheduler a process
+// that finished its doorway can be overtaken by a later arrival.
+func TestPetersonNotFCFS(t *testing.T) {
+	p := specs.Peterson(3)
+	st, err := Run(p, Options{Steps: 300000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MutexViolations != 0 {
+		t.Error("peterson violated mutex")
+	}
+	if st.FCFSInversions == 0 {
+		t.Error("expected FCFS inversions from the filter lock")
+	}
+}
+
+func TestSchedulersProduceProgress(t *testing.T) {
+	p := specs.BakeryPP(specs.Config{N: 4, M: 5})
+	scheds := []Scheduler{RoundRobin{}, Random{}, Biased{Slow: map[int]bool{3: true}, Weight: 0.05}}
+	for _, sd := range scheds {
+		st, err := Run(p, Options{Steps: 200000, Seed: 7, Sched: sd})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.TotalCS() == 0 {
+			t.Errorf("%s: no progress", sd.Name())
+		}
+		if st.MutexViolations != 0 {
+			t.Errorf("%s: mutex violations", sd.Name())
+		}
+	}
+}
+
+// E7, operationally: with a heavily biased scheduler the slow process
+// starves (few or no CS entries) while fast processes dominate — the
+// Section 6.3 fairness gap made measurable.
+func TestBiasedSchedulerStarvesSlowProcess(t *testing.T) {
+	p := specs.BakeryPP(specs.Config{N: 3, M: 2})
+	slow := Biased{Slow: map[int]bool{2: true}, Weight: 0.001}
+	st, err := Run(p, Options{Steps: 300000, Seed: 8, Sched: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := st.CSEntries[0] + st.CSEntries[1]
+	if fast == 0 {
+		t.Fatal("fast processes made no progress")
+	}
+	if st.CSEntries[2]*100 > fast {
+		t.Errorf("slow process entered %d times vs fast %d; expected <1%%",
+			st.CSEntries[2], fast)
+	}
+	if st.FairnessRatio() > 0.1 {
+		t.Errorf("fairness ratio %.3f, expected heavy skew", st.FairnessRatio())
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	p := gcl.New("stuck", 2)
+	p.SharedVar("never", 0)
+	p.Label("ncs", gcl.Goto("w"))
+	p.Label("w", gcl.Br(gcl.Eq(gcl.Sh("never"), gcl.C(1)), "ncs"))
+	p.MustBuild()
+	st, err := Run(p, Options{Steps: 1000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Deadlocked {
+		t.Fatal("deadlock not detected")
+	}
+	if st.DeadlockStep != 2 {
+		t.Errorf("deadlock at step %d, want 2", st.DeadlockStep)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := specs.BakeryPP(specs.Config{N: 3, M: 3})
+	a, err := Run(p, Options{Steps: 50000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, Options{Steps: 50000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalCS() != b.TotalCS() || a.MaxTicket != b.MaxTicket {
+		t.Error("same seed produced different runs")
+	}
+	c, err := Run(p, Options{Steps: 50000, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalCS() == c.TotalCS() && a.FCFSInversions == c.FCFSInversions &&
+		a.TagVisits["try"] == c.TagVisits["try"] {
+		t.Log("different seeds produced identical headline stats (possible but unlikely)")
+	}
+}
+
+func TestRoundRobinPick(t *testing.T) {
+	rr := RoundRobin{}
+	rng := rand.New(rand.NewSource(0))
+	if got := rr.Pick([]int{0, 1, 2}, 0, rng); got != 0 {
+		t.Errorf("step 0 pick = %d, want 0", got)
+	}
+	if got := rr.Pick([]int{0, 1, 2}, 1, rng); got != 1 {
+		t.Errorf("step 1 pick = %d, want 1", got)
+	}
+	if got := rr.Pick([]int{0, 2}, 1, rng); got != 2 {
+		t.Errorf("step 1 pick among {0,2} = %d, want 2", got)
+	}
+	if got := rr.Pick([]int{0}, 5, rng); got != 0 {
+		t.Errorf("wrap pick = %d, want 0", got)
+	}
+}
+
+func TestBiasedWeightZero(t *testing.T) {
+	b := Biased{Slow: map[int]bool{0: true, 1: true}, Weight: 0}
+	rng := rand.New(rand.NewSource(0))
+	// All-slow with weight zero must still pick someone.
+	got := b.Pick([]int{0, 1}, 0, rng)
+	if got != 0 && got != 1 {
+		t.Errorf("pick = %d", got)
+	}
+}
+
+func TestFairnessRatio(t *testing.T) {
+	st := &Stats{CSEntries: []int64{10, 5}}
+	if got := st.FairnessRatio(); got != 0.5 {
+		t.Errorf("FairnessRatio = %g, want 0.5", got)
+	}
+	empty := &Stats{CSEntries: []int64{0, 0}}
+	if got := empty.FairnessRatio(); got != 1 {
+		t.Errorf("empty FairnessRatio = %g, want 1", got)
+	}
+}
+
+func TestTicketSeriesSampling(t *testing.T) {
+	p := specs.BakeryPP(specs.Config{N: 3, M: 4})
+	st, err := Run(p, Options{Steps: 10000, Seed: 3, SampleEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(st.TicketSeries); got != 100 {
+		t.Errorf("series length = %d, want 100", got)
+	}
+	for _, v := range st.TicketSeries {
+		if int64(v) > int64(p.M) {
+			t.Fatalf("sampled ticket %d exceeds M", v)
+		}
+	}
+	// Sampling off: no series.
+	st, err = Run(p, Options{Steps: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.TicketSeries) != 0 {
+		t.Error("series recorded without SampleEvery")
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	if (RoundRobin{}).Name() != "round-robin" {
+		t.Error("round-robin name")
+	}
+	if (Random{}).Name() != "random" {
+		t.Error("random name")
+	}
+	if (Biased{Weight: 0.5}).Name() != "biased(w=0.5)" {
+		t.Error("biased name")
+	}
+}

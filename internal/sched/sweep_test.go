@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"testing"
+
+	"bakerypp/internal/gcl"
+	"bakerypp/internal/specs"
+)
+
+// Property-style sweep: across many seeds and schedulers, Bakery++ in wrap
+// mode never attempts an overflow and never violates mutual exclusion,
+// while classic Bakery in wrap mode eventually does both. One seed is an
+// anecdote; a sweep is evidence.
+func TestSeedSweepWrapSafety(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep takes a couple of seconds")
+	}
+	const steps = 60000
+	scheds := []Scheduler{Random{}, RoundRobin{}, Biased{Slow: map[int]bool{0: true}, Weight: 0.1}}
+	bakeryBroke := 0
+	for seed := int64(0); seed < 12; seed++ {
+		for _, sd := range scheds {
+			bpp := specs.BakeryPP(specs.Config{N: 3, M: 7})
+			st, err := Run(bpp, Options{Steps: steps, Seed: seed, Sched: sd, Mode: gcl.ModeWrap})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Overflows != 0 || st.MutexViolations != 0 {
+				t.Fatalf("seed %d sched %s: bakery++ overflows=%d violations=%d",
+					seed, sd.Name(), st.Overflows, st.MutexViolations)
+			}
+
+			bak := specs.Bakery(specs.Config{N: 3, M: 7})
+			st, err = Run(bak, Options{Steps: steps, Seed: seed, Sched: sd, Mode: gcl.ModeWrap})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.MutexViolations > 0 {
+				bakeryBroke++
+			}
+		}
+	}
+	if bakeryBroke == 0 {
+		t.Error("classic bakery never violated across the sweep; wrap malfunction should appear")
+	}
+	t.Logf("classic bakery violated mutual exclusion in %d/36 sweep runs", bakeryBroke)
+}
+
+// FCFS inversions stay zero for the bakery family across seeds.
+func TestSeedSweepFCFS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep takes a second")
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		for _, p := range []*gcl.Prog{
+			specs.Bakery(specs.Config{N: 3, M: 1 << 14}),
+			specs.BakeryPP(specs.Config{N: 3, M: 5}),
+			specs.BlackWhite(3),
+		} {
+			st, err := Run(p, Options{Steps: 50000, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.FCFSInversions != 0 {
+				t.Errorf("seed %d: %s had %d FCFS inversions", seed, p.Name, st.FCFSInversions)
+			}
+		}
+	}
+}
+
+// The safe-register specification also runs under the simulator: mutual
+// exclusion and the ticket bound hold along long random walks, with the
+// flicker branches genuinely taken.
+func TestSafeSpecSimulation(t *testing.T) {
+	p := specs.BakeryPPSafe(3, 3)
+	st, err := Run(p, Options{Steps: 300000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MutexViolations != 0 {
+		t.Errorf("mutex violations: %d", st.MutexViolations)
+	}
+	if st.Overflows != 0 {
+		t.Errorf("overflow attempts: %d", st.Overflows)
+	}
+	if int64(st.MaxTicket) > int64(p.M) {
+		t.Errorf("ticket %d exceeds M=%d", st.MaxTicket, p.M)
+	}
+	if st.TotalCS() == 0 {
+		t.Error("no progress")
+	}
+}
+
+func BenchmarkRunBakeryPP(b *testing.B) {
+	p := specs.BakeryPP(specs.Config{N: 3, M: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, Options{Steps: 20000, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunSafeSpec(b *testing.B) {
+	p := specs.BakeryPPSafe(2, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, Options{Steps: 20000, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package specs
+
+import "bakerypp/internal/gcl"
+
+// Bakery is Algorithm 1 of the paper: Lamport's original bakery algorithm
+// for cfg.N processes, assuming ideal unbounded registers. cfg.M sets the
+// register capacity used only for overflow *accounting*: the algorithm
+// itself never looks at M, which is exactly why it overflows (paper
+// Section 3: "number[i] := 1 + maximum(...)" is unchecked).
+//
+//	L1: choosing[i] := 1
+//	    number[i] := 1 + maximum(number[0], ..., number[N-1])
+//	    choosing[i] := 0
+//	    for j = 0 .. N-1:
+//	L2:   if choosing[j] != 0 then goto L2
+//	L3:   if number[j] != 0 and (number[j], j) < (number[i], i) then goto L3
+//	    critical section
+//	    number[i] := 0
+//
+// With cfg.Fine, the maximum is read one register per atomic step (the
+// prose's "the maximum function can take its argument in any arbitrary
+// order" allows any serialisation; fine granularity admits them all).
+func Bakery(cfg Config) *gcl.Prog {
+	n, m := cfg.N, cfg.M
+	name := "bakery"
+	if cfg.Fine {
+		name = "bakery-fine"
+	}
+	p := gcl.New(name, n)
+	p.SetM(int64(m))
+	p.SharedArray("choosing", n, 0)
+	p.SharedArray("number", n, 0)
+	p.Own("choosing")
+	p.Own("number")
+	p.LocalVar("j", 0)
+	if cfg.Fine {
+		p.LocalVar("tmp", 0)
+		p.LocalVar("k", 0)
+	}
+
+	p.Label("ncs", gcl.Goto("ch1").WithTag("try"))
+	p.Label("ch1", gcl.Goto("ch2", gcl.SetSelf("choosing", gcl.C(1))))
+	if cfg.Fine {
+		// ch2 seeds the scan, m1/m2 fold in one register per step, and
+		// ch2w stores 1 + tmp.
+		p.Label("ch2", gcl.Goto("m1", gcl.SetL("tmp", gcl.C(0)), gcl.SetL("k", gcl.C(0))))
+		fineMax(p, n, "ch2w")
+		p.Label("ch2w", gcl.Goto("ch3",
+			gcl.SetSelf("number", gcl.Add(gcl.C(1), gcl.L("tmp")))))
+	} else {
+		p.Label("ch2", gcl.Goto("ch3",
+			gcl.SetSelf("number", gcl.Add(gcl.C(1), gcl.MaxSh("number")))))
+	}
+	p.Label("ch3", gcl.Goto("t1",
+		gcl.SetSelf("choosing", gcl.C(0)),
+		gcl.SetL("j", gcl.C(0)),
+	).WithTag("doorway-done"))
+	trialLoop(p, n, gcl.SetSelf("number", gcl.C(0)))
+	return p.MustBuild()
+}

@@ -1,0 +1,107 @@
+package specs
+
+import "bakerypp/internal/gcl"
+
+// BakeryPP is Algorithm 2 of the paper: Bakery++ for cfg.N processes with
+// register capacity M = cfg.M. It is classic Bakery plus two conditional
+// statements:
+//
+//	L1: if exists q such that number[q] >= M then goto L1
+//	    choosing[i] := 1
+//	    number[i] := maximum(number[0], ..., number[N-1])
+//	    if number[i] >= M then
+//	        number[i] := 0; choosing[i] := 0; goto L1
+//	    else
+//	        number[i] := number[i] + 1
+//	    choosing[i] := 0
+//	    ... trial loop, critical section, number[i] := 0 as in Bakery
+//
+// Configuration knobs (DESIGN.md ablations):
+//   - Fine: per-register maximum scan.
+//   - SplitReset: the overflow reset writes number[i] and choosing[i] in
+//     two separate atomic steps.
+//   - EqCheck: compare with = M instead of >= M (valid when reads never
+//     return values above M, per the Section 5 remark).
+//   - NoGate: omit the L1 existential gate; the pre-increment check alone
+//     establishes the no-overflow theorem.
+func BakeryPP(cfg Config) *gcl.Prog {
+	n, m := cfg.N, cfg.M
+	name := "bakerypp"
+	switch {
+	case cfg.Fine:
+		name = "bakerypp-fine"
+	case cfg.SplitReset:
+		name = "bakerypp-splitreset"
+	case cfg.EqCheck:
+		name = "bakerypp-eqcheck"
+	case cfg.NoGate:
+		name = "bakerypp-nogate"
+	}
+	p := gcl.New(name, n)
+	p.SetM(int64(m))
+	p.SharedArray("choosing", n, 0)
+	p.SharedArray("number", n, 0)
+	p.Own("choosing")
+	p.Own("number")
+	p.LocalVar("j", 0)
+	if cfg.Fine {
+		p.LocalVar("tmp", 0)
+		p.LocalVar("k", 0)
+	}
+
+	numI := gcl.ShSelf("number")
+
+	afterNcs := "l1"
+	if cfg.NoGate {
+		afterNcs = "ch1"
+	}
+	p.Label("ncs", gcl.Goto(afterNcs).WithTag("try"))
+	if !cfg.NoGate {
+		// L1 blocks while any number[q] >= M; the goto-L1 spin of the
+		// paper is the standard await encoding.
+		p.Label("l1", gcl.Br(
+			gcl.AndN(n, func(q int) gcl.Expr {
+				return gcl.Lt(gcl.ShI("number", gcl.C(q)), gcl.C(m))
+			}),
+			"ch1",
+		))
+	}
+	p.Label("ch1", gcl.Goto("ch2", gcl.SetSelf("choosing", gcl.C(1))))
+	if cfg.Fine {
+		p.Label("ch2", gcl.Goto("m1", gcl.SetL("tmp", gcl.C(0)), gcl.SetL("k", gcl.C(0))))
+		fineMax(p, n, "ch2w")
+		p.Label("ch2w", gcl.Goto("chk", gcl.SetSelf("number", gcl.L("tmp"))))
+	} else {
+		p.Label("ch2", gcl.Goto("chk", gcl.SetSelf("number", gcl.MaxSh("number"))))
+	}
+
+	tooBig := gcl.Ge(numI, gcl.C(m))
+	if cfg.EqCheck {
+		tooBig = gcl.Eq(numI, gcl.C(m))
+	}
+	resetTarget := "rst"
+	p.Label("chk",
+		gcl.Br(tooBig, resetTarget),
+		gcl.Br(gcl.Not(tooBig), "ch3",
+			gcl.SetSelf("number", gcl.Add(numI, gcl.C(1)))),
+	)
+	backTo := "l1"
+	if cfg.NoGate {
+		backTo = "ch1"
+	}
+	if cfg.SplitReset {
+		p.Label("rst", gcl.Goto("rst2", gcl.SetSelf("number", gcl.C(0))).WithTag("reset"))
+		p.Label("rst2", gcl.Goto(backTo, gcl.SetSelf("choosing", gcl.C(0))))
+	} else {
+		p.Label("rst", gcl.Goto(backTo,
+			gcl.SetSelf("number", gcl.C(0)),
+			gcl.SetSelf("choosing", gcl.C(0)),
+		).WithTag("reset"))
+	}
+	p.Label("ch3", gcl.Goto("t1",
+		gcl.SetSelf("choosing", gcl.C(0)),
+		gcl.SetL("j", gcl.C(0)),
+	).WithTag("doorway-done"))
+	trialLoop(p, n, gcl.SetSelf("number", gcl.C(0)))
+	return p.MustBuild()
+}

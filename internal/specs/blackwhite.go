@@ -1,0 +1,90 @@
+package specs
+
+import "bakerypp/internal/gcl"
+
+// BlackWhite is Taubenfeld's Black-White Bakery algorithm (DISC 2004), the
+// paper's Section 4 representative of approach 2 ("introducing new shared
+// variables"): one extra shared colour bit plus a per-process colour
+// register bound the tickets by N, at the cost of a register (color) that
+// every process writes — violating the no-writes-to-others'-memory property
+// Bakery++ preserves.
+//
+//	choosing[i] := 1
+//	mycolor[i] := color
+//	number[i] := 1 + max{number[j] : mycolor[j] = mycolor[i]}
+//	choosing[i] := 0
+//	for j = 0 .. N-1:
+//	    wait until choosing[j] = 0
+//	    if mycolor[j] = mycolor[i]:
+//	        wait until number[j] = 0 or (number[i],i) <= (number[j],j)
+//	                or mycolor[j] != mycolor[i]
+//	    else:
+//	        wait until number[j] = 0 or mycolor[i] != color
+//	                or mycolor[j] = mycolor[i]
+//	critical section
+//	color := 1 - mycolor[i]; number[i] := 0
+//
+// Tickets never exceed N, so the program's M is N: the model checker proves
+// the same no-overflow invariant Bakery++ has, with a bound independent of
+// register width.
+func BlackWhite(n int) *gcl.Prog {
+	p := gcl.New("blackwhite", n)
+	p.SetM(int64(n))
+	p.SharedVar("color", 0)
+	p.SharedArray("choosing", n, 0)
+	p.SharedArray("mycolor", n, 0)
+	p.SharedArray("number", n, 0)
+	p.Own("choosing")
+	p.Own("mycolor")
+	p.Own("number")
+	p.LocalVar("j", 0)
+
+	j := gcl.L("j")
+	numI := gcl.ShSelf("number")
+	numJ := gcl.ShI("number", j)
+	colI := gcl.ShSelf("mycolor")
+	colJ := gcl.ShI("mycolor", j)
+	sameColor := gcl.Eq(colJ, colI)
+
+	p.Label("ncs", gcl.Goto("ch1").WithTag("try"))
+	p.Label("ch1", gcl.Goto("ch2", gcl.SetSelf("choosing", gcl.C(1))))
+	p.Label("ch2", gcl.Goto("ch3", gcl.SetSelf("mycolor", gcl.Sh("color"))))
+	p.Label("ch3", gcl.Goto("ch4",
+		gcl.SetSelf("number", gcl.Add(gcl.C(1), gcl.MaxN(n, func(q int) (gcl.Expr, gcl.Expr) {
+			return gcl.Eq(gcl.ShI("mycolor", gcl.C(q)), colI), gcl.ShI("number", gcl.C(q))
+		}))),
+	))
+	p.Label("ch4", gcl.Goto("t1",
+		gcl.SetSelf("choosing", gcl.C(0)),
+		gcl.SetL("j", gcl.C(0)),
+	).WithTag("doorway-done"))
+
+	p.Label("t1",
+		gcl.Br(gcl.Ge(j, gcl.C(n)), "cs").WithTag("cs-enter"),
+		gcl.Br(gcl.Lt(j, gcl.C(n)), "t2"),
+	)
+	p.Label("t2",
+		gcl.Br(gcl.Eq(gcl.ShI("choosing", j), gcl.C(0)), "t3"),
+	)
+	// One await whose guard covers both colour cases; mycolor[j] is
+	// re-read on every evaluation, so a colour change by j unblocks i just
+	// as the algorithm's nested waits do.
+	p.Label("t3",
+		gcl.Br(gcl.Or(
+			gcl.And(sameColor, gcl.Or(
+				gcl.Eq(numJ, gcl.C(0)),
+				gcl.Not(gcl.LexLt(numJ, j, numI, gcl.Self())),
+			)),
+			gcl.And(gcl.Not(sameColor), gcl.Or(
+				gcl.Eq(numJ, gcl.C(0)),
+				gcl.Ne(colI, gcl.Sh("color")),
+			)),
+		), "t4"),
+	)
+	p.Label("t4", gcl.Goto("t1", gcl.SetL("j", gcl.Add(j, gcl.C(1)))))
+	p.Label("cs", gcl.Goto("ncs",
+		gcl.Set("color", gcl.Sub(gcl.C(1), colI)),
+		gcl.SetSelf("number", gcl.C(0)),
+	).WithTag("cs-exit"))
+	return p.MustBuild()
+}

@@ -1,0 +1,39 @@
+package specs
+
+import "bakerypp/internal/gcl"
+
+// ModBakery is the strawman for the paper's Section 4 approach 1: take
+// classic Bakery and "just" compute tickets with modulo arithmetic,
+//
+//	number[i] := (1 + maximum(number[0..N-1])) mod (M+1)
+//
+// while keeping the plain (number, id) comparison. Registers now never hold
+// a value above M, so the no-overflow invariant trivially holds — but mutual
+// exclusion is lost: once tickets wrap, an old large ticket and a new
+// wrapped small ticket misorder, and two processes reach the critical
+// section together. The model checker exhibits a concrete counterexample
+// (experiment E9), substantiating the paper's point that sound bounded
+// variants need more than modulo arithmetic (Jayanti et al. also redefine
+// the comparison operator, which this strawman deliberately does not).
+func ModBakery(n, m int) *gcl.Prog {
+	p := gcl.New("modbakery", n)
+	p.SetM(int64(m))
+	p.SharedArray("choosing", n, 0)
+	p.SharedArray("number", n, 0)
+	p.Own("choosing")
+	p.Own("number")
+	p.LocalVar("j", 0)
+
+	p.Label("ncs", gcl.Goto("ch1").WithTag("try"))
+	p.Label("ch1", gcl.Goto("ch2", gcl.SetSelf("choosing", gcl.C(1))))
+	p.Label("ch2", gcl.Goto("ch3",
+		gcl.SetSelf("number",
+			gcl.Mod(gcl.Add(gcl.C(1), gcl.MaxSh("number")), gcl.C(m+1))),
+	))
+	p.Label("ch3", gcl.Goto("t1",
+		gcl.SetSelf("choosing", gcl.C(0)),
+		gcl.SetL("j", gcl.C(0)),
+	).WithTag("doorway-done"))
+	trialLoop(p, n, gcl.SetSelf("number", gcl.C(0)))
+	return p.MustBuild()
+}

@@ -1,0 +1,58 @@
+package specs
+
+import "bakerypp/internal/gcl"
+
+// Peterson is the N-process filter generalisation of Peterson's algorithm,
+// the paper's Section 4 contrast: it is bounded by construction (level and
+// victim hold values at most N) but the victim registers are written by
+// every competing process, unlike Bakery/Bakery++ where each process writes
+// only its own memory. It is not first-come-first-served.
+//
+//	for l = 1 .. N-1:
+//	    level[i] := l
+//	    victim[l] := i
+//	    wait until (for all k != i: level[k] < l) or victim[l] != i
+//	critical section
+//	level[i] := 0
+//
+// level[i] = 0 means "not competing"; victim cells store pid+1 with 0
+// meaning "none yet" to keep the state vector non-negative.
+func Peterson(n int) *gcl.Prog {
+	p := gcl.New("peterson", n)
+	p.SetM(int64(n))
+	p.SharedArray("level", n, 0)
+	// victim[1..n-1] used; cell 0 is dead weight kept for addressing.
+	p.SharedArray("victim", n, 0)
+	p.Own("level")
+	p.LocalVar("l", 1)
+
+	l := gcl.L("l")
+
+	p.Label("ncs", gcl.Goto("f1", gcl.SetL("l", gcl.C(1))).WithTag("try"))
+	p.Label("f1",
+		gcl.Br(gcl.Ge(l, gcl.C(n)), "cs").WithTag("cs-enter"),
+		gcl.Br(gcl.Lt(l, gcl.C(n)), "f2"),
+	)
+	p.Label("f2", gcl.Goto("f3", gcl.SetI("level", gcl.Self(), l)))
+	// The filter lock has no wait-free doorway; for FCFS measurement the
+	// first announcement (level and victim published at level 1) is taken
+	// as the doorway, and sched records only the first "doorway-done" per
+	// attempt. Inversions relative to it are exactly the overtaking the
+	// paper's Section 4 contrasts with Bakery's FCFS order.
+	p.Label("f3", gcl.Goto("f4",
+		gcl.SetI("victim", l, gcl.Add(gcl.Self(), gcl.C(1)))).WithTag("doorway-done"))
+	p.Label("f4",
+		gcl.Br(gcl.Or(
+			gcl.AndN(n, func(k int) gcl.Expr {
+				return gcl.Or(
+					gcl.Eq(gcl.Self(), gcl.C(k)),
+					gcl.Lt(gcl.ShI("level", gcl.C(k)), l),
+				)
+			}),
+			gcl.Ne(gcl.ShI("victim", l), gcl.Add(gcl.Self(), gcl.C(1))),
+		), "f5"),
+	)
+	p.Label("f5", gcl.Goto("f1", gcl.SetL("l", gcl.Add(l, gcl.C(1)))))
+	p.Label("cs", gcl.Goto("ncs", gcl.SetSelf("level", gcl.C(0))).WithTag("cs-exit"))
+	return p.MustBuild()
+}

@@ -1,0 +1,134 @@
+package specs
+
+import "bakerypp/internal/gcl"
+
+// BakeryPPSafe is Bakery++ specified over Lamport-"safe" registers — the
+// register model of the original bakery paper, in which a read that
+// overlaps a write may return any value in the register's domain.
+//
+// Modelling: every shared register x owned by process i gains a companion
+// writing flag wx[i]. A write becomes two atomic steps — raise wx[i], then
+// commit the value and lower wx[i] — and every read of x[j] by another
+// process branches: if wx[j] = 0 the stored value is read; if wx[j] = 1 the
+// read may return ANY value in [0, M] (one nondeterministic branch per
+// value for value reads, and a may-pass branch for guard reads). A process
+// reads its own registers reliably.
+//
+// Model checking this program therefore verifies Bakery++'s safety under
+// the paper's weakest register assumption (Section 1.2, property 4) — a
+// strictly stronger result than the atomic-step verification of E1, and
+// one TLC-style atomic specs silently skip.
+func BakeryPPSafe(n, m int) *gcl.Prog {
+	p := gcl.New("bakerypp-safe", n)
+	p.SetM(int64(m))
+	p.SharedArray("choosing", n, 0)
+	p.SharedArray("number", n, 0)
+	p.SharedArray("wch", n, 0)  // writing flag for choosing
+	p.SharedArray("wnum", n, 0) // writing flag for number
+	p.Own("choosing")
+	p.Own("number")
+	p.Own("wch")
+	p.Own("wnum")
+	p.LocalVar("j", 0)
+	p.LocalVar("tmp", 0)
+	p.LocalVar("k", 0)
+
+	j := gcl.L("j")
+	k := gcl.L("k")
+	tmp := gcl.L("tmp")
+	numI := gcl.ShSelf("number") // own register: reliable read
+
+	// writeSplit emits the two-step safe write x[i] := v: raise the flag,
+	// then commit and lower it, with extra assignments riding the commit.
+	writeSplit := func(labelA, labelB, varName, flagName string, v gcl.Expr, next string, tag string, extra ...gcl.Assign) {
+		br := gcl.Goto(labelB, gcl.SetSelf(flagName, gcl.C(1)))
+		if tag != "" {
+			br = br.WithTag(tag)
+		}
+		p.Label(labelA, br)
+		eff := append([]gcl.Assign{
+			gcl.SetSelf(varName, v),
+			gcl.SetSelf(flagName, gcl.C(0)),
+		}, extra...)
+		p.Label(labelB, gcl.Goto(next, eff...))
+	}
+
+	p.Label("ncs", gcl.Goto("l1").WithTag("try"))
+
+	// L1 gate: for each q, either the stored value is below M, or q is
+	// mid-write and the flickered read may come back below M.
+	p.Label("l1", gcl.Br(
+		gcl.AndN(n, func(q int) gcl.Expr {
+			return gcl.Or(
+				gcl.Eq(gcl.ShI("wnum", gcl.C(q)), gcl.C(1)),
+				gcl.Lt(gcl.ShI("number", gcl.C(q)), gcl.C(m)),
+			)
+		}),
+		"c1a",
+	))
+
+	writeSplit("c1a", "c1b", "choosing", "wch", gcl.C(1), "m0", "")
+
+	// Fine-grained maximum scan with flicker on every cell read.
+	p.Label("m0", gcl.Goto("m1", gcl.SetL("tmp", gcl.C(0)), gcl.SetL("k", gcl.C(0))))
+	p.Label("m1",
+		gcl.Br(gcl.Lt(k, gcl.C(n)), "m2"),
+		gcl.Br(gcl.Ge(k, gcl.C(n)), "n1a"),
+	)
+	scan := []gcl.Branch{
+		// Quiescent cell: read the stored value.
+		gcl.Br(gcl.Eq(gcl.ShI("wnum", k), gcl.C(0)), "m1",
+			gcl.SetL("tmp", gcl.Max2(tmp, gcl.ShI("number", k))),
+			gcl.SetL("k", gcl.Add(k, gcl.C(1)))),
+	}
+	// Cell mid-write: the read returns an arbitrary value in [0, M].
+	for v := 0; v <= m; v++ {
+		scan = append(scan, gcl.Br(gcl.Eq(gcl.ShI("wnum", k), gcl.C(1)), "m1",
+			gcl.SetL("tmp", gcl.Max2(tmp, gcl.C(v))),
+			gcl.SetL("k", gcl.Add(k, gcl.C(1)))))
+	}
+	p.Label("m2", scan...)
+
+	writeSplit("n1a", "n1b", "number", "wnum", tmp, "chk", "")
+
+	p.Label("chk",
+		gcl.Br(gcl.Ge(tmp, gcl.C(m)), "rsa"),
+		gcl.Br(gcl.Lt(tmp, gcl.C(m)), "i1a"),
+	)
+	writeSplit("i1a", "i1b", "number", "wnum", gcl.Add(tmp, gcl.C(1)), "c2a", "")
+	writeSplit("rsa", "rsb", "number", "wnum", gcl.C(0), "rsc", "reset")
+	writeSplit("rsc", "rsd", "choosing", "wch", gcl.C(0), "l1", "")
+	writeSplit("c2a", "c2b", "choosing", "wch", gcl.C(0), "t1", "doorway-done",
+		gcl.SetL("j", gcl.C(0)))
+
+	p.Label("t1",
+		gcl.Br(gcl.Ge(j, gcl.C(n)), "cs").WithTag("cs-enter"),
+		gcl.Br(gcl.Lt(j, gcl.C(n)), "t2"),
+	)
+	// L2: pass when choosing[j] is reliably 0, or when j is mid-write and
+	// the flickered read may return 0.
+	p.Label("t2", gcl.Br(
+		gcl.Or(
+			gcl.And(gcl.Eq(gcl.ShI("wch", j), gcl.C(0)), gcl.Eq(gcl.ShI("choosing", j), gcl.C(0))),
+			gcl.Eq(gcl.ShI("wch", j), gcl.C(1)),
+		),
+		"t3",
+	))
+	// L3: pass when the reliable read satisfies the bakery condition, or
+	// when number[j] is mid-write (the flicker may return 0).
+	numJ := gcl.ShI("number", j)
+	p.Label("t3", gcl.Br(
+		gcl.Or(
+			gcl.And(
+				gcl.Eq(gcl.ShI("wnum", j), gcl.C(0)),
+				gcl.Or(gcl.Eq(numJ, gcl.C(0)), gcl.Not(gcl.LexLt(numJ, j, numI, gcl.Self()))),
+			),
+			gcl.Eq(gcl.ShI("wnum", j), gcl.C(1)),
+		),
+		"t4",
+	))
+	p.Label("t4", gcl.Goto("t1", gcl.SetL("j", gcl.Add(j, gcl.C(1)))))
+	p.Label("cs", gcl.Goto("x1a").WithTag("cs-exit"))
+	writeSplit("x1a", "x1b", "number", "wnum", gcl.C(0), "ncs", "")
+	return p.MustBuild()
+}

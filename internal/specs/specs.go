@@ -1,0 +1,143 @@
+// Package specs contains the mutual-exclusion algorithms of the paper and
+// its related work, written as gcl programs at PlusCal label granularity.
+//
+// Conventions shared by every specification, relied on by internal/mc and
+// internal/sched:
+//
+//   - The first label is "ncs" (noncritical section / crash-restart target).
+//   - A process is inside its critical section exactly while its pc is at
+//     the label "cs"; the action at "cs" performs the exit protocol's first
+//     step. The mutual-exclusion invariant is CountAtLabel(s, "cs") <= 1.
+//   - Branch tags: "try" marks leaving ncs, "doorway-done" marks completing
+//     the doorway (ticket acquired, choosing lowered), "cs-enter" marks the
+//     transition into cs, "cs-exit" marks leaving cs, and "reset" marks
+//     Bakery++'s overflow-avoidance reset (the branch back to L1).
+//   - Shared arrays owned one-cell-per-process are marked Own, so crash
+//     transitions (paper correctness conditions 3–4) reset them properly.
+//
+// Process ids are 0-based; the paper's (number[j], j) < (number[i], i)
+// tie-break order is preserved because relative order of ids is what
+// matters, not their base.
+package specs
+
+import (
+	"fmt"
+	"sort"
+
+	"bakerypp/internal/gcl"
+)
+
+// Config carries the knobs shared by the spec constructors. Zero values get
+// sensible defaults from Get.
+type Config struct {
+	// N is the number of processes.
+	N int
+	// M is the register capacity (largest storable value). Used by Bakery
+	// (for overflow accounting), Bakery++ (as the algorithm's constant M),
+	// and ModBakery (tickets live in 0..M).
+	M int
+	// Fine selects the fine-grained doorway: the maximum is computed one
+	// register read per atomic step instead of one atomic array read
+	// (ablation 1 in DESIGN.md).
+	Fine bool
+	// SplitReset makes Bakery++'s overflow reset two atomic steps
+	// (number[i] := 0, then choosing[i] := 0) instead of one (ablation 2).
+	SplitReset bool
+	// EqCheck makes Bakery++ compare with = M instead of >= M, valid when
+	// reads never exceed M (Section 5's remark; ablation 3).
+	EqCheck bool
+	// NoGate omits Bakery++'s L1 existential gate, keeping only the
+	// pre-increment check (ablation 4). Safety is unaffected; the theorem
+	// only needs the pre-increment check.
+	NoGate bool
+}
+
+// Constructor builds a specification from a configuration.
+type Constructor func(Config) *gcl.Prog
+
+var registry = map[string]Constructor{
+	"bakery":     func(c Config) *gcl.Prog { return Bakery(c) },
+	"bakerypp":   func(c Config) *gcl.Prog { return BakeryPP(c) },
+	"blackwhite": func(c Config) *gcl.Prog { return BlackWhite(c.N) },
+	"peterson":   func(c Config) *gcl.Prog { return Peterson(c.N) },
+	"szymanski":  func(c Config) *gcl.Prog { return Szymanski(c.N) },
+	"modbakery":  func(c Config) *gcl.Prog { return ModBakery(c.N, c.M) },
+}
+
+// Names returns the registered specification names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get builds the named specification. N defaults to 2 and M to 4.
+func Get(name string, cfg Config) (*gcl.Prog, error) {
+	ctor, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("specs: unknown algorithm %q (have %v)", name, Names())
+	}
+	if cfg.N == 0 {
+		cfg.N = 2
+	}
+	if cfg.M == 0 {
+		cfg.M = 4
+	}
+	return ctor(cfg), nil
+}
+
+// trialLoop appends the shared trial loop of the bakery family to p:
+//
+//	for j = 0 .. n-1 {
+//	  L2: wait until choosing[j] = 0
+//	  L3: wait until number[j] = 0 or (number[i], i) <= (number[j], j)
+//	}
+//
+// It declares labels t1 (loop head), t2 (L2), t3 (L3), t4 (j increment),
+// and cs; the caller must have declared "ncs", the local "j", and the shared
+// arrays "choosing" and "number". exitEff is the effect of the cs action
+// (the exit protocol), which returns to ncs.
+func trialLoop(p *gcl.Prog, n int, exitEff ...gcl.Assign) {
+	j := gcl.L("j")
+	numJ := gcl.ShI("number", j)
+	numI := gcl.ShSelf("number")
+	p.Label("t1",
+		gcl.Br(gcl.Ge(j, gcl.C(n)), "cs").WithTag("cs-enter"),
+		gcl.Br(gcl.Lt(j, gcl.C(n)), "t2"),
+	)
+	p.Label("t2",
+		gcl.Br(gcl.Eq(gcl.ShI("choosing", j), gcl.C(0)), "t3"),
+	)
+	// Proceed when number[j] = 0 or not((number[j], j) < (number[i], i)).
+	p.Label("t3",
+		gcl.Br(gcl.Or(
+			gcl.Eq(numJ, gcl.C(0)),
+			gcl.Not(gcl.LexLt(numJ, j, numI, gcl.Self())),
+		), "t4"),
+	)
+	p.Label("t4",
+		gcl.Goto("t1", gcl.SetL("j", gcl.Add(j, gcl.C(1)))),
+	)
+	p.Label("cs",
+		gcl.Goto("ncs", exitEff...).WithTag("cs-exit"),
+	)
+}
+
+// fineMax appends labels computing tmp := max(number[0..n-1]) one register
+// read per step, then jumps to next. Requires local "tmp" and "k".
+func fineMax(p *gcl.Prog, n int, next string) {
+	k := gcl.L("k")
+	p.Label("m1",
+		gcl.Br(gcl.Lt(k, gcl.C(n)), "m2"),
+		gcl.Br(gcl.Ge(k, gcl.C(n)), next),
+	)
+	p.Label("m2",
+		gcl.Goto("m1",
+			gcl.SetL("tmp", gcl.Max2(gcl.L("tmp"), gcl.ShI("number", k))),
+			gcl.SetL("k", gcl.Add(k, gcl.C(1))),
+		),
+	)
+}

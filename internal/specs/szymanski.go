@@ -1,0 +1,79 @@
+package specs
+
+import "bakerypp/internal/gcl"
+
+// Szymanski is Szymanski's first-come-first-served mutual-exclusion
+// algorithm (Jerusalem Conference on Information Technology, 1990), which
+// the paper's Section 4 describes as "much more complicated than Bakery++"
+// while using bounded per-process registers (flag[i] in 0..4).
+//
+//	p1: flag[i] := 1                          // intending to enter
+//	p2: wait until all flag[j] < 3            // waiting-room door open
+//	p3: flag[i] := 3                          // in the waiting room
+//	p4: if some flag[j] = 1 then
+//	        flag[i] := 2                      // step back for latecomers
+//	        wait until some flag[j] = 4
+//	    flag[i] := 4                          // door closed, committed
+//	p6: wait until all flag[j < i] < 2        // lower-id processes first
+//	    critical section
+//	p7: wait until all flag[j > i] in {0,1,4} // let the room drain
+//	    flag[i] := 0
+//
+// The five-valued flags bound every register by 4 regardless of N —
+// bounded, like Bakery++, but with a considerably subtler protocol (the
+// model checker's state counts in EXPERIMENTS.md quantify that remark).
+func Szymanski(n int) *gcl.Prog {
+	p := gcl.New("szymanski", n)
+	p.SetM(4)
+	p.SharedArray("flag", n, 0)
+	p.Own("flag")
+
+	flag := func(q int) gcl.Expr { return gcl.ShI("flag", gcl.C(q)) }
+
+	p.Label("ncs", gcl.Goto("s1").WithTag("try"))
+	// The flag := 1 announcement is the algorithm's only wait-free prefix,
+	// so it serves as the doorway marker for FCFS measurement. Szymanski's
+	// service order is waiting-room batches drained in id order, which is
+	// FCFS only up to batch-internal id reordering — mc.CheckFCFS exhibits
+	// the reorder, and EXPERIMENTS.md E6 quantifies it.
+	p.Label("s1", gcl.Goto("s2", gcl.SetSelf("flag", gcl.C(1))).WithTag("doorway-done"))
+	p.Label("s2", gcl.Br(
+		gcl.AndN(n, func(q int) gcl.Expr { return gcl.Lt(flag(q), gcl.C(3)) }),
+		"s3",
+	))
+	p.Label("s3", gcl.Goto("s4", gcl.SetSelf("flag", gcl.C(3))))
+	hasIntender := gcl.OrN(n, func(q int) gcl.Expr { return gcl.Eq(flag(q), gcl.C(1)) })
+	p.Label("s4",
+		gcl.Br(hasIntender, "s5"),
+		gcl.Br(gcl.Not(hasIntender), "s7", gcl.SetSelf("flag", gcl.C(4))),
+	)
+	p.Label("s5", gcl.Goto("s6", gcl.SetSelf("flag", gcl.C(2))))
+	p.Label("s6", gcl.Br(
+		gcl.OrN(n, func(q int) gcl.Expr { return gcl.Eq(flag(q), gcl.C(4)) }),
+		"s7",
+		gcl.SetSelf("flag", gcl.C(4)),
+	))
+	// Lower-numbered processes leave the waiting room first.
+	p.Label("s7", gcl.Br(
+		gcl.AndN(n, func(q int) gcl.Expr {
+			return gcl.Or(
+				gcl.Ge(gcl.C(q), gcl.Self()),
+				gcl.Lt(flag(q), gcl.C(2)),
+			)
+		}),
+		"cs",
+	).WithTag("cs-enter"))
+	p.Label("cs", gcl.Goto("s8").WithTag("cs-exit"))
+	// Exit: wait until no higher-id process is in states 2..3, then reset.
+	p.Label("s8", gcl.Br(
+		gcl.AndN(n, func(q int) gcl.Expr {
+			return gcl.Or(
+				gcl.Le(gcl.C(q), gcl.Self()),
+				gcl.Or(gcl.Lt(flag(q), gcl.C(2)), gcl.Gt(flag(q), gcl.C(3))),
+			)
+		}),
+		"ncs",
+		gcl.SetSelf("flag", gcl.C(0)),
+	))
+	return p.MustBuild()
+}

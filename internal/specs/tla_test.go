@@ -1,0 +1,57 @@
+package specs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSpecParityWithTLA keeps the shipped PlusCal artifacts (spec/*.tla)
+// structurally in sync with the Go specifications: every control label of
+// the Go program appears as a PlusCal label, and the PlusCal files mention
+// the two checked properties.
+func TestSpecParityWithTLA(t *testing.T) {
+	cases := []struct {
+		file string
+		// labels of the Go spec that must appear in the PlusCal source;
+		// Go-only bookkeeping labels are mapped where PlusCal merges them.
+		labels []string
+	}{
+		{"BakeryPP.tla", []string{"ncs:", "l1:", "ch1:", "ch2:", "chk:", "rst:", "ch3:", "t1:", "t2:", "t3:", "t4:", "cs:"}},
+		{"Bakery.tla", []string{"ncs:", "ch1:", "ch2:", "ch3:", "t1:", "t2:", "t3:", "t4:", "cs:"}},
+	}
+	for _, c := range cases {
+		path := filepath.Join("..", "..", "spec", c.file)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("PlusCal artifact missing: %v", err)
+		}
+		text := string(raw)
+		for _, label := range c.labels {
+			if !strings.Contains(text, label) {
+				t.Errorf("%s: PlusCal label %q missing", c.file, label)
+			}
+		}
+		for _, prop := range []string{"MutualExclusion", "NoOverflow"} {
+			if !strings.Contains(text, prop) {
+				t.Errorf("%s: property %s missing", c.file, prop)
+			}
+		}
+	}
+}
+
+// The Go Bakery++ spec's label set matches the PlusCal module's label list
+// (modulo PlusCal's merged exit label).
+func TestGoLabelsCoverPlusCal(t *testing.T) {
+	p := BakeryPP(Config{N: 2, M: 3})
+	want := map[string]bool{}
+	for _, l := range p.Labels() {
+		want[l] = true
+	}
+	for _, l := range []string{"ncs", "l1", "ch1", "ch2", "chk", "rst", "ch3", "t1", "t2", "t3", "t4", "cs"} {
+		if !want[l] {
+			t.Errorf("Go spec lacks label %q used in the PlusCal artifact", l)
+		}
+	}
+}

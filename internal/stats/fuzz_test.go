@@ -1,0 +1,54 @@
+package stats
+
+import "testing"
+
+// Fuzz targets double as robustness tests: they run their seed corpus under
+// plain `go test` and can be fuzzed with `go test -fuzz=Fuzz...`.
+
+func FuzzSparkline(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 255}, 10)
+	f.Add([]byte{}, 5)
+	f.Add([]byte{7}, 1)
+	f.Fuzz(func(t *testing.T, raw []byte, width int) {
+		if width > 4096 {
+			width = 4096
+		}
+		vals := make([]int32, len(raw))
+		for i, b := range raw {
+			vals[i] = int32(b)
+		}
+		out := []rune(Sparkline(vals, width))
+		if len(vals) == 0 || width < 1 {
+			if len(out) != 0 {
+				t.Fatal("expected empty sparkline")
+			}
+			return
+		}
+		max := width
+		if len(vals) < max {
+			max = len(vals)
+		}
+		if len(out) != max {
+			t.Fatalf("sparkline width %d, want %d", len(out), max)
+		}
+	})
+}
+
+func FuzzHistogramQuantile(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 200}, uint8(50))
+	f.Add([]byte{0}, uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, qRaw uint8) {
+		if len(raw) == 0 {
+			return
+		}
+		h := NewHistogram()
+		for _, b := range raw {
+			h.Record(int64(b))
+		}
+		q := float64(qRaw%101) / 100
+		v := h.Quantile(q)
+		if v < h.Min() || v > h.Max() {
+			t.Fatalf("quantile %g = %d outside [%d, %d]", q, v, h.Min(), h.Max())
+		}
+	})
+}

@@ -1,0 +1,261 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("empty histogram nonzero summary")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty quantile nonzero")
+	}
+	if h.String() != "histogram(empty)" {
+		t.Errorf("String = %q", h.String())
+	}
+	if h.DurationSummary() != "no samples" {
+		t.Errorf("DurationSummary = %q", h.DurationSummary())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{1, 2, 3, 4, 100} {
+		h.Record(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Errorf("Min/Max = %d/%d", h.Min(), h.Max())
+	}
+	if got, want := h.Mean(), 22.0; got != want {
+		t.Errorf("Mean = %g, want %g", got, want)
+	}
+}
+
+// Quantile estimates are bounded by min/max and monotone in q.
+func TestQuantileProperties(t *testing.T) {
+	f := func(raw []uint16, qa, qb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range raw {
+			h.Record(int64(v))
+		}
+		q1 := float64(qa%101) / 100
+		q2 := float64(qb%101) / 100
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		v1, v2 := h.Quantile(q1), h.Quantile(q2)
+		return v1 >= h.Min() && v2 <= h.Max() && v1 <= v2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Power-of-two buckets bound quantile error by 2x.
+func TestQuantileAccuracyWithinFactorTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	var all []int64
+	for i := 0; i < 10000; i++ {
+		v := int64(rng.ExpFloat64() * 1000)
+		h.Record(v)
+		all = append(all, v)
+	}
+	sortInt64s(all)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := all[int(q*float64(len(all)))]
+		got := h.Quantile(q)
+		if exact > 0 && (float64(got) > 2.1*float64(exact) || float64(got) < float64(exact)/2.1) {
+			t.Errorf("q=%.2f: estimate %d vs exact %d exceeds 2x", q, got, exact)
+		}
+	}
+}
+
+func sortInt64s(a []int64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+func TestQuantileExtremes(t *testing.T) {
+	h := NewHistogram()
+	h.Record(5)
+	h.Record(10)
+	if h.Quantile(0) != 5 {
+		t.Errorf("q0 = %d, want min", h.Quantile(0))
+	}
+	if h.Quantile(1) != 10 {
+		t.Errorf("q1 = %d, want max", h.Quantile(1))
+	}
+}
+
+func TestHistogramNonPositiveSamples(t *testing.T) {
+	h := NewHistogram()
+	h.Record(0)
+	h.Record(-5)
+	if h.Count() != 2 {
+		t.Error("non-positive samples dropped")
+	}
+	if h.Min() != -5 {
+		t.Errorf("Min = %d", h.Min())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := int64(1); i <= 100; i++ {
+		if i%2 == 0 {
+			a.Record(i)
+		} else {
+			b.Record(i)
+		}
+	}
+	whole := NewHistogram()
+	for i := int64(1); i <= 100; i++ {
+		whole.Record(i)
+	}
+	a.Merge(b)
+	if a.Count() != whole.Count() || a.Mean() != whole.Mean() ||
+		a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Error("merge differs from whole")
+	}
+	if a.Quantile(0.5) != whole.Quantile(0.5) {
+		t.Error("merged median differs")
+	}
+	empty := NewHistogram()
+	before := a.Count()
+	a.Merge(empty)
+	if a.Count() != before {
+		t.Error("merging empty changed count")
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	data := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range data {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Errorf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %g, want 5", w.Mean())
+	}
+	// Sample variance of the data is 32/7.
+	if math.Abs(w.Variance()-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %g, want %g", w.Variance(), 32.0/7.0)
+	}
+	if math.Abs(w.Stddev()-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("Stddev = %g", w.Stddev())
+	}
+}
+
+func TestWelfordFewSamples(t *testing.T) {
+	var w Welford
+	if w.Variance() != 0 {
+		t.Error("variance of empty not 0")
+	}
+	w.Add(3)
+	if w.Variance() != 0 {
+		t.Error("variance of single sample not 0")
+	}
+}
+
+// Welford must match the naive two-pass computation.
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var w Welford
+		sum := 0.0
+		for _, v := range raw {
+			w.Add(float64(v))
+			sum += float64(v)
+		}
+		mean := sum / float64(len(raw))
+		ss := 0.0
+		for _, v := range raw {
+			d := float64(v) - mean
+			ss += d * d
+		}
+		naive := ss / float64(len(raw)-1)
+		return math.Abs(w.Variance()-naive) < 1e-6*(1+naive)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(1000, time.Second); got != 1000 {
+		t.Errorf("Rate = %g", got)
+	}
+	if got := Rate(100, 0); got != 0 {
+		t.Errorf("Rate with zero duration = %g", got)
+	}
+}
+
+func TestFormatRate(t *testing.T) {
+	cases := map[float64]string{
+		5:      "5.0/s",
+		1500:   "1.50k/s",
+		2.5e6:  "2.50M/s",
+		3.21e9: "3.21G/s",
+	}
+	for r, want := range cases {
+		if got := FormatRate(r); got != want {
+			t.Errorf("FormatRate(%g) = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "algo", "ops/s")
+	tb.AddRow("bakery", 123456.789)
+	tb.AddRow("bakerypp", 98765.4)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "algo") || !strings.Contains(out, "bakerypp") {
+		t.Error("missing header or row")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("rendered %d lines, want 5:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+	// Columns align: header and first row start of col 2 must match.
+	hIdx := strings.Index(lines[1], "ops/s")
+	rIdx := strings.Index(lines[3], "1.23")
+	if hIdx < 0 || rIdx < 0 || hIdx != rIdx {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow(0.123456)
+	if !strings.Contains(tb.String(), "0.123") {
+		t.Errorf("float row rendering: %q", tb.String())
+	}
+}

@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSparklineEmpty(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Error("empty series produced output")
+	}
+	if Sparkline([]int32{1, 2}, 0) != "" {
+		t.Error("zero width produced output")
+	}
+}
+
+func TestSparklineWidth(t *testing.T) {
+	vals := make([]int32, 100)
+	for i := range vals {
+		vals[i] = int32(i)
+	}
+	out := []rune(Sparkline(vals, 20))
+	if len(out) != 20 {
+		t.Errorf("width = %d, want 20", len(out))
+	}
+	// Monotone series must render non-decreasing block heights.
+	prev := rune(0)
+	for _, r := range out {
+		if r < prev {
+			t.Fatalf("sparkline not monotone: %q", string(out))
+		}
+		prev = r
+	}
+}
+
+func TestSparklineShortSeries(t *testing.T) {
+	out := []rune(Sparkline([]int32{5, 1}, 10))
+	if len(out) != 2 {
+		t.Errorf("width clamped to series length: got %d", len(out))
+	}
+	if out[0] <= out[1] {
+		t.Errorf("descending series rendered ascending: %q", string(out))
+	}
+}
+
+func TestSparklineFlatZero(t *testing.T) {
+	out := Sparkline([]int32{0, 0, 0}, 3)
+	if out != "▁▁▁" {
+		t.Errorf("flat zero series = %q", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRow("plain", 1)
+	tb.AddRow("with,comma", `with"quote`)
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d:\n%s", len(lines), csv)
+	}
+	if lines[0] != "a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "plain,1" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != `"with,comma","with""quote"` {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}

@@ -1,0 +1,103 @@
+// Package workload provides the contention patterns the benchmark harness
+// drives locks with. A pattern is a pair of spin-time generators: Think
+// (work outside the critical section) and Hold (work inside it), in units
+// of abstract spin iterations. Sustained zero-think contention realises
+// Lamport's "always at least one customer in the bakery" — the regime in
+// which classic Bakery's tickets grow without bound (paper Sections 3/5) —
+// while think-heavy patterns model the uncontended common case of
+// experiment E4.
+package workload
+
+import "math/rand"
+
+// Pattern generates per-iteration think and hold spin counts. Generators
+// receive a private *rand.Rand so concurrent workers stay deterministic
+// per-worker and race-free.
+type Pattern struct {
+	Name string
+	// Think returns the number of spin iterations to burn outside the
+	// critical section before the next acquisition.
+	Think func(rng *rand.Rand) int
+	// Hold returns the number of spin iterations to burn while holding
+	// the lock.
+	Hold func(rng *rand.Rand) int
+}
+
+func constant(n int) func(*rand.Rand) int {
+	return func(*rand.Rand) int { return n }
+}
+
+// Sustained is maximal contention: no think time, minimal hold time; the
+// bakery is never empty while any worker runs.
+func Sustained() Pattern {
+	return Pattern{Name: "sustained", Think: constant(0), Hold: constant(0)}
+}
+
+// ShortCS holds the lock for a short fixed amount of work with no think
+// time — contended but with a non-trivial critical section.
+func ShortCS(hold int) Pattern {
+	return Pattern{Name: "short-cs", Think: constant(0), Hold: constant(hold)}
+}
+
+// ThinkHeavy models mostly-uncontended use: long think time, short hold.
+func ThinkHeavy(think int) Pattern {
+	return Pattern{Name: "think-heavy", Think: constant(think), Hold: constant(1)}
+}
+
+// Uniform draws think time uniformly from [0, maxThink] with a fixed hold.
+func Uniform(maxThink, hold int) Pattern {
+	return Pattern{
+		Name: "uniform",
+		Think: func(rng *rand.Rand) int {
+			if maxThink <= 0 {
+				return 0
+			}
+			return rng.Intn(maxThink + 1)
+		},
+		Hold: constant(hold),
+	}
+}
+
+// Exponential draws think time from an exponential distribution with the
+// given mean — a Poisson arrival process per worker.
+func Exponential(meanThink float64, hold int) Pattern {
+	return Pattern{
+		Name: "exponential",
+		Think: func(rng *rand.Rand) int {
+			return int(rng.ExpFloat64() * meanThink)
+		},
+		Hold: constant(hold),
+	}
+}
+
+// Bursty alternates bursts of back-to-back acquisitions with long pauses:
+// burstLen acquisitions with zero think, then one think of gapLen.
+func Bursty(burstLen, gapLen int) Pattern {
+	if burstLen < 1 {
+		burstLen = 1
+	}
+	var count int
+	return Pattern{
+		Name: "bursty",
+		Think: func(*rand.Rand) int {
+			count++
+			if count%burstLen == 0 {
+				return gapLen
+			}
+			return 0
+		},
+		Hold: constant(0),
+	}
+}
+
+// Spin burns approximately n iterations of CPU work. The tiny arithmetic
+// defeats dead-code elimination without touching memory.
+func Spin(n int) uint32 {
+	var acc uint32 = 2463534242
+	for i := 0; i < n; i++ {
+		acc ^= acc << 13
+		acc ^= acc >> 17
+		acc ^= acc << 5
+	}
+	return acc
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func rng() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func TestSustained(t *testing.T) {
+	p := Sustained()
+	r := rng()
+	for i := 0; i < 10; i++ {
+		if p.Think(r) != 0 || p.Hold(r) != 0 {
+			t.Fatal("sustained pattern must be zero think/hold")
+		}
+	}
+}
+
+func TestShortCS(t *testing.T) {
+	p := ShortCS(7)
+	r := rng()
+	if p.Think(r) != 0 || p.Hold(r) != 7 {
+		t.Error("short-cs wrong")
+	}
+}
+
+func TestThinkHeavy(t *testing.T) {
+	p := ThinkHeavy(100)
+	r := rng()
+	if p.Think(r) != 100 || p.Hold(r) != 1 {
+		t.Error("think-heavy wrong")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	p := Uniform(10, 2)
+	r := rng()
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := p.Think(r)
+		if v < 0 || v > 10 {
+			t.Fatalf("uniform think %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 5 {
+		t.Error("uniform generator not spreading")
+	}
+	if p.Hold(r) != 2 {
+		t.Error("hold wrong")
+	}
+	if Uniform(0, 1).Think(r) != 0 {
+		t.Error("degenerate uniform should be 0")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	p := Exponential(50, 1)
+	r := rng()
+	sum := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += p.Think(r)
+	}
+	mean := float64(sum) / n
+	if mean < 40 || mean > 60 {
+		t.Errorf("exponential mean = %.1f, want ~50", mean)
+	}
+}
+
+func TestBurstyAlternation(t *testing.T) {
+	p := Bursty(3, 500)
+	r := rng()
+	var gaps, zeros int
+	for i := 0; i < 30; i++ {
+		switch p.Think(r) {
+		case 500:
+			gaps++
+		case 0:
+			zeros++
+		default:
+			t.Fatal("unexpected think value")
+		}
+	}
+	if gaps != 10 || zeros != 20 {
+		t.Errorf("gaps=%d zeros=%d, want 10/20", gaps, zeros)
+	}
+	if (Bursty(0, 5).Think(r)) != 5 {
+		t.Error("degenerate burst length not clamped to 1")
+	}
+}
+
+func TestSpinDoesWork(t *testing.T) {
+	if Spin(0) == 0 {
+		t.Error("seed lost")
+	}
+	a, b := Spin(10), Spin(10)
+	if a != b {
+		t.Error("Spin is not deterministic")
+	}
+	if Spin(10) == Spin(11) {
+		t.Error("Spin ignores n")
+	}
+}
+
+func BenchmarkSpin100(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Spin(100)
+	}
+}
