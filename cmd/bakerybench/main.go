@@ -17,8 +17,9 @@ import (
 
 func main() {
 	var (
-		run  = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
-		list = flag.Bool("list", false, "list experiments and exit")
+		run     = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		workers = flag.Int("workers", 0, "parallel model-checking goroutines (0 = sequential, -1 = GOMAXPROCS; FCFS/refinement checks stay sequential)")
 	)
 	flag.Parse()
 
@@ -32,7 +33,7 @@ func main() {
 	for i := range ids {
 		ids[i] = strings.TrimSpace(ids[i])
 	}
-	if err := harness.RunExperiments(os.Stdout, ids); err != nil {
+	if err := harness.RunExperiments(os.Stdout, ids, harness.ExpConfig{MCWorkers: *workers}); err != nil {
 		fmt.Fprintln(os.Stderr, "bakerybench:", err)
 		os.Exit(1)
 	}

@@ -33,6 +33,7 @@ func main() {
 		crash     = flag.Bool("crash", false, "add crash/restart transitions (paper conditions 3-4)")
 		deadlock  = flag.Bool("deadlock", false, "also detect deadlocks")
 		maxStates = flag.Int("maxstates", 0, "state bound (0 = default)")
+		workers   = flag.Int("workers", 0, "parallel exploration goroutines for check/graph/starve modes (0 = sequential, -1 = GOMAXPROCS; -fcfs always runs sequentially)")
 		trace     = flag.Bool("trace", false, "print the counterexample trace, if any")
 		starve    = flag.Int("starve", -1, "search for a Section 6.3 livelock pinning this pid at l1")
 		fcfs      = flag.String("fcfs", "", "check FCFS for a pid pair, e.g. -fcfs 0,1")
@@ -52,6 +53,7 @@ func main() {
 		Crash:      *crash,
 		Deadlock:   *deadlock,
 		MaxStates:  *maxStates,
+		Workers:    *workers,
 	}
 
 	if *listing {
@@ -85,7 +87,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bakerymc: %s has no l1 label to starve at\n", p.Name)
 			os.Exit(2)
 		}
-		g, err := mc.BuildGraph(p, mc.Options{MaxStates: opts.MaxStates})
+		g, err := mc.BuildGraph(p, mc.Options{MaxStates: opts.MaxStates, Workers: opts.Workers})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -1,0 +1,3 @@
+module bakerypp
+
+go 1.22

@@ -238,6 +238,7 @@ func (b Branch) WithTag(tag string) Branch {
 	return b
 }
 
+// String renders the branch target and shape for listings and debugging.
 func (b Branch) String() string {
 	return fmt.Sprintf("-> %s (%d assigns, tag=%q)", b.Next, len(b.Eff), b.Tag)
 }

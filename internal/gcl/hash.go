@@ -1,0 +1,41 @@
+package gcl
+
+// State hashing for the model checker's visited sets. The sequential engine
+// keys its map on the exact byte encoding produced by Prog.Key; the parallel
+// engine (internal/mc) shards its visited set on this 64-bit fingerprint and
+// resolves the rare collisions by comparing full state vectors, so the
+// fingerprint needs good dispersion but not injectivity.
+
+// FNV-1a parameters (64 bit).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Fingerprint returns a 64-bit FNV-1a hash of the state vector. Equal states
+// always hash equally; distinct states may collide, so callers that need
+// exact identity must confirm a hit with a full comparison (see Equal).
+func (s State) Fingerprint() uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range s {
+		u := uint32(v)
+		h = (h ^ uint64(u&0xff)) * fnvPrime64
+		h = (h ^ uint64((u>>8)&0xff)) * fnvPrime64
+		h = (h ^ uint64((u>>16)&0xff)) * fnvPrime64
+		h = (h ^ uint64(u>>24)) * fnvPrime64
+	}
+	return h
+}
+
+// Equal reports whether two states are word-for-word identical.
+func (s State) Equal(t State) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i, v := range s {
+		if v != t[i] {
+			return false
+		}
+	}
+	return true
+}

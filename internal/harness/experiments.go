@@ -16,6 +16,20 @@ import (
 	"bakerypp/internal/workload"
 )
 
+// ExpConfig tunes how the experiments execute without changing what they
+// measure; the zero value reproduces the recorded EXPERIMENTS.md settings.
+type ExpConfig struct {
+	// MCWorkers is passed through to mc.Options.Workers for every
+	// mc.Check and mc.BuildGraph call an experiment makes: 0 runs the
+	// sequential engine, a positive count the parallel engine with that
+	// many expansion goroutines, -1 one per GOMAXPROCS. Results are
+	// identical either way (the engines are deterministic); only
+	// wall-clock time changes. The FCFS monitor (E6) and bounded
+	// refinement (E11) checkers have their own exploration loops and
+	// always run sequentially.
+	MCWorkers int
+}
+
 // Experiment is one reproducible experiment from the per-experiment index
 // in DESIGN.md. Run writes its tables to w; EXPERIMENTS.md records the
 // output of cmd/bakerybench, which runs them all.
@@ -24,7 +38,7 @@ type Experiment struct {
 	Title string
 	// Claim cites the paper statement the experiment substantiates.
 	Claim string
-	Run   func(w io.Writer) error
+	Run   func(w io.Writer, cfg ExpConfig) error
 }
 
 // Experiments returns the full suite in ID order.
@@ -58,7 +72,13 @@ func Experiments() []Experiment {
 }
 
 // RunExperiments runs the selected experiment IDs ("all" or empty = all).
-func RunExperiments(w io.Writer, ids []string) error {
+// An optional ExpConfig tunes execution (e.g. parallel model checking);
+// omitted, the defaults reproduce the recorded tables.
+func RunExperiments(w io.Writer, ids []string, cfgs ...ExpConfig) error {
+	var cfg ExpConfig
+	if len(cfgs) > 0 {
+		cfg = cfgs[0]
+	}
 	want := map[string]bool{}
 	for _, id := range ids {
 		if id == "all" {
@@ -75,7 +95,7 @@ func RunExperiments(w io.Writer, ids []string) error {
 		fmt.Fprintf(w, "### %s: %s\n", e.ID, e.Title)
 		fmt.Fprintf(w, "Paper claim: %s\n\n", e.Claim)
 		start := time.Now()
-		if err := e.Run(w); err != nil {
+		if err := e.Run(w, cfg); err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		fmt.Fprintf(w, "(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
@@ -104,7 +124,7 @@ func verdict(r *mc.Result) string {
 	}
 }
 
-func runE1(w io.Writer) error {
+func runE1(w io.Writer, cfg ExpConfig) error {
 	tb := stats.NewTable("Bakery++ safety verification", "variant", "N", "M", "crash", "states", "transitions", "verdict")
 	type row struct {
 		cfg   specs.Config
@@ -125,14 +145,14 @@ func runE1(w io.Writer) error {
 	}
 	for _, r := range rows {
 		p := specs.BakeryPP(r.cfg)
-		res := mc.Check(p, mc.Options{Invariants: safetyInvariants(), Crash: r.crash})
+		res := mc.Check(p, mc.Options{Invariants: safetyInvariants(), Crash: r.crash, Workers: cfg.MCWorkers})
 		tb.AddRow(p.Name, r.cfg.N, r.cfg.M, r.crash, res.States, res.Transitions, verdict(res))
 	}
 	_, err := fmt.Fprintln(w, tb)
 	return err
 }
 
-func runE2(w io.Writer) error {
+func runE2(w io.Writer, cfg ExpConfig) error {
 	tb := stats.NewTable("No-overflow invariant across algorithms", "algorithm", "N", "M", "crash", "verdict", "trace len")
 	type entry struct {
 		p     *gcl.Prog
@@ -150,7 +170,7 @@ func runE2(w io.Writer) error {
 	}
 	var bakeryTrace *mc.Trace
 	for _, e := range entries {
-		res := mc.Check(e.p, mc.Options{Invariants: []mc.Invariant{mc.NoOverflow()}, Crash: e.crash})
+		res := mc.Check(e.p, mc.Options{Invariants: []mc.Invariant{mc.NoOverflow()}, Crash: e.crash, Workers: cfg.MCWorkers})
 		tl := 0
 		if res.Violation != nil {
 			tl = res.Violation.Trace.Len()
@@ -169,7 +189,7 @@ func runE2(w io.Writer) error {
 	return err
 }
 
-func runE3(w io.Writer) error {
+func runE3(w io.Writer, _ ExpConfig) error {
 	const n = 4
 	// Measure ticket growth rate on ideal registers under sustained
 	// contention.
@@ -286,7 +306,7 @@ func medianThroughput(ctor lockCtor, n, iters int, pat workload.Pattern) (float6
 	return vals[1], nil
 }
 
-func runE4(w io.Writer) error {
+func runE4(w io.Writer, _ ExpConfig) error {
 	for _, pat := range []workload.Pattern{workload.Sustained(), workload.ThinkHeavy(200)} {
 		tb := stats.NewTable(fmt.Sprintf("Throughput, %s workload (critical sections/sec, median of 3)", pat.Name),
 			"lock", "N=2", "N=4", "N=8")
@@ -318,7 +338,7 @@ func runE4(w io.Writer) error {
 	return err
 }
 
-func runE5(w io.Writer) error {
+func runE5(w io.Writer, _ ExpConfig) error {
 	const n = 4
 	tb := stats.NewTable("Bakery++ overflow pressure (4 participants, sustained)",
 		"capacity M", "ops", "throughput", "resets", "resets/op", "gate waits/op")
@@ -336,7 +356,7 @@ func runE5(w io.Writer) error {
 	return err
 }
 
-func runE6(w io.Writer) error {
+func runE6(w io.Writer, _ ExpConfig) error {
 	tb := stats.NewTable("FCFS order in the interleaving simulator (N=3, 300k steps, random scheduler)",
 		"algorithm", "cs entries", "doorways", "FCFS inversions", "fairness ratio")
 	progs := []*gcl.Prog{
@@ -391,16 +411,16 @@ func runE6(w io.Writer) error {
 	return err
 }
 
-func runE12(w io.Writer) error {
+func runE12(w io.Writer, cfg ExpConfig) error {
 	tb := stats.NewTable("Model-checked safety over safe (flickering) registers",
 		"spec", "N", "M", "crash", "states", "verdict")
-	type cfg struct {
+	type combo struct {
 		n, m  int
 		crash bool
 	}
-	for _, c := range []cfg{{2, 2, false}, {2, 3, false}, {2, 2, true}} {
+	for _, c := range []combo{{2, 2, false}, {2, 3, false}, {2, 2, true}} {
 		p := specs.BakeryPPSafe(c.n, c.m)
-		res := mc.Check(p, mc.Options{Invariants: safetyInvariants(), Crash: c.crash})
+		res := mc.Check(p, mc.Options{Invariants: safetyInvariants(), Crash: c.crash, Workers: cfg.MCWorkers})
 		tb.AddRow(p.Name, c.n, c.m, c.crash, res.States, verdict(res))
 	}
 	fmt.Fprintln(w, tb)
@@ -416,9 +436,9 @@ func runE12(w io.Writer) error {
 	return nil
 }
 
-func runE7(w io.Writer) error {
+func runE7(w io.Writer, cfg ExpConfig) error {
 	p := specs.BakeryPP(specs.Config{N: 3, M: 2})
-	g, err := mc.BuildGraph(p, mc.Options{})
+	g, err := mc.BuildGraph(p, mc.Options{Workers: cfg.MCWorkers})
 	if err != nil {
 		return err
 	}
@@ -451,7 +471,7 @@ func runE7(w io.Writer) error {
 	}, all); rep != nil {
 		fmt.Fprintf(w, "Active starvation (Question Two connection): a %d-state cycle keeps process 2 moving (%d steps per lap region) without ever serving it — each reset discards its ticket and restarts its FCFS protection. Classic Bakery cannot do this: tickets are never given up.\n", rep.ComponentSize, rep.MovesByPid[2])
 	}
-	gg, err := mc.BuildGraph(specs.BakeryPP(specs.Config{N: 3, M: 2, NoGate: true}), mc.Options{})
+	gg, err := mc.BuildGraph(specs.BakeryPP(specs.Config{N: 3, M: 2, NoGate: true}), mc.Options{Workers: cfg.MCWorkers})
 	if err != nil {
 		return err
 	}
@@ -478,7 +498,7 @@ func runE7(w io.Writer) error {
 	return err
 }
 
-func runE8(w io.Writer) error {
+func runE8(w io.Writer, cfg ExpConfig) error {
 	const n = 8
 	tb := stats.NewTable("Structure at N=8 (paper Section 4/7 comparison, made quantitative)",
 		"algorithm", "shared cells", "value bound", "single-writer", "FCFS", "RMW-free", "labels", "states(N=2)")
@@ -498,7 +518,7 @@ func runE8(w io.Writer) error {
 	}
 	for _, a := range algos {
 		var states string
-		res := mc.Check(a.small, mc.Options{MaxStates: 400000})
+		res := mc.Check(a.small, mc.Options{MaxStates: 400000, Workers: cfg.MCWorkers})
 		if res.Complete {
 			states = fmt.Sprint(res.States)
 		} else {
@@ -512,9 +532,9 @@ func runE8(w io.Writer) error {
 	return nil
 }
 
-func runE9(w io.Writer) error {
+func runE9(w io.Writer, cfg ExpConfig) error {
 	p := specs.ModBakery(2, 2)
-	res := mc.Check(p, mc.Options{Invariants: []mc.Invariant{mc.Mutex()}})
+	res := mc.Check(p, mc.Options{Invariants: []mc.Invariant{mc.Mutex()}, Workers: cfg.MCWorkers})
 	if res.Violation == nil {
 		return fmt.Errorf("expected a mutual-exclusion violation from modbakery")
 	}
@@ -523,7 +543,7 @@ func runE9(w io.Writer) error {
 	return nil
 }
 
-func runE10(w io.Writer) error {
+func runE10(w io.Writer, _ ExpConfig) error {
 	tb := stats.NewTable("Question One: N participants, M < N (200k steps, random scheduler)",
 		"N", "M", "cs entries", "resets", "max ticket", "fairness ratio", "locked out")
 	for _, cfg := range []specs.Config{{N: 4, M: 3}, {N: 6, M: 3}, {N: 8, M: 2}} {
@@ -547,7 +567,7 @@ func runE10(w io.Writer) error {
 	return nil
 }
 
-func runE11(w io.Writer) error {
+func runE11(w io.Writer, _ ExpConfig) error {
 	spec := specs.Bakery(specs.Config{N: 2, M: 1 << 14})
 	impl := specs.BakeryPP(specs.Config{N: 2, M: 2})
 	res, err := mc.CheckBoundedRefinement(impl, spec, mc.RefinementOptions{MaxEvents: 6})

@@ -2,6 +2,7 @@ package mc
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"bakerypp/internal/gcl"
@@ -42,6 +43,81 @@ func BenchmarkBuildGraph(b *testing.B) {
 		if _, err := BuildGraph(specs.BakeryPP(specs.Config{N: 2, M: 3}), Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// workerVariants are the engine configurations the comparative benchmarks
+// sweep: the sequential engine, and the parallel engine at 1 worker (engine
+// overhead), 4 workers, and GOMAXPROCS workers.
+func workerVariants() []struct {
+	name    string
+	workers int
+} {
+	vs := []struct {
+		name    string
+		workers int
+	}{{"seq", 0}, {"par1", 1}, {"par4", 4}}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+		vs = append(vs, struct {
+			name    string
+			workers int
+		}{fmt.Sprintf("par%d", n), n})
+	}
+	return vs
+}
+
+// BenchmarkBuildGraphWorkers compares sequential and parallel graph
+// construction throughput (states/sec) across the three algorithm families
+// the determinism tests cover. Both engines build identical graphs, so the
+// metric isolates engine speed.
+func BenchmarkBuildGraphWorkers(b *testing.B) {
+	models := []struct {
+		name string
+		p    func() *gcl.Prog
+	}{
+		{"bakerypp-N3-M2", func() *gcl.Prog { return specs.BakeryPP(specs.Config{N: 3, M: 2}) }},
+		{"peterson-N3", func() *gcl.Prog { return specs.Peterson(3) }},
+		{"szymanski-N3", func() *gcl.Prog { return specs.Szymanski(3) }},
+	}
+	for _, m := range models {
+		for _, v := range workerVariants() {
+			b.Run(m.name+"/"+v.name, func(b *testing.B) {
+				states := 0
+				for i := 0; i < b.N; i++ {
+					g, err := BuildGraph(m.p(), Options{Workers: v.workers})
+					if err != nil {
+						b.Fatal(err)
+					}
+					states += g.NumStates()
+				}
+				b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/s")
+			})
+		}
+	}
+}
+
+// BenchmarkExploreBakery8 measures raw exploration throughput on an
+// 8-process Bakery++ model. The full space is far beyond reach, so the run
+// is bounded to the first 150k states — enough BFS levels that the frontier
+// is tens of thousands of states wide and the parallel engine's expansion
+// phase dominates. On a multi-core runner the parallel variants should beat
+// sequential well past the 1.5x mark; on a single hardware thread they
+// mostly measure engine overhead.
+func BenchmarkExploreBakery8(b *testing.B) {
+	const bound = 150_000
+	for _, v := range workerVariants() {
+		b.Run(v.name, func(b *testing.B) {
+			states := 0
+			for i := 0; i < b.N; i++ {
+				res := Check(specs.BakeryPP(specs.Config{N: 8, M: 2}),
+					Options{MaxStates: bound, Workers: v.workers})
+				if res.Violation != nil {
+					b.Fatal("violation")
+				}
+				states += res.States
+			}
+			b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/s")
+		})
 	}
 }
 

@@ -35,8 +35,13 @@ func (g *Graph) State(i int) gcl.State { return g.expl.states[i] }
 // its transition graph. Unlike Check it does not stop at invariant
 // violations (Summary.Violation still records the first one found); it
 // fails only if the state bound is exceeded, since an incomplete graph
-// would make cycle analysis meaningless.
+// would make cycle analysis meaningless. Options.Workers selects between
+// the sequential engine below and the parallel engine; state numbering and
+// edge order are identical either way.
 func BuildGraph(p *gcl.Prog, opts Options) (*Graph, error) {
+	if opts.Workers != 0 {
+		return buildGraphParallel(p, opts)
+	}
 	start := time.Now()
 	e := newExplorer(p, opts)
 	res := &Result{Prog: p}

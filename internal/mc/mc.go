@@ -90,6 +90,15 @@ type Options struct {
 	// Mode is the store semantics; model checking uses ModeUnbounded so
 	// the NoOverflow invariant can observe attempted over-stores.
 	Mode gcl.Mode
+	// Workers selects the exploration engine. 0 (the default) runs the
+	// sequential BFS; a positive count runs the level-synchronous parallel
+	// engine (see parallel.go) with that many expansion goroutines; a
+	// negative count uses GOMAXPROCS. Both engines number states
+	// identically, so Check results, graphs, traces, and the SCC analyses
+	// are byte-for-byte independent of this setting. Invariant predicates
+	// must be safe for concurrent use when Workers != 0 (the stock
+	// invariants are pure reads and qualify).
+	Workers int
 }
 
 // DefaultMaxStates bounds exploration when Options.MaxStates is zero.
@@ -254,7 +263,12 @@ func (e *explorer) successors(s gcl.State) []gcl.Succ {
 // Check explores the reachable states of p breadth-first, verifying the
 // configured invariants, and returns as soon as a violation or deadlock is
 // found (the BFS order makes the returned counterexample shortest).
+// Options.Workers selects between the sequential engine below and the
+// parallel engine; both produce identical results.
 func Check(p *gcl.Prog, opts Options) *Result {
+	if opts.Workers != 0 {
+		return checkParallel(p, opts)
+	}
 	start := time.Now()
 	e := newExplorer(p, opts)
 	res := &Result{Prog: p}

@@ -1,0 +1,364 @@
+package mc
+
+// Parallel explicit-state exploration. The engine alternates two phases
+// over chunks of the BFS queue: a pool of worker goroutines expands the next
+// chunk of numbered states (successor generation, fingerprinting, and
+// invariant evaluation — the expensive, embarrassingly parallel part), then
+// a single merge pass numbers the freshly discovered states in exactly the
+// order the sequential engine would have. Because state numbering, parent
+// attribution, edge order, and stop conditions are all decided by the
+// deterministic merge pass, every downstream analysis — Trace, SCCs,
+// FindStarvation, FindNoProgress — sees a graph identical to the sequential
+// engine's, regardless of worker count or scheduling. See
+// docs/model-checking.md for the design in full.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bakerypp/internal/gcl"
+)
+
+// shardCount is the number of stripes in the visited set; a power of two so
+// shard selection is a mask. 64 stripes keep lock contention negligible up
+// to far more workers than any current machine provides.
+const shardCount = 64
+
+// visitedShard is one stripe of the sharded visited set: a fingerprint-keyed
+// bucket map guarded by a read-write mutex. Workers only read (lookups during
+// expansion); the merge pass is the sole writer. Strictly, the expand and
+// merge phases never overlap (they are separated by the chunk barrier), so
+// the locks are uncontended belt-and-braces; they keep the set safe if a
+// future change lets phases overlap, at a cost of a few percent.
+type visitedShard struct {
+	mu sync.RWMutex
+	m  map[uint64][]int32
+}
+
+// shardedSet is the parallel engine's visited set: states are keyed by their
+// 64-bit fingerprint, striped over shardCount mutex-guarded maps. Fingerprint
+// collisions between distinct states are resolved by comparing the full state
+// vectors, so membership is exact.
+type shardedSet struct {
+	shards [shardCount]visitedShard
+}
+
+func newShardedSet() *shardedSet {
+	ss := &shardedSet{}
+	for i := range ss.shards {
+		ss.shards[i].m = map[uint64][]int32{}
+	}
+	return ss
+}
+
+// lookup returns the index of s in the numbered-state prefix, if present.
+// states must be the slice the stored indices point into.
+func (ss *shardedSet) lookup(fp uint64, s gcl.State, states []gcl.State) (int32, bool) {
+	sh := &ss.shards[fp&(shardCount-1)]
+	sh.mu.RLock()
+	for _, idx := range sh.m[fp] {
+		if s.Equal(states[idx]) {
+			sh.mu.RUnlock()
+			return idx, true
+		}
+	}
+	sh.mu.RUnlock()
+	return -1, false
+}
+
+// insert records that state index idx has fingerprint fp. Callers must have
+// established (via lookup) that the state is not already present.
+func (ss *shardedSet) insert(fp uint64, idx int32) {
+	sh := &ss.shards[fp&(shardCount-1)]
+	sh.mu.Lock()
+	sh.m[fp] = append(sh.m[fp], idx)
+	sh.mu.Unlock()
+}
+
+// candidate is one successor produced by a worker, carrying everything the
+// merge pass needs to number it without recomputing: the state, its
+// fingerprint, the transition that produced it, the visited-set verdict at
+// expansion time, and the invariant verdict if it looked fresh.
+type candidate struct {
+	state gcl.State
+	fp    uint64
+	pid   int32
+	label string
+	// seen is the state's index if it was already numbered when the worker
+	// expanded it, else -1. A -1 candidate may still duplicate a state
+	// discovered concurrently in the same chunk; the merge pass resolves
+	// that deterministically.
+	seen int32
+	// violated names the first invariant the state breaks, or "" — computed
+	// by the worker so the merge pass stays cheap.
+	violated string
+}
+
+// expansion is the ordered successor set of one frontier state.
+type expansion struct {
+	cands []candidate
+	// progress records whether any successor was a program action (crash
+	// pseudo-transitions do not count), feeding deadlock detection.
+	progress bool
+}
+
+// pexplorer drives the parallel engine. It reuses the sequential explorer's
+// state/parent/depth arrays (so Graph, Trace, and the SCC analyses work
+// unchanged) but replaces the string-keyed seen map with the sharded
+// fingerprint set.
+type pexplorer struct {
+	e       *explorer
+	set     *shardedSet
+	workers int
+}
+
+func newPExplorer(p *gcl.Prog, opts Options) *pexplorer {
+	w := opts.Workers
+	if w < 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return &pexplorer{e: newExplorer(p, opts), set: newShardedSet(), workers: w}
+}
+
+// addNumbered gives the candidate's state a number if it is new, mirroring
+// explorer.add. It must only be called from the single-threaded merge pass;
+// the numbering order of calls is what makes the engine deterministic.
+func (pe *pexplorer) addNumbered(c *candidate, parent int32) (int32, bool) {
+	if c.seen >= 0 {
+		return c.seen, false
+	}
+	e := pe.e
+	if idx, ok := pe.set.lookup(c.fp, c.state, e.states); ok {
+		return idx, false
+	}
+	idx := int32(len(e.states))
+	pe.set.insert(c.fp, idx)
+	e.states = append(e.states, c.state)
+	e.parent = append(e.parent, parent)
+	e.parentBy = append(e.parentBy, c.pid)
+	e.parentLb = append(e.parentLb, c.label)
+	if parent < 0 {
+		e.depth = append(e.depth, 0)
+	} else {
+		e.depth = append(e.depth, e.depth[parent]+1)
+	}
+	return idx, true
+}
+
+// addInit numbers the initial state (index 0).
+func (pe *pexplorer) addInit(init gcl.State) {
+	c := candidate{state: init, fp: init.Fingerprint(), pid: -1, seen: -1}
+	pe.addNumbered(&c, -1)
+}
+
+// maxChunk is how many queued states one expansion phase covers. Chunks
+// need to be wide enough to amortise the spawn/barrier cost over real work
+// and narrow enough that a bounded run (MaxStates, early violation stop)
+// wastes at most one chunk of speculative expansion.
+const maxChunk = 4096
+
+// expandRange expands every state numbered in [lo, hi) — the next chunk of
+// the BFS queue, contiguous because numbering follows discovery order —
+// across the worker pool. Workers claim batches of states through an atomic
+// cursor (batched hand-off keeps the cursor off the hot path) and write
+// results into disjoint slots, so the only synchronisation is the final
+// barrier. checkInv asks workers to pre-evaluate invariants on states that
+// look fresh. Tiny chunks (the first few BFS levels) are expanded inline:
+// there is no parallelism to win there.
+func (pe *pexplorer) expandRange(lo, hi int32, checkInv bool) []expansion {
+	n := int(hi - lo)
+	out := make([]expansion, n)
+	workers := pe.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 64 {
+		for i := range out {
+			pe.expandState(lo+int32(i), &out[i], checkInv)
+		}
+		return out
+	}
+	batch := n / (workers * 4)
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > 64 {
+		batch = 64
+	}
+	var cursor int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				end := atomic.AddInt64(&cursor, int64(batch))
+				start := end - int64(batch)
+				if start >= int64(n) {
+					return
+				}
+				if end > int64(n) {
+					end = int64(n)
+				}
+				for i := start; i < end; i++ {
+					pe.expandState(lo+int32(i), &out[i], checkInv)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// expandState computes the ordered successor candidates of one state. It
+// reads the numbered-state prefix and the visited set but writes only to
+// its private result slot.
+func (pe *pexplorer) expandState(idx int32, out *expansion, checkInv bool) {
+	e := pe.e
+	succs := e.successors(e.states[idx])
+	out.cands = make([]candidate, 0, len(succs))
+	for _, sc := range succs {
+		if sc.Label != crashLabel {
+			out.progress = true
+		}
+		c := candidate{
+			state: sc.State,
+			fp:    sc.State.Fingerprint(),
+			pid:   int32(sc.Pid),
+			label: sc.Label,
+			seen:  -1,
+		}
+		if i, ok := pe.set.lookup(c.fp, c.state, e.states); ok {
+			c.seen = i
+		} else if checkInv {
+			if name, bad := e.checkInvariants(sc.State); bad {
+				c.violated = name
+			}
+		}
+		out.cands = append(out.cands, c)
+	}
+}
+
+// checkParallel is Check on the parallel engine. The merge pass replays the
+// sequential loop's order exactly — per-head state-bound check, transition
+// counting, first-violation stop, deadlock check after a head's successors —
+// so results (including States/Transitions/Depth at an early stop) match the
+// sequential engine's.
+func checkParallel(p *gcl.Prog, opts Options) *Result {
+	start := time.Now()
+	pe := newPExplorer(p, opts)
+	e := pe.e
+	res := &Result{Prog: p}
+
+	finish := func() *Result {
+		res.States = len(e.states)
+		res.Elapsed = time.Since(start)
+		return res
+	}
+
+	init := p.InitState()
+	pe.addInit(init)
+	if name, bad := e.checkInvariants(init); bad {
+		t := e.trace(0)
+		res.Violation = &Violation{Invariant: name, Trace: t}
+		return finish()
+	}
+
+	checkInv := len(opts.Invariants) > 0
+	for merged := 0; merged < len(e.states); {
+		lo, hi := int32(merged), int32(len(e.states))
+		if hi > lo+maxChunk {
+			hi = lo + maxChunk
+		}
+		merged = int(hi)
+		exps := pe.expandRange(lo, hi, checkInv)
+		for i := range exps {
+			head := lo + int32(i)
+			if len(e.states) >= e.opts.MaxStates {
+				return finish()
+			}
+			res.Depth = int(e.depth[head])
+			x := &exps[i]
+			for ci := range x.cands {
+				c := &x.cands[ci]
+				res.Transitions++
+				idx, fresh := pe.addNumbered(c, head)
+				if !fresh {
+					continue
+				}
+				if c.violated != "" {
+					t := e.trace(idx)
+					res.Violation = &Violation{Invariant: c.violated, Trace: t}
+					return finish()
+				}
+			}
+			if opts.Deadlock && !x.progress {
+				t := e.trace(head)
+				res.Deadlock = &t
+				return finish()
+			}
+		}
+	}
+	res.Complete = true
+	return finish()
+}
+
+// buildGraphParallel is BuildGraph on the parallel engine; the merge pass
+// appends adjacency edges in the same order the sequential loop would.
+func buildGraphParallel(p *gcl.Prog, opts Options) (*Graph, error) {
+	start := time.Now()
+	pe := newPExplorer(p, opts)
+	e := pe.e
+	res := &Result{Prog: p}
+	g := &Graph{Summary: res, expl: e}
+
+	init := p.InitState()
+	pe.addInit(init)
+	g.Adj = append(g.Adj, nil)
+	if name, bad := e.checkInvariants(init); bad {
+		t := e.trace(0)
+		res.Violation = &Violation{Invariant: name, Trace: t}
+	}
+
+	checkInv := len(opts.Invariants) > 0
+	for merged := 0; merged < len(e.states); {
+		lo, hi := int32(merged), int32(len(e.states))
+		if hi > lo+maxChunk {
+			hi = lo + maxChunk
+		}
+		merged = int(hi)
+		exps := pe.expandRange(lo, hi, checkInv)
+		for i := range exps {
+			head := lo + int32(i)
+			if len(e.states) > e.opts.MaxStates {
+				return nil, fmt.Errorf("mc: %s: state bound %d exceeded while building graph",
+					p.Name, e.opts.MaxStates)
+			}
+			res.Depth = int(e.depth[head])
+			x := &exps[i]
+			for ci := range x.cands {
+				c := &x.cands[ci]
+				res.Transitions++
+				idx, fresh := pe.addNumbered(c, head)
+				if fresh {
+					g.Adj = append(g.Adj, nil)
+					if c.violated != "" && res.Violation == nil {
+						t := e.trace(idx)
+						res.Violation = &Violation{Invariant: c.violated, Trace: t}
+					}
+				}
+				g.Adj[head] = append(g.Adj[head], Edge{To: idx, Pid: int8(c.pid), Label: c.label})
+			}
+		}
+	}
+	res.States = len(e.states)
+	res.Complete = true
+	res.Elapsed = time.Since(start)
+	return g, nil
+}

@@ -1,0 +1,52 @@
+---------------------------- MODULE Bakery ----------------------------
+(* Lamport's bakery algorithm (Algorithm 1 of "Avoiding Register        *)
+(* Overflow in the Bakery Algorithm", Sayyadabdi & Sharifi, ICPP 2020), *)
+(* written in PlusCal at the same label granularity as the Go spec in   *)
+(* internal/specs/bakery.go. Registers are ideal (unbounded); M is the  *)
+(* capacity used only for overflow accounting, which is exactly why the *)
+(* NoOverflow invariant FAILS for this module (paper Section 3).        *)
+
+EXTENDS Integers, Naturals
+
+CONSTANTS N, M
+
+Procs == 0..(N-1)
+
+Max(S) == CHOOSE x \in S : \A y \in S : y <= x
+
+(* --algorithm Bakery {
+  variables choosing = [q \in Procs |-> 0],
+            number   = [q \in Procs |-> 0];
+
+  process (p \in Procs)
+    variables j = 0;
+  {
+  ncs:  while (TRUE) {
+          skip;                    \* noncritical section
+  ch1:    choosing[self] := 1;
+  ch2:    number[self] := 1 + Max({number[q] : q \in Procs});
+  ch3:    choosing[self] := 0;
+          j := 0;
+  t1:     while (j < N) {
+  t2:       await choosing[j] = 0;
+  t3:       await \/ number[j] = 0
+                  \/ \lnot \/ number[j] < number[self]
+                           \/ number[j] = number[self] /\ j < self;
+  t4:       j := j + 1;
+          };
+  cs:     number[self] := 0;       \* critical section, then exit protocol
+        }
+  }
+} *)
+
+VARIABLES choosing, number, pc, j
+
+(* The two checked properties, shared with internal/mc's invariants.    *)
+
+MutualExclusion ==
+    \A p1, p2 \in Procs : p1 # p2 => ~(pc[p1] = "cs" /\ pc[p2] = "cs")
+
+NoOverflow ==
+    \A q \in Procs : number[q] <= M
+
+=======================================================================

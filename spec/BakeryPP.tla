@@ -1,0 +1,61 @@
+--------------------------- MODULE BakeryPP ---------------------------
+(* Bakery++ (Algorithm 2 of "Avoiding Register Overflow in the Bakery   *)
+(* Algorithm", Sayyadabdi & Sharifi, ICPP 2020): Lamport's bakery plus  *)
+(* two conditional statements that make register overflow impossible —  *)
+(* the L1 entry gate and the pre-increment check that resets instead of *)
+(* storing a value above M. Written in PlusCal at the same label        *)
+(* granularity as the Go spec in internal/specs/bakerypp.go; TLC        *)
+(* verifies MutualExclusion and NoOverflow over all interleavings,      *)
+(* which internal/mc reproduces (experiments E1/E2).                    *)
+
+EXTENDS Integers, Naturals
+
+CONSTANTS N, M
+
+Procs == 0..(N-1)
+
+Max(S) == CHOOSE x \in S : \A y \in S : y <= x
+
+(* --algorithm BakeryPP {
+  variables choosing = [q \in Procs |-> 0],
+            number   = [q \in Procs |-> 0];
+
+  process (p \in Procs)
+    variables j = 0;
+  {
+  ncs:  while (TRUE) {
+          skip;                    \* noncritical section
+  l1:     await \A q \in Procs : number[q] < M;   \* the entry gate
+  ch1:    choosing[self] := 1;
+  ch2:    number[self] := Max({number[q] : q \in Procs});
+  chk:    if (number[self] >= M) {               \* pre-increment check
+  rst:      number[self] := 0 || choosing[self] := 0;
+            goto l1;                             \* reset and retry
+          } else {
+            number[self] := number[self] + 1;
+          };
+  ch3:    choosing[self] := 0;
+          j := 0;
+  t1:     while (j < N) {
+  t2:       await choosing[j] = 0;
+  t3:       await \/ number[j] = 0
+                  \/ \lnot \/ number[j] < number[self]
+                           \/ number[j] = number[self] /\ j < self;
+  t4:       j := j + 1;
+          };
+  cs:     number[self] := 0;       \* critical section, then exit protocol
+        }
+  }
+} *)
+
+VARIABLES choosing, number, pc, j
+
+(* The two checked properties, shared with internal/mc's invariants.    *)
+
+MutualExclusion ==
+    \A p1, p2 \in Procs : p1 # p2 => ~(pc[p1] = "cs" /\ pc[p2] = "cs")
+
+NoOverflow ==
+    \A q \in Procs : number[q] <= M
+
+=======================================================================
