@@ -91,9 +91,9 @@ type Options struct {
 	// the NoOverflow invariant can observe attempted over-stores.
 	Mode gcl.Mode
 	// Workers selects the exploration engine. 0 (the default) runs the
-	// sequential BFS; a positive count runs the level-synchronous parallel
-	// engine (see parallel.go) with that many expansion goroutines; a
-	// negative count uses GOMAXPROCS. Both engines number states
+	// sequential BFS; a positive count runs the chunked parallel engine
+	// (see parallel.go) with that many expansion goroutines; a negative
+	// count uses GOMAXPROCS. Both engines number states
 	// identically, so Check results, graphs, traces, and the SCC analyses
 	// are byte-for-byte independent of this setting. Invariant predicates
 	// must be safe for concurrent use when Workers != 0 (the stock
