@@ -1,9 +1,17 @@
-// Command bakerybench runs the repository's experiment suite (E1–E11 of
-// DESIGN.md) and prints the tables recorded in EXPERIMENTS.md.
+// Command bakerybench runs the repository's experiment suite (E1–E13 of
+// DESIGN.md) and prints the tables recorded in EXPERIMENTS.md, or — with
+// -sweep — the deterministic contention sweep on its full default grid.
 //
-//	bakerybench               # run everything
+//	bakerybench               # run every experiment
 //	bakerybench -run E2,E9    # selected experiments
 //	bakerybench -list         # list experiments
+//	bakerybench -sweep        # 48-cell scenario grid in virtual time
+//	bakerybench -sweep -sweep-workers 4 -sweep-seed 7
+//
+// The sweep executes every scenario cell on a deterministic cooperative
+// scheduler (virtual time), so its aggregated table — including the
+// printed fingerprint — is identical on any machine, at any GOMAXPROCS,
+// and for any -sweep-workers value.
 package main
 
 import (
@@ -20,6 +28,12 @@ func main() {
 		run     = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		workers = flag.Int("workers", 0, "parallel model-checking goroutines (0 = sequential, -1 = GOMAXPROCS; FCFS/refinement checks stay sequential)")
+
+		sweep        = flag.Bool("sweep", false, "run the deterministic contention sweep instead of the experiment suite")
+		sweepWorkers = flag.Int("sweep-workers", 1, "sweep worker pool size (cells in parallel; the table is identical for any value)")
+		sweepSeed    = flag.Int64("sweep-seed", 1, "base schedule seed for the sweep (two seeds run per cell: seed and seed+1)")
+		sweepIters   = flag.Int("sweep-iters", 0, "critical sections per participant per cell run (0 = grid default)")
+		sweepCSV     = flag.Bool("sweep-csv", false, "emit the sweep table as CSV")
 	)
 	flag.Parse()
 
@@ -29,11 +43,33 @@ func main() {
 		}
 		return
 	}
+	if *sweep {
+		cfg := harness.DefaultSweep()
+		cfg.Workers = *sweepWorkers
+		cfg.Seeds = []int64{*sweepSeed, *sweepSeed + 1}
+		if *sweepIters > 0 {
+			cfg.Iters = *sweepIters
+		}
+		res, err := harness.RunSweep(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bakerybench:", err)
+			os.Exit(1)
+		}
+		tb := res.Table()
+		if *sweepCSV {
+			fmt.Print(tb.CSV())
+		} else {
+			fmt.Println(tb)
+		}
+		fmt.Printf("cells: %d  fingerprint: %s\n", len(res.Cells), tb.Fingerprint())
+		return
+	}
 	ids := strings.Split(*run, ",")
 	for i := range ids {
 		ids[i] = strings.TrimSpace(ids[i])
 	}
-	if err := harness.RunExperiments(os.Stdout, ids, harness.ExpConfig{MCWorkers: *workers}); err != nil {
+	cfg := harness.ExpConfig{MCWorkers: *workers, SweepWorkers: *sweepWorkers}
+	if err := harness.RunExperiments(os.Stdout, ids, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bakerybench:", err)
 		os.Exit(1)
 	}

@@ -23,7 +23,8 @@ package algorithms
 
 import (
 	"fmt"
-	"runtime"
+
+	"bakerypp/internal/preempt"
 )
 
 // Lock is a mutual-exclusion lock for a fixed set of participants addressed
@@ -43,8 +44,28 @@ func pairLess(a int64, i int, b int64, j int) bool {
 	return a < b || (a == b && i < j)
 }
 
-// pause yields the processor inside spin loops.
-func pause() { runtime.Gosched() }
+// preemptable is embedded by every lock in this package: the pluggable
+// sink its spin-wait iterations and fast-path preemption points report to.
+// The default, preempt.Gosched, reproduces the seed behaviour (spin waits
+// yield to the Go scheduler, fast paths are untouched); the harness's
+// deterministic sweep engine substitutes a preempt.Sequencer so whole
+// contention scenarios replay identically on any machine.
+type preemptable struct {
+	pre preempt.Preemptor
+}
+
+// SetPreemptor replaces the lock's preemption sink. It must be called
+// before the lock is shared between goroutines.
+func (p *preemptable) SetPreemptor(pp preempt.Preemptor) { p.pre = pp }
+
+// wait reports one spin-wait iteration by participant pid.
+func (p *preemptable) wait(pid int) { p.pre.Wait(pid) }
+
+// point reports an optional fast-path preemption point by participant pid.
+func (p *preemptable) point(pid int) { p.pre.Preempt(pid) }
+
+// defaultPreempt is the initial sink for every constructor.
+func defaultPreempt() preemptable { return preemptable{pre: preempt.Gosched{}} }
 
 func checkPid(pid, n int) {
 	if pid < 0 || pid >= n {

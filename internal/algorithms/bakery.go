@@ -13,6 +13,7 @@ import (
 // malfunction mode of Section 3, observable as mutual-exclusion violations
 // once tickets wrap (experiment E3).
 type Bakery struct {
+	preemptable
 	n        int
 	m        int64 // capacity; 0 = unbounded
 	choosing []atomic.Int32
@@ -28,9 +29,10 @@ func NewBakery(n int) *Bakery {
 		panic("algorithms: need at least one participant")
 	}
 	return &Bakery{
-		n:        n,
-		choosing: make([]atomic.Int32, n),
-		number:   make([]atomic.Int64, n),
+		preemptable: defaultPreempt(),
+		n:           n,
+		choosing:    make([]atomic.Int32, n),
+		number:      make([]atomic.Int64, n),
 	}
 }
 
@@ -69,6 +71,7 @@ func (l *Bakery) MaxTicket() int64 { return l.maxTicket.Load() }
 func (l *Bakery) Lock(pid int) {
 	checkPid(pid, l.n)
 	l.choosing[pid].Store(1)
+	l.point(pid)
 	var max int64
 	for j := range l.number {
 		if v := l.number[j].Load(); v > max {
@@ -93,14 +96,14 @@ func (l *Bakery) Lock(pid int) {
 
 	for j := 0; j < l.n; j++ {
 		for l.choosing[j].Load() != 0 {
-			pause()
+			l.wait(pid)
 		}
 		for {
 			nj := l.number[j].Load()
 			if nj == 0 || !pairLess(nj, j, ticket, pid) {
 				break
 			}
-			pause()
+			l.wait(pid)
 		}
 	}
 }

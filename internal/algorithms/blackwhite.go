@@ -10,6 +10,7 @@ import "sync/atomic"
 // per process (mycolor) plus a colour bit written by every process —
 // abandoning Bakery's no-writes-to-others'-memory property.
 type BlackWhite struct {
+	preemptable
 	n        int
 	color    atomic.Int32
 	choosing []atomic.Int32
@@ -25,10 +26,11 @@ func NewBlackWhite(n int) *BlackWhite {
 		panic("algorithms: need at least one participant")
 	}
 	return &BlackWhite{
-		n:        n,
-		choosing: make([]atomic.Int32, n),
-		mycolor:  make([]atomic.Int32, n),
-		number:   make([]atomic.Int64, n),
+		preemptable: defaultPreempt(),
+		n:           n,
+		choosing:    make([]atomic.Int32, n),
+		mycolor:     make([]atomic.Int32, n),
+		number:      make([]atomic.Int64, n),
 	}
 }
 
@@ -42,6 +44,7 @@ func (l *BlackWhite) MaxTicket() int64 { return l.maxTicket.Load() }
 func (l *BlackWhite) Lock(pid int) {
 	checkPid(pid, l.n)
 	l.choosing[pid].Store(1)
+	l.point(pid)
 	myc := l.color.Load()
 	l.mycolor[pid].Store(myc)
 	var max int64
@@ -66,7 +69,7 @@ func (l *BlackWhite) Lock(pid int) {
 			continue
 		}
 		for l.choosing[j].Load() != 0 {
-			pause()
+			l.wait(pid)
 		}
 		for {
 			nj := l.number[j].Load()
@@ -85,7 +88,7 @@ func (l *BlackWhite) Lock(pid int) {
 					break
 				}
 			}
-			pause()
+			l.wait(pid)
 		}
 	}
 }

@@ -7,6 +7,7 @@ import "sync/atomic"
 // and victims never exceed N) but its victim registers are written by every
 // competing process, and it is not first-come-first-served.
 type Peterson struct {
+	preemptable
 	n      int
 	level  []atomic.Int32 // 0 = idle; competing processes hold 1..n-1
 	victim []atomic.Int32 // victim[l] = pid+1, 0 = none; cell 0 unused
@@ -18,9 +19,10 @@ func NewPeterson(n int) *Peterson {
 		panic("algorithms: need at least one participant")
 	}
 	return &Peterson{
-		n:      n,
-		level:  make([]atomic.Int32, n),
-		victim: make([]atomic.Int32, n),
+		preemptable: defaultPreempt(),
+		n:           n,
+		level:       make([]atomic.Int32, n),
+		victim:      make([]atomic.Int32, n),
 	}
 }
 
@@ -34,6 +36,7 @@ func (l *Peterson) Lock(pid int) {
 	for lv := 1; lv < l.n; lv++ {
 		l.level[pid].Store(int32(lv))
 		l.victim[lv].Store(me)
+		l.point(pid)
 		for {
 			if l.victim[lv].Load() != me {
 				break
@@ -48,7 +51,7 @@ func (l *Peterson) Lock(pid int) {
 			if behind {
 				break
 			}
-			pause()
+			l.wait(pid)
 		}
 	}
 }

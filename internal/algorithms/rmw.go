@@ -13,6 +13,7 @@ import "sync/atomic"
 // Ticket is the classic fetch-and-add ticket lock: FIFO, two words total,
 // but built entirely on a read-modify-write primitive.
 type Ticket struct {
+	preemptable
 	n     int
 	next  atomic.Int64
 	owner atomic.Int64
@@ -23,7 +24,7 @@ func NewTicket(n int) *Ticket {
 	if n < 1 {
 		panic("algorithms: need at least one participant")
 	}
-	return &Ticket{n: n}
+	return &Ticket{preemptable: defaultPreempt(), n: n}
 }
 
 // Name implements Lock.
@@ -33,8 +34,9 @@ func (l *Ticket) Name() string { return "ticket-faa" }
 func (l *Ticket) Lock(pid int) {
 	checkPid(pid, l.n)
 	t := l.next.Add(1) - 1
+	l.point(pid)
 	for l.owner.Load() != t {
-		pause()
+		l.wait(pid)
 	}
 }
 
@@ -46,6 +48,7 @@ func (l *Ticket) Unlock(pid int) {
 
 // TAS is a test-and-set spinlock.
 type TAS struct {
+	preemptable
 	n     int
 	state atomic.Int32
 }
@@ -55,7 +58,7 @@ func NewTAS(n int) *TAS {
 	if n < 1 {
 		panic("algorithms: need at least one participant")
 	}
-	return &TAS{n: n}
+	return &TAS{preemptable: defaultPreempt(), n: n}
 }
 
 // Name implements Lock.
@@ -65,7 +68,7 @@ func (l *TAS) Name() string { return "tas" }
 func (l *TAS) Lock(pid int) {
 	checkPid(pid, l.n)
 	for !l.state.CompareAndSwap(0, 1) {
-		pause()
+		l.wait(pid)
 	}
 }
 
@@ -78,6 +81,7 @@ func (l *TAS) Unlock(pid int) {
 // TTAS is the test-and-test-and-set spinlock: spin reading until the lock
 // looks free, then attempt the RMW, reducing coherence traffic.
 type TTAS struct {
+	preemptable
 	n     int
 	state atomic.Int32
 }
@@ -87,7 +91,7 @@ func NewTTAS(n int) *TTAS {
 	if n < 1 {
 		panic("algorithms: need at least one participant")
 	}
-	return &TTAS{n: n}
+	return &TTAS{preemptable: defaultPreempt(), n: n}
 }
 
 // Name implements Lock.
@@ -98,7 +102,7 @@ func (l *TTAS) Lock(pid int) {
 	checkPid(pid, l.n)
 	for {
 		for l.state.Load() != 0 {
-			pause()
+			l.wait(pid)
 		}
 		if l.state.CompareAndSwap(0, 1) {
 			return

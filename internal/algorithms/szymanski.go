@@ -8,6 +8,7 @@ import "sync/atomic"
 // metaphor: processes gather in a prologue, the door closes behind the
 // last one in, and the room drains in id order before reopening.
 type Szymanski struct {
+	preemptable
 	n    int
 	flag []atomic.Int32 // 0..4
 }
@@ -17,7 +18,7 @@ func NewSzymanski(n int) *Szymanski {
 	if n < 1 {
 		panic("algorithms: need at least one participant")
 	}
-	return &Szymanski{n: n, flag: make([]atomic.Int32, n)}
+	return &Szymanski{preemptable: defaultPreempt(), n: n, flag: make([]atomic.Int32, n)}
 }
 
 // Name implements Lock.
@@ -28,6 +29,7 @@ func (l *Szymanski) Lock(pid int) {
 	checkPid(pid, l.n)
 	// Announce intention.
 	l.flag[pid].Store(1)
+	l.point(pid)
 	// Wait for the waiting-room door: nobody at 3 or beyond.
 	for {
 		open := true
@@ -40,10 +42,11 @@ func (l *Szymanski) Lock(pid int) {
 		if open {
 			break
 		}
-		pause()
+		l.wait(pid)
 	}
 	// Enter the waiting room.
 	l.flag[pid].Store(3)
+	l.point(pid)
 	// If someone is still announcing (flag 1), step back to 2 and wait for
 	// a committed process (flag 4) to appear before committing.
 	intender := false
@@ -66,14 +69,14 @@ func (l *Szymanski) Lock(pid int) {
 			if committed {
 				break
 			}
-			pause()
+			l.wait(pid)
 		}
 	}
 	l.flag[pid].Store(4)
 	// Drain: lower-id processes leave the room first.
 	for j := 0; j < pid; j++ {
 		for l.flag[j].Load() >= 2 {
-			pause()
+			l.wait(pid)
 		}
 	}
 }
@@ -89,7 +92,7 @@ func (l *Szymanski) Unlock(pid int) {
 			if f < 2 || f > 3 {
 				break
 			}
-			pause()
+			l.wait(pid)
 		}
 	}
 	l.flag[pid].Store(0)

@@ -10,6 +10,7 @@ import (
 // and exit touch O(log N) registers — the classic space/time trade against
 // the bakery family's O(N) scan — at the cost of FCFS order.
 type Tournament struct {
+	preemptable
 	n      int
 	leaves int
 	nodes  []tnode // heap layout, root at index 1
@@ -29,7 +30,7 @@ func NewTournament(n int) *Tournament {
 	for leaves < n {
 		leaves *= 2
 	}
-	return &Tournament{n: n, leaves: leaves, nodes: make([]tnode, leaves)}
+	return &Tournament{preemptable: defaultPreempt(), n: n, leaves: leaves, nodes: make([]tnode, leaves)}
 }
 
 // Name implements Lock.
@@ -46,8 +47,9 @@ func (l *Tournament) Lock(pid int) {
 		side := int32(v & 1)
 		node.flag[side].Store(1)
 		node.turn.Store(side)
+		l.point(pid)
 		for node.flag[1-side].Load() == 1 && node.turn.Load() == side {
-			pause()
+			l.wait(pid)
 		}
 	}
 }

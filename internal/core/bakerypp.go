@@ -24,10 +24,10 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"bakerypp/internal/preempt"
 	"bakerypp/internal/registers"
 )
 
@@ -43,11 +43,29 @@ type BakeryPP struct {
 	choosing *registers.File
 	number   *registers.File
 	overflow registers.Counter
+	pre      preempt.Preemptor
 
 	resets    atomic.Uint64
 	gateWaits atomic.Uint64
 	crashes   atomic.Uint64
 }
+
+// DefaultDoorwayPreemptRate is the probability that a doorway fast-path
+// preemption point yields to the Go scheduler under the default Preemptor.
+// The reset branch of Algorithm 2 exists for one interleaving: a process
+// passes the L1 gate, and before its maximum scan completes another process
+// saturates a ticket register at M. On real many-core hardware that window
+// is hit by true parallelism; on few cores it is hit only if the scheduler
+// preempts inside the doorway, which Go's ~10ms async preemption
+// essentially never does for a sub-microsecond doorway — leaving the
+// branch dead and Resets() stuck at zero on exactly the machines CI uses.
+// Seeded randomized yields at this rate re-open the window everywhere
+// while costing one xorshift per point on the fast path.
+const DefaultDoorwayPreemptRate = 1.0 / 16
+
+// defaultPreemptSeed fixes the default yield schedule so uninstrumented
+// runs are repeatable; SetPreemptor installs a custom schedule.
+const defaultPreemptSeed = 0x51AB0B1EED
 
 // New returns a Bakery++ lock for n participants with register capacity m
 // (the largest value any ticket register may hold; m >= 1).
@@ -59,10 +77,18 @@ func New(n int, m int64) *BakeryPP {
 		panic("core: register capacity must be >= 1")
 	}
 	l := &BakeryPP{n: n, m: m}
+	l.pre = preempt.NewRandomYield(n, defaultPreemptSeed, DefaultDoorwayPreemptRate)
 	l.choosing = registers.NewFile(n, 1, registers.Trap, &l.overflow)
 	l.number = registers.NewFile(n, m, registers.Trap, &l.overflow)
 	return l
 }
+
+// SetPreemptor replaces the lock's preemption sink (default: seeded
+// randomized yields at DefaultDoorwayPreemptRate). The harness's
+// deterministic sweep engine installs its Sequencer here; passing
+// preempt.Gosched{} turns doorway preemption off for raw benchmarking.
+// It must be called before the lock is shared between goroutines.
+func (l *BakeryPP) SetPreemptor(p preempt.Preemptor) { l.pre = p }
 
 // NewForBits returns a Bakery++ lock whose ticket registers are bits wide
 // (capacity 2^bits - 1).
@@ -82,6 +108,7 @@ func NewPadded(n int, m int64) *BakeryPP {
 		panic("core: register capacity must be >= 1")
 	}
 	l := &BakeryPP{n: n, m: m}
+	l.pre = preempt.NewRandomYield(n, defaultPreemptSeed, DefaultDoorwayPreemptRate)
 	l.choosing = registers.NewFilePadded(n, 1, registers.Trap, &l.overflow)
 	l.number = registers.NewFilePadded(n, m, registers.Trap, &l.overflow)
 	return l
@@ -127,14 +154,26 @@ func (l *BakeryPP) Lock(pid int) {
 		// L1: if there exists q with number[q] >= M then goto L1.
 		for l.number.AnyAtLeast(l.m) {
 			l.gateWaits.Add(1)
-			runtime.Gosched()
+			l.pre.Wait(pid)
 		}
 		l.store(l.choosing, pid, 1)
-		// number[i] := maximum(number[0], ..., number[N-1]); starting the
-		// scan at pid exercises the "any arbitrary order" freedom.
-		ticket := l.number.MaxFrom(pid)
+		// number[i] := maximum(number[0], ..., number[N-1]), one register
+		// read at a time; starting the scan at pid exercises the "any
+		// arbitrary order" freedom. A preemption point before each read
+		// keeps the gate-to-scan race window open on any core count: the
+		// L1 gate excluded saturated tickets, but while this process is
+		// descheduled mid-scan a neighbour may take ticket M, and the
+		// reset below is the branch that makes that harmless.
+		ticket := int64(0)
+		for k := 0; k < l.n; k++ {
+			l.pre.Preempt(pid)
+			if v := l.number.Load((pid + k) % l.n); v > ticket {
+				ticket = v
+			}
+		}
 		if ticket >= l.m {
-			// Overflow imminent: reset own registers and retry.
+			// Overflow imminent: storing ticket+1 would exceed M. Reset
+			// own registers and retry from the gate.
 			l.store(l.number, pid, 0)
 			l.store(l.choosing, pid, 0)
 			l.resets.Add(1)
@@ -147,7 +186,7 @@ func (l *BakeryPP) Lock(pid int) {
 		for j := 0; j < l.n; j++ {
 			// L2: if choosing[j] != 0 then goto L2.
 			for l.choosing.Load(j) != 0 {
-				runtime.Gosched()
+				l.pre.Wait(pid)
 			}
 			// L3: if number[j] != 0 and (number[j], j) < (number[i], i)
 			// then goto L3.
@@ -156,7 +195,7 @@ func (l *BakeryPP) Lock(pid int) {
 				if nj == 0 || !pairLess(nj, j, ticket, pid) {
 					break
 				}
-				runtime.Gosched()
+				l.pre.Wait(pid)
 			}
 		}
 		return

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"bakerypp/internal/preempt"
+	"bakerypp/internal/workload"
+)
+
+// The overflow-reset branch must be live on a single-core machine: without
+// doorway preemption injection, a goroutine's whole doorway runs as one
+// unpreempted burst at GOMAXPROCS=1, the gate-to-scan race window never
+// opens, and Resets() stays 0 — the seed bug. These tests pin the fix by
+// forcing GOMAXPROCS(1) explicitly, so they fail the same way on any CI
+// machine regardless of its core count.
+
+func TestResetsFireAtGOMAXPROCS1(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	l := New(4, 5)
+	stressLock(t, l, 2000)
+	if l.Resets() == 0 {
+		t.Error("no overflow resets at GOMAXPROCS=1 with M=5 and 4 hot participants")
+	}
+	if l.Overflows() != 0 {
+		t.Errorf("%d overflow attempts; Theorem 6.1 violated", l.Overflows())
+	}
+}
+
+func TestMoreCustomersThanTicketsAtGOMAXPROCS1(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	l := New(6, 3)
+	stressLock(t, l, 500)
+	if l.Resets() == 0 {
+		t.Error("expected resets with M < N at GOMAXPROCS=1")
+	}
+	if l.Overflows() != 0 {
+		t.Error("overflow attempted")
+	}
+}
+
+// The yield-injecting spinner in the critical section (the harness's
+// workload model) must not break mutual exclusion, at one core or many.
+func TestSpinnerInCriticalSectionStaysExclusive(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	l := New(3, 4)
+	done := make(chan struct{})
+	var inCS int32 // plain: the lock plus the detector protect it
+	violated := false
+	for pid := 0; pid < 3; pid++ {
+		go func(pid int) {
+			defer func() { done <- struct{}{} }()
+			sp := workload.NewSpinner(pid, int64(pid)+1, 0.1, preempt.Yield{})
+			for k := 0; k < 400; k++ {
+				l.Lock(pid)
+				inCS++
+				if inCS != 1 {
+					violated = true
+				}
+				sp.Spin(60) // yields inside the CS
+				inCS--
+				l.Unlock(pid)
+			}
+		}(pid)
+	}
+	for i := 0; i < 3; i++ {
+		<-done
+	}
+	if violated {
+		t.Fatal("mutual exclusion violated with an in-CS yielding spinner")
+	}
+	if l.Overflows() != 0 {
+		t.Error("overflow attempted")
+	}
+}
+
+// SetPreemptor(Gosched) restores the seed fast path (no doorway yields);
+// the lock must still be correct — only reset observability changes.
+func TestPreemptorPluggable(t *testing.T) {
+	l := New(3, 1<<20)
+	l.SetPreemptor(preempt.Gosched{})
+	stressLock(t, l, 500)
+	seq := preempt.NewSequencer(1, 1)
+	l2 := New(1, 8)
+	l2.SetPreemptor(seq)
+	seq.Go(0, func() {
+		for i := 0; i < 50; i++ {
+			l2.Lock(0)
+			l2.Unlock(0)
+		}
+	})
+	if steps := seq.Run(); steps == 0 {
+		t.Error("sequenced lock made no virtual steps")
+	}
+	if l2.Overflows() != 0 {
+		t.Error("overflow attempted under sequencer")
+	}
+}

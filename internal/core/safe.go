@@ -2,9 +2,9 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sync/atomic"
 
+	"bakerypp/internal/preempt"
 	"bakerypp/internal/registers"
 )
 
@@ -28,6 +28,7 @@ type SafeBakeryPP struct {
 	m        int64
 	choosing []*registers.Safe
 	number   []*registers.Safe
+	pre      preempt.Preemptor
 	resets   atomic.Uint64
 }
 
@@ -43,6 +44,7 @@ func NewSafe(n int, m int64) *SafeBakeryPP {
 	l := &SafeBakeryPP{n: n, m: m,
 		choosing: make([]*registers.Safe, n),
 		number:   make([]*registers.Safe, n),
+		pre:      preempt.NewRandomYield(n, defaultPreemptSeed, DefaultDoorwayPreemptRate),
 	}
 	for i := 0; i < n; i++ {
 		l.choosing[i] = registers.NewSafe(1)
@@ -53,6 +55,9 @@ func NewSafe(n int, m int64) *SafeBakeryPP {
 
 // Name identifies the lock in experiment tables.
 func (l *SafeBakeryPP) Name() string { return "bakery++(safe-regs)" }
+
+// SetPreemptor replaces the lock's preemption sink; see BakeryPP.SetPreemptor.
+func (l *SafeBakeryPP) SetPreemptor(p preempt.Preemptor) { l.pre = p }
 
 // N returns the number of participants.
 func (l *SafeBakeryPP) N() int { return l.n }
@@ -97,11 +102,12 @@ func (l *SafeBakeryPP) Lock(pid int) {
 			if !high {
 				break
 			}
-			runtime.Gosched()
+			l.pre.Wait(pid)
 		}
 		l.choosing[pid].Write(1)
 		var max int64
 		for k := 0; k < l.n; k++ {
+			l.pre.Preempt(pid)
 			j := (pid + k) % l.n
 			if v := l.number[j].Read(); v > max {
 				max = v // flicker values are in [0, M], so max <= M always
@@ -119,14 +125,14 @@ func (l *SafeBakeryPP) Lock(pid int) {
 
 		for j := 0; j < l.n; j++ {
 			for l.choosing[j].Read() != 0 {
-				runtime.Gosched()
+				l.pre.Wait(pid)
 			}
 			for {
 				nj := l.number[j].Read()
 				if nj == 0 || !pairLess(nj, j, ticket, pid) {
 					break
 				}
-				runtime.Gosched()
+				l.pre.Wait(pid)
 			}
 		}
 		return

@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Overlap is one occupancy-detector trip: participant Pid entered the
+// critical section on its Iter-th acquisition while the participants in
+// With were already inside. A violation report that names the overlapping
+// pids and the iteration is reproducible evidence (re-run the seed and the
+// same entry misbehaves), where the seed harness's bare counter only said
+// "something overlapped at some point".
+type Overlap struct {
+	Pid  int
+	Iter int
+	With []int
+}
+
+// String renders the evidence line.
+func (o Overlap) String() string {
+	return fmt.Sprintf("pid %d iter %d overlapped %v", o.Pid, o.Iter, o.With)
+}
+
+// maxEvidence bounds the evidence kept per run; the first trips are the
+// ones worth reproducing, and a thoroughly broken lock would otherwise
+// allocate one record per acquisition.
+const maxEvidence = 64
+
+// occupancy tracks who is inside the critical section. For n <= 64 it
+// keeps a pid bitmask so each entry can report exactly which participants
+// it overlapped; beyond 64 it degrades to the seed harness's counter (no
+// per-pid evidence, same violation and concurrency counts).
+type occupancy struct {
+	n    int
+	wide bool // n > 64: counter only
+
+	mask       atomic.Uint64
+	count      atomic.Int32
+	violations atomic.Int64
+	maxConc    atomic.Int32
+
+	mu       sync.Mutex
+	evidence []Overlap
+}
+
+func newOccupancy(n int) *occupancy {
+	return &occupancy{n: n, wide: n > 64}
+}
+
+// enter records participant pid entering the critical section on its
+// iter-th acquisition.
+func (o *occupancy) enter(pid, iter int) {
+	if o.wide {
+		now := o.count.Add(1)
+		if now != 1 {
+			o.violations.Add(1)
+			o.record(Overlap{Pid: pid, Iter: iter})
+		}
+		o.bumpMax(now)
+		return
+	}
+	bit := uint64(1) << uint(pid)
+	var prev uint64
+	for {
+		prev = o.mask.Load()
+		if o.mask.CompareAndSwap(prev, prev|bit) {
+			break
+		}
+	}
+	if prev != 0 {
+		o.violations.Add(1)
+		with := make([]int, 0, bits.OnesCount64(prev))
+		for q := prev; q != 0; q &= q - 1 {
+			with = append(with, bits.TrailingZeros64(q))
+		}
+		o.record(Overlap{Pid: pid, Iter: iter, With: with})
+	}
+	o.bumpMax(int32(bits.OnesCount64(prev | bit)))
+}
+
+// exit records participant pid leaving the critical section.
+func (o *occupancy) exit(pid int) {
+	if o.wide {
+		o.count.Add(-1)
+		return
+	}
+	bit := uint64(1) << uint(pid)
+	for {
+		prev := o.mask.Load()
+		if o.mask.CompareAndSwap(prev, prev&^bit) {
+			return
+		}
+	}
+}
+
+func (o *occupancy) bumpMax(now int32) {
+	for cur := o.maxConc.Load(); now > cur; cur = o.maxConc.Load() {
+		if o.maxConc.CompareAndSwap(cur, now) {
+			return
+		}
+	}
+}
+
+func (o *occupancy) record(ov Overlap) {
+	o.mu.Lock()
+	if len(o.evidence) < maxEvidence {
+		o.evidence = append(o.evidence, ov)
+	}
+	o.mu.Unlock()
+}
+
+// report returns the collected evidence (nil when no violation occurred).
+func (o *occupancy) report() []Overlap {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.evidence) == 0 {
+		return nil
+	}
+	out := make([]Overlap, len(o.evidence))
+	copy(out, o.evidence)
+	return out
+}

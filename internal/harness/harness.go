@@ -2,18 +2,21 @@
 // measures what the paper's evaluation talks about: throughput, acquisition
 // latency, mutual-exclusion violations (for deliberately broken
 // configurations such as wrapped-register Bakery), and Bakery++'s
-// overflow-avoidance overhead. The experiments file assembles these runs —
-// together with the model checker and the interleaving simulator — into the
-// E1–E11 tables recorded in EXPERIMENTS.md.
+// overflow-avoidance overhead. Workers spin through a yield-injecting
+// workload.Spinner, so those outcomes stay observable on any core count
+// (see docs/harness.md); sweep.go scales the same measurements across a
+// deterministic scenario grid. The experiments file assembles these runs —
+// together with the model checker and the interleaving simulator — into
+// the E1–E13 tables recorded in EXPERIMENTS.md.
 package harness
 
 import (
 	"fmt"
 	"math/rand"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"bakerypp/internal/preempt"
 	"bakerypp/internal/stats"
 	"bakerypp/internal/workload"
 )
@@ -41,6 +44,13 @@ type RunConfig struct {
 	MeasureLatency bool
 	// Seed derives per-worker random sources.
 	Seed int64
+	// PreemptRate is the expected number of injected preemption points per
+	// think/hold spin iteration (the mean yield gap is 1/rate); see
+	// workload.Spinner for why runs are blind to broken locks on few-core
+	// machines without it. Zero selects workload.DefaultPreemptRate; a
+	// negative rate disables injection, reproducing the seed harness's
+	// scheduling-blind spin.
+	PreemptRate float64
 }
 
 // RunResult is the outcome of one run.
@@ -52,6 +62,10 @@ type RunResult struct {
 	// Violations counts occupancy-detector trips: entries into the
 	// critical section while another participant was inside.
 	Violations int64
+	// Evidence holds the first occupancy-detector trips in detail — which
+	// pids overlapped, at which iteration (nil for a clean run, capped at
+	// 64 records).
+	Evidence []Overlap
 	// MaxConcurrency is the largest number of participants ever observed
 	// inside the critical section simultaneously (1 for a correct lock).
 	MaxConcurrency int32
@@ -71,6 +85,9 @@ func (r *RunResult) String() string {
 	if r.Latency != nil {
 		s += " latency{" + r.Latency.DurationSummary() + "}"
 	}
+	if len(r.Evidence) > 0 {
+		s += fmt.Sprintf(" first-overlap{%s}", r.Evidence[0])
+	}
 	return s
 }
 
@@ -85,14 +102,14 @@ func Run(cfg RunConfig) *RunResult {
 	if cfg.Pattern.Think == nil {
 		cfg.Pattern = workload.Sustained()
 	}
+	rate := cfg.PreemptRate
+	if rate == 0 {
+		rate = workload.DefaultPreemptRate
+	}
 	res := &RunResult{Lock: cfg.Lock.Name(), N: cfg.N}
 
-	var (
-		inCS       atomic.Int32
-		maxConc    atomic.Int32
-		violations atomic.Int64
-		wg         sync.WaitGroup
-	)
+	det := newOccupancy(cfg.N)
+	var wg sync.WaitGroup
 	hists := make([]*stats.Histogram, cfg.N)
 	start := time.Now()
 	for pid := 0; pid < cfg.N; pid++ {
@@ -100,13 +117,14 @@ func Run(cfg RunConfig) *RunResult {
 		go func(pid int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(pid)))
+			sp := workload.NewSpinner(pid, cfg.Seed^int64(pid+1)*0x9E3779B9, rate, preempt.Yield{})
 			var h *stats.Histogram
 			if cfg.MeasureLatency {
 				h = stats.NewHistogram()
 				hists[pid] = h
 			}
 			for k := 0; k < cfg.Iters; k++ {
-				workload.Spin(cfg.Pattern.Think(rng))
+				sp.Spin(cfg.Pattern.Think(rng))
 				var t0 time.Time
 				if h != nil {
 					t0 = time.Now()
@@ -115,17 +133,9 @@ func Run(cfg RunConfig) *RunResult {
 				if h != nil {
 					h.Record(time.Since(t0).Nanoseconds())
 				}
-				now := inCS.Add(1)
-				if now != 1 {
-					violations.Add(1)
-				}
-				for cur := maxConc.Load(); now > cur; cur = maxConc.Load() {
-					if maxConc.CompareAndSwap(cur, now) {
-						break
-					}
-				}
-				workload.Spin(cfg.Pattern.Hold(rng))
-				inCS.Add(-1)
+				det.enter(pid, k)
+				sp.Spin(cfg.Pattern.Hold(rng))
+				det.exit(pid)
 				cfg.Lock.Unlock(pid)
 			}
 		}(pid)
@@ -133,8 +143,9 @@ func Run(cfg RunConfig) *RunResult {
 	wg.Wait()
 	res.Elapsed = time.Since(start)
 	res.Ops = int64(cfg.N) * int64(cfg.Iters)
-	res.Violations = violations.Load()
-	res.MaxConcurrency = maxConc.Load()
+	res.Violations = det.violations.Load()
+	res.Evidence = det.report()
+	res.MaxConcurrency = det.maxConc.Load()
 	if cfg.MeasureLatency {
 		merged := stats.NewHistogram()
 		for _, h := range hists {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 
@@ -103,5 +104,49 @@ func TestRunResultString(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("String %q missing %q", s, want)
 		}
+	}
+}
+
+// The seed detector was blind on single-core machines: without preemption
+// injection a no-op lock's "critical sections" ran as unpreempted bursts
+// and never overlapped. Pin the fix at GOMAXPROCS=1 explicitly.
+func TestDetectorCatchesBrokenLockAtGOMAXPROCS1(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	res := Run(RunConfig{
+		Lock:    brokenLock{},
+		N:       4,
+		Iters:   5000,
+		Pattern: workload.ShortCS(50),
+	})
+	if res.Violations == 0 && res.MaxConcurrency < 2 {
+		t.Fatal("detector saw no overlap from a no-op lock at GOMAXPROCS=1")
+	}
+	if len(res.Evidence) == 0 {
+		t.Fatal("violations detected but no overlap evidence recorded")
+	}
+	ev := res.Evidence[0]
+	if len(ev.With) == 0 {
+		t.Errorf("evidence names no overlapping pid: %v", ev)
+	}
+	if !strings.Contains(res.String(), "first-overlap{") {
+		t.Errorf("String() missing evidence summary: %s", res.String())
+	}
+}
+
+// Disabling preemption injection must reproduce the seed harness's
+// behaviour (and remains a valid configuration for raw throughput runs).
+func TestNegativePreemptRateDisablesInjection(t *testing.T) {
+	res := Run(RunConfig{
+		Lock:        core.New(2, 1<<20),
+		N:           2,
+		Iters:       500,
+		PreemptRate: -1,
+	})
+	if res.Violations != 0 || res.MaxConcurrency != 1 {
+		t.Errorf("correct lock misreported: violations=%d maxconc=%d",
+			res.Violations, res.MaxConcurrency)
+	}
+	if res.Evidence != nil {
+		t.Error("clean run carries evidence")
 	}
 }

@@ -1,0 +1,380 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"bakerypp/internal/algorithms"
+	"bakerypp/internal/core"
+	"bakerypp/internal/preempt"
+	"bakerypp/internal/registers"
+	"bakerypp/internal/stats"
+	"bakerypp/internal/workload"
+)
+
+// This file is the scenario sweep runner: a grid of contention scenarios
+// (lock implementation × workload pattern × participants N × capacity M ×
+// seed) executed on a pool of sweep workers and merged into one aggregated
+// table. Every cell runs on a preempt.Sequencer — a deterministic
+// cooperative scheduler in virtual time — so a cell's outcome (violations,
+// max concurrency, resets, gate waits, step-denominated throughput and
+// latency) is a pure function of the grid coordinates and the seed. Cells
+// are independent, so the table is byte-identical whether the pool has one
+// worker or sixteen, on one core or sixty-four; the table's Fingerprint
+// lets two machines check that in one glance.
+
+// LockSpec names a lock constructor for the sweep grid. Mk builds a fresh
+// lock for n participants with ticket capacity m (capacity-blind locks
+// ignore m), routing its preemption points to pre.
+type LockSpec struct {
+	Name string
+	Mk   func(n int, m int64, pre preempt.Preemptor) Lock
+}
+
+// PatternSpec names a workload-pattern constructor. Patterns are built
+// fresh per cell run because some (Bursty) carry internal state.
+type PatternSpec struct {
+	Name string
+	Mk   func() workload.Pattern
+}
+
+// GridPoint is one (participants, capacity) configuration of the grid.
+type GridPoint struct {
+	N int
+	M int64
+}
+
+// SweepConfig describes a scenario grid and how to execute it.
+type SweepConfig struct {
+	Locks    []LockSpec
+	Patterns []PatternSpec
+	Points   []GridPoint
+	// Iters is the number of critical sections per participant per run.
+	Iters int
+	// Seeds lists the schedule seeds; each cell executes once per seed and
+	// the aggregated row merges the runs (counters summed, histograms
+	// merged).
+	Seeds []int64
+	// Workers sizes the sweep worker pool executing cells in parallel;
+	// values below 1 run sequentially. The result is identical either way.
+	Workers int
+	// PreemptRate is the virtual preemption density inside think/hold
+	// spins (mean gap 1/rate); zero selects workload.DefaultPreemptRate.
+	PreemptRate float64
+}
+
+// cells returns the grid size.
+func (c *SweepConfig) cells() int {
+	return len(c.Locks) * len(c.Patterns) * len(c.Points)
+}
+
+// CellResult is the aggregated outcome of one grid cell across its seeds.
+type CellResult struct {
+	Lock    string
+	Pattern string
+	N       int
+	M       int64
+	Runs    int
+	// Ops is total critical sections entered; Steps is total virtual
+	// scheduling steps — the hardware-independent clock all rates and
+	// latencies below are denominated in.
+	Ops   int64
+	Steps int64
+	// Violations and Evidence come from the occupancy detector; for a
+	// correct lock both are zero/nil by construction, deterministically.
+	Violations     int64
+	Evidence       []Overlap
+	MaxConcurrency int32
+	// Resets, GateWaits and Overflows are read from the lock when it
+	// exposes the corresponding instrumentation (Bakery++, wrapped
+	// Bakery); zero otherwise.
+	Resets    uint64
+	GateWaits uint64
+	Overflows uint64
+	// Latency is the distribution of virtual steps between requesting the
+	// lock and holding it.
+	Latency *stats.Histogram
+}
+
+// OpsPerKStep is throughput in the virtual clock: critical sections per
+// thousand scheduling steps.
+func (c *CellResult) OpsPerKStep() float64 {
+	if c.Steps == 0 {
+		return 0
+	}
+	return 1000 * float64(c.Ops) / float64(c.Steps)
+}
+
+// SweepResult is the outcome of a sweep, one CellResult per grid cell in
+// canonical (lock-major, then pattern, then point) order.
+type SweepResult struct {
+	Cells []CellResult
+}
+
+// Table renders the aggregated sweep as a stats.Table. Rendering the same
+// SweepResult always yields byte-identical output; running the same
+// SweepConfig (same seeds) does too, regardless of Workers.
+func (r *SweepResult) Table() *stats.Table {
+	tb := stats.NewTable("Deterministic contention sweep (virtual time)",
+		"lock", "pattern", "N", "M", "runs", "ops", "steps", "ops/kstep",
+		"violations", "maxconc", "resets", "gate-waits", "overflows",
+		"lat p50", "lat p99")
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		tb.AddRow(c.Lock, c.Pattern, c.N, c.M, c.Runs, c.Ops, c.Steps,
+			c.OpsPerKStep(), c.Violations, c.MaxConcurrency, c.Resets,
+			c.GateWaits, c.Overflows,
+			c.Latency.Quantile(0.5), c.Latency.Quantile(0.99))
+	}
+	return tb
+}
+
+// RunSweep executes the grid and returns the merged results.
+func RunSweep(cfg SweepConfig) (*SweepResult, error) {
+	if cfg.cells() == 0 {
+		return nil, fmt.Errorf("harness: sweep grid is empty (locks=%d patterns=%d points=%d)",
+			len(cfg.Locks), len(cfg.Patterns), len(cfg.Points))
+	}
+	if cfg.Iters < 1 {
+		return nil, fmt.Errorf("harness: sweep Iters must be >= 1")
+	}
+	if len(cfg.Seeds) == 0 {
+		return nil, fmt.Errorf("harness: sweep needs at least one seed")
+	}
+	for _, pt := range cfg.Points {
+		if pt.N < 1 || pt.N > 64 || pt.M < 1 {
+			return nil, fmt.Errorf("harness: bad grid point N=%d M=%d", pt.N, pt.M)
+		}
+	}
+	rate := cfg.PreemptRate
+	if rate == 0 {
+		rate = workload.DefaultPreemptRate
+	}
+
+	type cellKey struct {
+		lock    LockSpec
+		pattern PatternSpec
+		point   GridPoint
+	}
+	keys := make([]cellKey, 0, cfg.cells())
+	for _, l := range cfg.Locks {
+		for _, p := range cfg.Patterns {
+			for _, pt := range cfg.Points {
+				keys = append(keys, cellKey{l, p, pt})
+			}
+		}
+	}
+
+	results := make([]CellResult, len(keys))
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				k := keys[idx]
+				results[idx] = runSweepCell(k.lock, k.pattern, k.point, idx, cfg.Seeds, cfg.Iters, rate)
+			}
+		}()
+	}
+	for idx := range keys {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	return &SweepResult{Cells: results}, nil
+}
+
+// runSweepCell executes one cell once per seed and merges the runs. The
+// schedule seed of each run is derived from (cell index, seed) alone, so a
+// cell's outcome does not depend on which sweep worker ran it or when.
+func runSweepCell(lock LockSpec, pattern PatternSpec, pt GridPoint, cellIdx int, seeds []int64, iters int, rate float64) CellResult {
+	out := CellResult{
+		Lock: lock.Name, Pattern: pattern.Name, N: pt.N, M: pt.M,
+		Latency: stats.NewHistogram(),
+	}
+	for _, seed := range seeds {
+		schedSeed := seed*1000003 + int64(cellIdx)
+		r := runSweepCellOnce(lock, pattern, pt, schedSeed, iters, rate)
+		out.Runs++
+		out.Ops += r.Ops
+		out.Steps += r.Steps
+		out.Violations += r.Violations
+		if r.MaxConcurrency > out.MaxConcurrency {
+			out.MaxConcurrency = r.MaxConcurrency
+		}
+		out.Resets += r.Resets
+		out.GateWaits += r.GateWaits
+		out.Overflows += r.Overflows
+		out.Latency.Merge(r.Latency)
+		if len(out.Evidence) < maxEvidence {
+			out.Evidence = append(out.Evidence, r.Evidence...)
+			if len(out.Evidence) > maxEvidence {
+				out.Evidence = out.Evidence[:maxEvidence]
+			}
+		}
+	}
+	return out
+}
+
+// runSweepCellOnce plays one scenario on a fresh lock under a fresh
+// Sequencer: the virtual-time analogue of Run.
+func runSweepCellOnce(lock LockSpec, pattern PatternSpec, pt GridPoint, schedSeed int64, iters int, rate float64) CellResult {
+	seq := preempt.NewSequencer(pt.N, schedSeed)
+	l := lock.Mk(pt.N, pt.M, seq)
+	pat := pattern.Mk()
+	det := newOccupancy(pt.N)
+	hists := make([]*stats.Histogram, pt.N)
+	for pid := 0; pid < pt.N; pid++ {
+		pid := pid
+		seq.Go(pid, func() {
+			rng := rand.New(rand.NewSource(schedSeed + int64(pid) + 1))
+			sp := workload.NewSpinner(pid, schedSeed^int64(pid+1)*0x9E3779B9, rate, seq)
+			h := stats.NewHistogram()
+			hists[pid] = h
+			for k := 0; k < iters; k++ {
+				sp.Spin(pat.Think(rng))
+				t0 := seq.Now()
+				l.Lock(pid)
+				h.Record(seq.Now() - t0)
+				det.enter(pid, k)
+				// A guaranteed in-CS switch point: even a zero-hold
+				// pattern exposes the critical section to the scheduler,
+				// so a broken lock cannot hide behind an unpreempted
+				// burst — the single-core blindness the seed had.
+				seq.Preempt(pid)
+				sp.Spin(pat.Hold(rng))
+				det.exit(pid)
+				l.Unlock(pid)
+				// Post-release point: hand the section to a waiter before
+				// re-entering the doorway.
+				seq.Preempt(pid)
+			}
+		})
+	}
+	steps := seq.Run()
+
+	res := CellResult{
+		Lock: lock.Name, Pattern: pattern.Name, N: pt.N, M: pt.M,
+		Ops:            int64(pt.N) * int64(iters),
+		Steps:          steps,
+		Violations:     det.violations.Load(),
+		Evidence:       det.report(),
+		MaxConcurrency: det.maxConc.Load(),
+		Latency:        stats.NewHistogram(),
+	}
+	for _, h := range hists {
+		res.Latency.Merge(h)
+	}
+	if c, ok := l.(interface{ Resets() uint64 }); ok {
+		res.Resets = c.Resets()
+	}
+	if c, ok := l.(interface{ GateWaits() uint64 }); ok {
+		res.GateWaits = c.GateWaits()
+	}
+	if c, ok := l.(interface{ Overflows() uint64 }); ok {
+		res.Overflows = c.Overflows()
+	}
+	return res
+}
+
+// DefaultSweepLocks returns the standard lock axis: Bakery++ at the grid
+// capacity, classic Bakery on ideal and on wrapping registers sized to the
+// grid capacity, and the paper's Section 4 comparison set.
+func DefaultSweepLocks() []LockSpec {
+	return []LockSpec{
+		{"bakery++", func(n int, m int64, pre preempt.Preemptor) Lock {
+			l := core.New(n, m)
+			l.SetPreemptor(pre)
+			return l
+		}},
+		{"bakery", func(n int, _ int64, pre preempt.Preemptor) Lock {
+			l := algorithms.NewBakery(n)
+			l.SetPreemptor(pre)
+			return l
+		}},
+		{"bakery-wrap", func(n int, m int64, pre preempt.Preemptor) Lock {
+			l := algorithms.NewBakeryForBits(n, registers.BitsForCapacity(m))
+			l.SetPreemptor(pre)
+			return l
+		}},
+		{"black-white", func(n int, _ int64, pre preempt.Preemptor) Lock {
+			l := algorithms.NewBlackWhite(n)
+			l.SetPreemptor(pre)
+			return l
+		}},
+		{"peterson-filter", func(n int, _ int64, pre preempt.Preemptor) Lock {
+			l := algorithms.NewPeterson(n)
+			l.SetPreemptor(pre)
+			return l
+		}},
+		{"szymanski", func(n int, _ int64, pre preempt.Preemptor) Lock {
+			l := algorithms.NewSzymanski(n)
+			l.SetPreemptor(pre)
+			return l
+		}},
+		{"ticket-faa", func(n int, _ int64, pre preempt.Preemptor) Lock {
+			l := algorithms.NewTicket(n)
+			l.SetPreemptor(pre)
+			return l
+		}},
+		{"tas", func(n int, _ int64, pre preempt.Preemptor) Lock {
+			l := algorithms.NewTAS(n)
+			l.SetPreemptor(pre)
+			return l
+		}},
+	}
+}
+
+// SelectLocks returns the specs with the given names, in the given order.
+// Grid definitions reference locks by name so a reordering of the default
+// axis cannot silently change what an experiment measures; a missing name
+// panics rather than shrinking the grid.
+func SelectLocks(specs []LockSpec, names ...string) []LockSpec {
+	out := make([]LockSpec, 0, len(names))
+	for _, name := range names {
+		found := false
+		for _, s := range specs {
+			if s.Name == name {
+				out = append(out, s)
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("harness: no sweep lock named %q", name))
+		}
+	}
+	return out
+}
+
+// DefaultSweepPatterns returns the standard workload axis.
+func DefaultSweepPatterns() []PatternSpec {
+	return []PatternSpec{
+		{"sustained", func() workload.Pattern { return workload.Sustained() }},
+		{"short-cs", func() workload.Pattern { return workload.ShortCS(40) }},
+		{"think-heavy", func() workload.Pattern { return workload.ThinkHeavy(60) }},
+	}
+}
+
+// DefaultSweep returns the standard grid cmd/bakerybench's -sweep mode
+// runs: 8 locks × 3 workload patterns × 2 (N, M) points = 48 cells, two
+// seeds each.
+func DefaultSweep() SweepConfig {
+	return SweepConfig{
+		Locks:    DefaultSweepLocks(),
+		Patterns: DefaultSweepPatterns(),
+		Points:   []GridPoint{{N: 3, M: 7}, {N: 4, M: 15}},
+		Iters:    60,
+		Seeds:    []int64{1, 2},
+	}
+}

@@ -1,0 +1,189 @@
+package harness
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"bakerypp/internal/preempt"
+	"bakerypp/internal/workload"
+)
+
+// testSweep is a compact grid: 4 locks × 3 patterns × 2 points = 24 cells.
+func testSweep() SweepConfig {
+	return SweepConfig{
+		Locks:    SelectLocks(DefaultSweepLocks(), "bakery++", "bakery", "black-white", "ticket-faa"),
+		Patterns: DefaultSweepPatterns(),
+		Points:   []GridPoint{{N: 2, M: 3}, {N: 3, M: 4}},
+		Iters:    25,
+		Seeds:    []int64{1, 2},
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	if _, err := RunSweep(SweepConfig{}); err == nil {
+		t.Error("empty grid accepted")
+	}
+	cfg := testSweep()
+	cfg.Iters = 0
+	if _, err := RunSweep(cfg); err == nil {
+		t.Error("Iters=0 accepted")
+	}
+	cfg = testSweep()
+	cfg.Seeds = nil
+	if _, err := RunSweep(cfg); err == nil {
+		t.Error("no seeds accepted")
+	}
+	cfg = testSweep()
+	cfg.Points = []GridPoint{{N: 0, M: 3}}
+	if _, err := RunSweep(cfg); err == nil {
+		t.Error("N=0 grid point accepted")
+	}
+}
+
+// The headline determinism property: the aggregated table is byte-identical
+// for sweep-worker counts 1 and 4 under the same seed.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := testSweep()
+	cfg.Workers = 1
+	seq, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := seq.Table().String(), par.Table().String()
+	if a != b {
+		t.Fatalf("tables differ between 1 and 4 sweep workers:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", a, b)
+	}
+	if seq.Table().Fingerprint() != par.Table().Fingerprint() {
+		t.Error("fingerprints differ")
+	}
+}
+
+// Same property across GOMAXPROCS — virtual time must not notice cores.
+func TestSweepDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	cfg := testSweep()
+	cfg.Locks = cfg.Locks[:2]
+	cfg.Workers = 2
+	run := func(procs int) string {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		r, err := RunSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Table().String()
+	}
+	if a, b := run(1), run(4); a != b {
+		t.Fatalf("tables differ between GOMAXPROCS 1 and 4:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestSweepCorrectLocksStayClean(t *testing.T) {
+	r, err := RunSweep(testSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 24 {
+		t.Fatalf("got %d cells, want 24", len(r.Cells))
+	}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Ops != int64(c.N)*25*2 {
+			t.Errorf("%s/%s N=%d: ops=%d", c.Lock, c.Pattern, c.N, c.Ops)
+		}
+		if c.Violations != 0 || c.MaxConcurrency != 1 || c.Evidence != nil {
+			t.Errorf("%s/%s N=%d M=%d: violations=%d maxconc=%d evidence=%v",
+				c.Lock, c.Pattern, c.N, c.M, c.Violations, c.MaxConcurrency, c.Evidence)
+		}
+		if c.Steps == 0 || c.Latency.Count() == 0 {
+			t.Errorf("%s/%s: no steps or latency samples", c.Lock, c.Pattern)
+		}
+	}
+}
+
+// Bakery++ cells at tight capacity must show live reset instrumentation —
+// the dead-branch regression, pinned in virtual time where it is exactly
+// reproducible.
+func TestSweepObservesResets(t *testing.T) {
+	cfg := SweepConfig{
+		Locks:    SelectLocks(DefaultSweepLocks(), "bakery++"),
+		Patterns: DefaultSweepPatterns()[:1],
+		Points:   []GridPoint{{N: 3, M: 3}},
+		Iters:    150,
+		Seeds:    []int64{1},
+	}
+	r, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &r.Cells[0]
+	if c.Resets == 0 {
+		t.Error("no resets at N=3 M=3 under sustained contention")
+	}
+	if c.GateWaits == 0 {
+		t.Error("no gate waits at N=3 M=3")
+	}
+	if c.Overflows != 0 {
+		t.Errorf("%d overflow attempts; Theorem 6.1 violated", c.Overflows)
+	}
+	if c.Violations != 0 {
+		t.Errorf("%d violations", c.Violations)
+	}
+}
+
+// A no-op lock in the grid must produce a deterministic violation report
+// with concrete overlap evidence.
+func TestSweepDetectsBrokenLockWithEvidence(t *testing.T) {
+	broken := LockSpec{Name: "broken", Mk: func(n int, _ int64, _ preempt.Preemptor) Lock {
+		return brokenLock{}
+	}}
+	cfg := SweepConfig{
+		Locks:    []LockSpec{broken},
+		Patterns: []PatternSpec{{"short-cs", func() workload.Pattern { return workload.ShortCS(30) }}},
+		Points:   []GridPoint{{N: 4, M: 8}},
+		Iters:    40,
+		Seeds:    []int64{7},
+	}
+	run := func() *CellResult {
+		r, err := RunSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &r.Cells[0]
+	}
+	c := run()
+	if c.Violations == 0 || c.MaxConcurrency < 2 {
+		t.Fatalf("broken lock not detected: violations=%d maxconc=%d", c.Violations, c.MaxConcurrency)
+	}
+	if len(c.Evidence) == 0 {
+		t.Fatal("violations reported without evidence")
+	}
+	ev := c.Evidence[0]
+	if len(ev.With) == 0 || ev.Pid == ev.With[0] {
+		t.Errorf("evidence does not identify a distinct overlapping pid: %v", ev)
+	}
+	if !strings.Contains(ev.String(), "overlapped") {
+		t.Errorf("evidence string: %q", ev.String())
+	}
+	// The report is reproducible: same seed, same first overlap.
+	c2 := run()
+	if c2.Violations != c.Violations || len(c2.Evidence) == 0 ||
+		c2.Evidence[0].Pid != ev.Pid || c2.Evidence[0].Iter != ev.Iter {
+		t.Error("violation report not reproducible across identical runs")
+	}
+}
+
+func TestDefaultSweepShape(t *testing.T) {
+	cfg := DefaultSweep()
+	if got := cfg.cells(); got < 24 {
+		t.Errorf("default grid has %d cells, want >= 24", got)
+	}
+	if len(cfg.Locks) < 4 || len(cfg.Patterns) < 3 || len(cfg.Points) < 2 {
+		t.Errorf("default grid axes too small: %d locks, %d patterns, %d points",
+			len(cfg.Locks), len(cfg.Patterns), len(cfg.Points))
+	}
+}

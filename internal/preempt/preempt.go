@@ -1,0 +1,142 @@
+// Package preempt is the runtime layer's preemption-injection subsystem.
+//
+// The paper's operational claims (overflow frequency, reset cost, violation
+// observability — Sections 3, 6.3 and 7) are about what happens when
+// processes interleave. A Go program only exhibits those interleavings when
+// the scheduler happens to preempt goroutines at the interesting points; on
+// a single-core machine a lock's whole doorway runs as one atomic burst and
+// the schedules the paper reasons about simply never occur. This package
+// makes preemption a first-class, controllable event instead of a
+// hardware accident:
+//
+//   - Preemptor is the pluggable preemption point. Code that may be
+//     descheduled (lock spin loops, doorway fast paths, workload spinners)
+//     reports to a Preemptor instead of calling runtime.Gosched directly.
+//   - Gosched reproduces the seed behaviour: spin-waits yield to the Go
+//     scheduler, fast-path points cost nothing.
+//   - RandomYield injects seeded, randomized runtime.Gosched calls at
+//     fast-path points, exposing the race windows (such as Bakery++'s
+//     gate-to-scan window) on any GOMAXPROCS.
+//   - Sequencer (sequencer.go) replaces the Go scheduler entirely with a
+//     deterministic cooperative scheduler in virtual time, which is what
+//     makes the harness's scenario sweeps reproducible bit-for-bit on any
+//     machine.
+package preempt
+
+import "runtime"
+
+// Preemptor receives the preemption points of one set of participants.
+// Participants are addressed by pid; each pid must be driven by at most one
+// goroutine at a time (the repository-wide system model).
+type Preemptor interface {
+	// Preempt marks an optional preemption point on participant pid's fast
+	// path: a place where a context switch is legal and interesting, but
+	// not required for progress.
+	Preempt(pid int)
+	// Wait marks one iteration of a spin-wait: participant pid cannot make
+	// progress until some other participant acts, so the processor should
+	// be handed over.
+	Wait(pid int)
+}
+
+// Gosched is the production Preemptor and the default for every lock: spin
+// waits yield to the Go runtime scheduler (exactly the seed
+// implementation's behaviour) and fast-path preemption points are free —
+// the runtime's own asynchronous preemption remains the only source of
+// mid-doorway context switches.
+type Gosched struct{}
+
+// Preempt implements Preemptor as a no-op.
+func (Gosched) Preempt(int) {}
+
+// Wait implements Preemptor by yielding to the Go scheduler.
+func (Gosched) Wait(int) { runtime.Gosched() }
+
+// Yield yields to the Go scheduler at every preemption point of either
+// kind. It is the sink the workload spinner hands its already-rate-limited
+// yields to.
+type Yield struct{}
+
+// Preempt implements Preemptor by yielding.
+func (Yield) Preempt(int) { runtime.Gosched() }
+
+// Wait implements Preemptor by yielding.
+func (Yield) Wait(int) { runtime.Gosched() }
+
+// RandomYield yields to the Go scheduler at fast-path preemption points
+// with a configured probability, drawn from an independent seeded xorshift
+// stream per participant, and always yields on spin waits. The streams make
+// the yield schedule deterministic per (seed, pid, call sequence) while
+// staying race-free: each pid's state is written only by the goroutine
+// driving that pid, and states are padded a cache line apart so the
+// bookkeeping itself does not create the false sharing the locks under
+// study are measured for.
+type RandomYield struct {
+	states []uint64
+	thresh uint64
+}
+
+// yieldStride spaces per-pid xorshift states one 64-byte cache line apart.
+const yieldStride = 8
+
+// NewRandomYield returns a RandomYield for n participants. rate is the
+// per-Preempt yield probability in [0, 1]; seed selects the yield schedule.
+func NewRandomYield(n int, seed int64, rate float64) *RandomYield {
+	if n < 1 {
+		panic("preempt: need at least one participant")
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	thresh := ^uint64(0)
+	if rate < 1 {
+		// Scale via 2^32 so the conversion stays within exact float64
+		// integer range (rate*2^64 is not representable).
+		thresh = uint64(rate*float64(1<<32)) << 32
+	}
+	y := &RandomYield{
+		states: make([]uint64, n*yieldStride),
+		thresh: thresh,
+	}
+	for pid := 0; pid < n; pid++ {
+		y.states[pid*yieldStride] = Seed64(seed, pid)
+	}
+	return y
+}
+
+// Seed64 derives a nonzero xorshift64 initial state from (seed, stream)
+// via a splitmix64 finalizer, so per-participant streams stay decorrelated
+// even for adjacent seeds. It is the one seed-mixing function every
+// deterministic component of the subsystem (RandomYield, the workload
+// spinner) shares.
+func Seed64(seed int64, stream int) uint64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(stream+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9E3779B97F4A7C15
+	}
+	return z
+}
+
+// Xorshift64 advances an xorshift64 state (the shared PRNG step behind
+// every injected-yield decision).
+func Xorshift64(s uint64) uint64 {
+	s ^= s << 13
+	s ^= s >> 7
+	s ^= s << 17
+	return s
+}
+
+// Preempt implements Preemptor: yield with the configured probability.
+func (y *RandomYield) Preempt(pid int) {
+	s := Xorshift64(y.states[pid*yieldStride])
+	y.states[pid*yieldStride] = s
+	if s < y.thresh {
+		runtime.Gosched()
+	}
+}
+
+// Wait implements Preemptor: a spinning participant always yields.
+func (*RandomYield) Wait(int) { runtime.Gosched() }

@@ -1,0 +1,70 @@
+package preempt
+
+import "testing"
+
+func TestRandomYieldValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("n=0 did not panic")
+		}
+	}()
+	NewRandomYield(0, 1, 0.5)
+}
+
+func TestRandomYieldRateClamped(t *testing.T) {
+	// Out-of-range rates clamp instead of corrupting the threshold.
+	if y := NewRandomYield(1, 1, -3); y.thresh != 0 {
+		t.Errorf("negative rate threshold = %d", y.thresh)
+	}
+	if y := NewRandomYield(1, 1, 7); y.thresh != ^uint64(0) {
+		t.Errorf("rate > 1 threshold = %d", y.thresh)
+	}
+}
+
+// The yield decision stream is a pure function of (seed, pid, call index).
+func TestRandomYieldDeterministicStream(t *testing.T) {
+	draw := func(seed int64, pid, k int) []uint64 {
+		y := NewRandomYield(pid+1, seed, 0.5)
+		out := make([]uint64, k)
+		for i := range out {
+			y.Preempt(pid) // advances the state
+			out[i] = y.states[pid*yieldStride]
+		}
+		return out
+	}
+	a, b := draw(42, 2, 50), draw(42, 2, 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stream diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := draw(43, 2, 50)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+// Distinct pids draw from decorrelated streams.
+func TestRandomYieldPerPidStreams(t *testing.T) {
+	y := NewRandomYield(2, 7, 0.5)
+	s0, s1 := y.states[0], y.states[yieldStride]
+	if s0 == s1 {
+		t.Error("pid streams share initial state")
+	}
+}
+
+func TestGoschedAndYieldAreSafe(t *testing.T) {
+	// Smoke: the trivial Preemptors neither panic nor block.
+	Gosched{}.Preempt(0)
+	Gosched{}.Wait(0)
+	Yield{}.Preempt(0)
+	Yield{}.Wait(0)
+	NewRandomYield(2, 1, 1).Preempt(1)
+	NewRandomYield(2, 1, 1).Wait(1)
+}

@@ -1,0 +1,127 @@
+package preempt
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Sequencer is a deterministic cooperative scheduler: it runs N participant
+// goroutines so that exactly one executes at any moment and every context
+// switch happens at an explicit preemption point, with the next participant
+// chosen by a seeded random source. The resulting execution is a function
+// of (participant code, seed) alone — independent of GOMAXPROCS, core
+// count, clock speed and Go scheduler version — which is what lets the
+// harness's scenario sweeps promise byte-identical result tables on any
+// machine.
+//
+// Time is virtual: one step per grant. Participants observe it through Now,
+// so "latency" and "throughput" under a Sequencer are measured in
+// scheduling steps, not nanoseconds.
+//
+// Usage:
+//
+//	seq := preempt.NewSequencer(n, seed)
+//	for pid := 0; pid < n; pid++ {
+//		seq.Go(pid, func() { ... code calling seq.Preempt/seq.Wait ... })
+//	}
+//	steps := seq.Run()
+//
+// The participant functions must route every spin-wait through Wait (a
+// spin loop that never reports to the Sequencer would monopolise its grant
+// forever). All of this repository's locks do, via their SetPreemptor hook.
+type Sequencer struct {
+	n     int
+	rng   *rand.Rand
+	grant []chan struct{}
+	event chan seqEvent
+	steps int64
+	// spawned counts Go calls so Run knows how many participants to herd;
+	// a Sequencer is single-shot.
+	spawned int
+}
+
+type seqEvent struct {
+	pid  int
+	done bool
+}
+
+// NewSequencer returns a Sequencer for n participants with the given
+// schedule seed.
+func NewSequencer(n int, seed int64) *Sequencer {
+	if n < 1 {
+		panic("preempt: need at least one participant")
+	}
+	s := &Sequencer{
+		n:     n,
+		rng:   rand.New(rand.NewSource(seed)),
+		grant: make([]chan struct{}, n),
+		event: make(chan seqEvent),
+	}
+	for i := range s.grant {
+		s.grant[i] = make(chan struct{})
+	}
+	return s
+}
+
+// Go spawns fn as participant pid's goroutine. fn does not start executing
+// until Run grants it for the first time.
+func (s *Sequencer) Go(pid int, fn func()) {
+	if pid < 0 || pid >= s.n {
+		panic("preempt: participant out of range")
+	}
+	s.spawned++
+	go func() {
+		s.event <- seqEvent{pid: pid}
+		<-s.grant[pid]
+		fn()
+		s.event <- seqEvent{pid: pid, done: true}
+	}()
+}
+
+// Preempt implements Preemptor: the running participant offers a context
+// switch and blocks until the scheduler grants it again.
+func (s *Sequencer) Preempt(pid int) {
+	s.event <- seqEvent{pid: pid}
+	<-s.grant[pid]
+}
+
+// Wait implements Preemptor identically to Preempt: under a deterministic
+// scheduler a spin-wait iteration is just another switch point.
+func (s *Sequencer) Wait(pid int) { s.Preempt(pid) }
+
+// Now returns the current virtual time in steps. It may be called only by
+// the participant currently holding the grant (or before Run / after Run
+// returns); the grant channel handoff orders the accesses.
+func (s *Sequencer) Now() int64 { return s.steps }
+
+// Run drives the spawned participants to completion and returns the total
+// number of virtual steps (grants) issued. It must be called exactly once,
+// after all Go calls.
+func (s *Sequencer) Run() int64 {
+	alive := s.spawned
+	runnable := make([]int, 0, alive)
+	// Every spawned participant parks once before its first instruction.
+	// They arrive in Go-scheduler order, which must not leak into the
+	// schedule: sort, so the runnable set starts in pid order and every
+	// later mutation is driven by the seeded rng alone.
+	for len(runnable) < alive {
+		ev := <-s.event
+		runnable = append(runnable, ev.pid)
+	}
+	sort.Ints(runnable)
+	for alive > 0 {
+		i := s.rng.Intn(len(runnable))
+		pid := runnable[i]
+		runnable[i] = runnable[len(runnable)-1]
+		runnable = runnable[:len(runnable)-1]
+		s.steps++
+		s.grant[pid] <- struct{}{}
+		ev := <-s.event
+		if ev.done {
+			alive--
+		} else {
+			runnable = append(runnable, ev.pid)
+		}
+	}
+	return s.steps
+}

@@ -23,23 +23,27 @@ import (
 // Scheduler picks which enabled process steps next.
 type Scheduler interface {
 	Name() string
-	// Pick chooses one element of enabled (non-empty, ascending pids).
-	Pick(enabled []int, step int64, rng *rand.Rand) int
+	// Pick chooses one element of enabled (non-empty, ascending pids from
+	// a program with n processes in total).
+	Pick(enabled []int, n int, step int64, rng *rand.Rand) int
 }
 
 // RoundRobin rotates priority among processes: at step k, the first enabled
-// process at or after position k mod N runs.
+// process at or after position k mod N runs (wrapping), where N is the
+// program's process count.
 type RoundRobin struct{}
 
 // Name implements Scheduler.
 func (RoundRobin) Name() string { return "round-robin" }
 
-// Pick implements Scheduler.
-func (RoundRobin) Pick(enabled []int, step int64, _ *rand.Rand) int {
-	// enabled is ascending; choose the first pid >= step mod (max+1),
-	// wrapping. Using the max pid keeps rotation meaningful when only a
-	// few processes are enabled.
-	want := int(step) % (enabled[len(enabled)-1] + 1)
+// Pick implements Scheduler. The cursor rotates over the full process
+// count, not over the currently enabled pids: rotating on the largest
+// enabled pid (as the seed implementation did) skews priority toward
+// low-numbered processes whenever high-numbered ones are blocked, which is
+// precisely the regime — processes stuck at Bakery++'s L1 gate — the
+// round-robin scheduler exists to probe fairly.
+func (RoundRobin) Pick(enabled []int, n int, step int64, _ *rand.Rand) int {
+	want := int(step % int64(n))
 	for _, pid := range enabled {
 		if pid >= want {
 			return pid
@@ -55,7 +59,7 @@ type Random struct{}
 func (Random) Name() string { return "random" }
 
 // Pick implements Scheduler.
-func (Random) Pick(enabled []int, _ int64, rng *rand.Rand) int {
+func (Random) Pick(enabled []int, _ int, _ int64, rng *rand.Rand) int {
 	return enabled[rng.Intn(len(enabled))]
 }
 
@@ -71,7 +75,7 @@ type Biased struct {
 func (b Biased) Name() string { return fmt.Sprintf("biased(w=%g)", b.Weight) }
 
 // Pick implements Scheduler.
-func (b Biased) Pick(enabled []int, _ int64, rng *rand.Rand) int {
+func (b Biased) Pick(enabled []int, _ int, _ int64, rng *rand.Rand) int {
 	total := 0.0
 	for _, pid := range enabled {
 		if b.Slow[pid] {
@@ -271,7 +275,7 @@ func Run(p *gcl.Prog, opts Options) (*Stats, error) {
 			st.DeadlockStep = step
 			break
 		}
-		pid := opts.Sched.Pick(enabled, step, rng)
+		pid := opts.Sched.Pick(enabled, p.N, step, rng)
 		succs = p.Succs(s, pid, opts.Mode, succs[:0])
 		sc := succs[rng.Intn(len(succs))]
 		s = sc.State

@@ -248,20 +248,61 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+// TestRoundRobinPick pins the documented rotation order: at step k, the
+// first enabled process at or after position k mod N runs, where N is the
+// process count — NOT the largest enabled pid, which the seed rotated on
+// and which starves nothing but skews priority low whenever high pids are
+// blocked.
 func TestRoundRobinPick(t *testing.T) {
 	rr := RoundRobin{}
 	rng := rand.New(rand.NewSource(0))
-	if got := rr.Pick([]int{0, 1, 2}, 0, rng); got != 0 {
-		t.Errorf("step 0 pick = %d, want 0", got)
+	cases := []struct {
+		enabled []int
+		n       int
+		step    int64
+		want    int
+	}{
+		// Everyone enabled: pure rotation.
+		{[]int{0, 1, 2}, 3, 0, 0},
+		{[]int{0, 1, 2}, 3, 1, 1},
+		{[]int{0, 1, 2}, 3, 2, 2},
+		{[]int{0, 1, 2}, 3, 3, 0},
+		// Partial enablement: first enabled at or after the cursor.
+		{[]int{0, 2}, 3, 1, 2},
+		{[]int{0, 2}, 3, 2, 2},
+		{[]int{0, 1}, 3, 2, 0}, // cursor past all enabled: wrap
+		// The case the seed got wrong: N=4 with pid 3 blocked. Rotating on
+		// max enabled pid (3) would never place the cursor at position 3;
+		// rotating on N gives position 3 to the wrap (pid 0) once per lap.
+		{[]int{0, 1, 2}, 4, 3, 0},
+		{[]int{1, 2}, 4, 0, 1},
+		{[]int{1, 2}, 4, 3, 1},
+		// Single enabled process, any step.
+		{[]int{0}, 1, 5, 0},
+		{[]int{2}, 5, 4, 2},
 	}
-	if got := rr.Pick([]int{0, 1, 2}, 1, rng); got != 1 {
-		t.Errorf("step 1 pick = %d, want 1", got)
+	for _, c := range cases {
+		if got := rr.Pick(c.enabled, c.n, c.step, rng); got != c.want {
+			t.Errorf("Pick(%v, n=%d, step=%d) = %d, want %d",
+				c.enabled, c.n, c.step, got, c.want)
+		}
 	}
-	if got := rr.Pick([]int{0, 2}, 1, rng); got != 2 {
-		t.Errorf("step 1 pick among {0,2} = %d, want 2", got)
-	}
-	if got := rr.Pick([]int{0}, 5, rng); got != 0 {
-		t.Errorf("wrap pick = %d, want 0", got)
+}
+
+// Over one full lap with everyone enabled, round-robin must serve the
+// processes in pid order, each exactly once per lap.
+func TestRoundRobinFullRotation(t *testing.T) {
+	rr := RoundRobin{}
+	rng := rand.New(rand.NewSource(0))
+	const n = 5
+	enabled := []int{0, 1, 2, 3, 4}
+	for lap := 0; lap < 3; lap++ {
+		for k := 0; k < n; k++ {
+			step := int64(lap*n + k)
+			if got := rr.Pick(enabled, n, step, rng); got != k {
+				t.Fatalf("lap %d step %d: pick = %d, want %d", lap, step, got, k)
+			}
+		}
 	}
 }
 
@@ -269,7 +310,7 @@ func TestBiasedWeightZero(t *testing.T) {
 	b := Biased{Slow: map[int]bool{0: true, 1: true}, Weight: 0}
 	rng := rand.New(rand.NewSource(0))
 	// All-slow with weight zero must still pick someone.
-	got := b.Pick([]int{0, 1}, 0, rng)
+	got := b.Pick([]int{0, 1}, 2, 0, rng)
 	if got != 0 && got != 1 {
 		t.Errorf("pick = %d", got)
 	}

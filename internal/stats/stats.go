@@ -7,6 +7,7 @@ package stats
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/bits"
 	"strings"
@@ -308,6 +309,18 @@ func writeCSVRow(b *strings.Builder, cells []string) {
 		}
 	}
 	b.WriteByte('\n')
+}
+
+// Fingerprint returns a short stable hash of the table's full content
+// (title, header and rows). Two tables fingerprint equal iff they render
+// identically, which is how the sweep harness asserts — and lets users
+// verify across machines — that an aggregated result is deterministic.
+func (t *Table) Fingerprint() string {
+	h := fnv.New64a()
+	h.Write([]byte(t.Title))
+	h.Write([]byte{0})
+	h.Write([]byte(t.CSV()))
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // String renders the table with aligned columns.

@@ -69,3 +69,27 @@ func TestCSV(t *testing.T) {
 		t.Errorf("row 2 = %q", lines[2])
 	}
 }
+
+func TestFingerprintStable(t *testing.T) {
+	mk := func(title string, rows [][2]any) *Table {
+		tb := NewTable(title, "a", "b")
+		for _, r := range rows {
+			tb.AddRow(r[0], r[1])
+		}
+		return tb
+	}
+	rows := [][2]any{{"x", 1}, {"y", 2}}
+	a, b := mk("t", rows), mk("t", rows)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical tables fingerprint differently")
+	}
+	if a.Fingerprint() == mk("t", [][2]any{{"x", 1}, {"y", 3}}).Fingerprint() {
+		t.Error("different rows, same fingerprint")
+	}
+	if a.Fingerprint() == mk("u", rows).Fingerprint() {
+		t.Error("different titles, same fingerprint")
+	}
+	if len(a.Fingerprint()) != 16 {
+		t.Errorf("fingerprint %q not 16 hex chars", a.Fingerprint())
+	}
+}

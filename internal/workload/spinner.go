@@ -1,0 +1,77 @@
+package workload
+
+import "bakerypp/internal/preempt"
+
+// Spinner burns CPU the way Spin does, but injects randomized preemption
+// points while it spins: after every seeded-random gap of iterations it
+// reports to its Preemptor, which may deschedule the worker. This is what
+// makes contention outcomes observable on any core count — on a one-core
+// machine a plain Spin holds the processor for its whole critical section,
+// so a broken lock shows no overlap and Bakery++'s reset window never
+// opens; a yielding spinner hands the processor over mid-section exactly
+// like hardware preemption does on a loaded many-core box.
+//
+// A Spinner belongs to one participant (one goroutine); the harness creates
+// one per worker, seeded from the run seed, so yield schedules are
+// deterministic per worker and race-free.
+type Spinner struct {
+	pid     int
+	pre     preempt.Preemptor
+	state   uint64
+	maxGap  uint64 // yield gaps are drawn uniformly from [1, maxGap]
+	acc     uint32
+	yielded uint64
+}
+
+// DefaultPreemptRate is the spin-iteration preemption rate the harness
+// uses when a run does not choose one: on average one yield every 25 spin
+// iterations — frequent enough that a 50-iteration critical section is
+// virtually guaranteed to be preempted, cheap enough to leave throughput
+// measurements meaningful.
+const DefaultPreemptRate = 0.04
+
+// NewSpinner returns a Spinner for participant pid. rate is the expected
+// number of preemption points per spin iteration (0 < rate <= 1; the mean
+// gap between yields is 1/rate). A rate <= 0 disables injection, reducing
+// Spin to the seed behaviour. pre receives the injected preemption points;
+// pass preempt.Yield{} to yield to the Go scheduler or a preempt.Sequencer
+// to make the schedule fully deterministic.
+func NewSpinner(pid int, seed int64, rate float64, pre preempt.Preemptor) *Spinner {
+	s := &Spinner{pid: pid, pre: pre, state: preempt.Seed64(seed, pid)}
+	if rate > 0 && pre != nil {
+		if rate > 1 {
+			rate = 1
+		}
+		// Uniform gaps on [1, 2/rate] have mean ~1/rate.
+		s.maxGap = uint64(2 / rate)
+		if s.maxGap < 1 {
+			s.maxGap = 1
+		}
+	}
+	return s
+}
+
+// Yields reports how many preemption points the spinner has injected.
+func (s *Spinner) Yields() uint64 { return s.yielded }
+
+// Spin burns approximately n iterations of CPU work, reporting a
+// preemption point after each drawn gap. Spin(0) performs no work and
+// injects no preemption point.
+func (s *Spinner) Spin(n int) {
+	for n > 0 {
+		if s.maxGap == 0 {
+			s.acc ^= Spin(n)
+			return
+		}
+		s.state = preempt.Xorshift64(s.state)
+		gap := int(s.state%s.maxGap) + 1
+		if gap >= n {
+			s.acc ^= Spin(n)
+			return
+		}
+		s.acc ^= Spin(gap)
+		n -= gap
+		s.yielded++
+		s.pre.Preempt(s.pid)
+	}
+}

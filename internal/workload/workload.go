@@ -91,7 +91,10 @@ func Bursty(burstLen, gapLen int) Pattern {
 }
 
 // Spin burns approximately n iterations of CPU work. The tiny arithmetic
-// defeats dead-code elimination without touching memory.
+// defeats dead-code elimination without touching memory. Spin never yields
+// the processor; the harness drives patterns through the yield-injecting
+// Spinner (spinner.go) so critical sections remain preemptible on any core
+// count.
 func Spin(n int) uint32 {
 	var acc uint32 = 2463534242
 	for i := 0; i < n; i++ {
