@@ -25,9 +25,12 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		workers = flag.Int("workers", 0, "parallel model-checking goroutines (0 = sequential, -1 = GOMAXPROCS; FCFS/refinement checks stay sequential)")
+		run      = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		workers  = flag.Int("workers", 0, "parallel model-checking goroutines (0 = sequential, -1 = GOMAXPROCS; FCFS/refinement checks stay sequential)")
+		symmetry = flag.Bool("symmetry", false, "process-symmetry reduction for the safety-check experiments (specs declaring full symmetry explore one state per orbit; verdicts unchanged)")
+
+		benchJSON = flag.String("bench-json", "", "run the model-checking benchmark grid and write it as JSON to this path (e.g. BENCH_mc.json), instead of the experiment suite")
 
 		sweep        = flag.Bool("sweep", false, "run the deterministic contention sweep instead of the experiment suite")
 		sweepWorkers = flag.Int("sweep-workers", 1, "sweep worker pool size (cells in parallel; the table is identical for any value)")
@@ -41,6 +44,19 @@ func main() {
 		for _, e := range harness.Experiments() {
 			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
 		}
+		return
+	}
+	if *benchJSON != "" {
+		rep, err := harness.WriteMCBenchJSON(*benchJSON, harness.ExpConfig{MCWorkers: *workers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bakerybench:", err)
+			os.Exit(1)
+		}
+		for _, r := range rep.Records {
+			fmt.Printf("%-28s %9d states  %12.0f states/s  %8.3fs  %s\n",
+				r.Name, r.States, r.StatesPerSec, r.WallSeconds, r.Verdict)
+		}
+		fmt.Printf("wrote %d records to %s\n", len(rep.Records), *benchJSON)
 		return
 	}
 	if *sweep {
@@ -68,7 +84,7 @@ func main() {
 	for i := range ids {
 		ids[i] = strings.TrimSpace(ids[i])
 	}
-	cfg := harness.ExpConfig{MCWorkers: *workers, SweepWorkers: *sweepWorkers}
+	cfg := harness.ExpConfig{MCWorkers: *workers, SweepWorkers: *sweepWorkers, Symmetry: *symmetry}
 	if err := harness.RunExperiments(os.Stdout, ids, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bakerybench:", err)
 		os.Exit(1)

@@ -34,6 +34,7 @@ func main() {
 		deadlock  = flag.Bool("deadlock", false, "also detect deadlocks")
 		maxStates = flag.Int("maxstates", 0, "state bound (0 = default)")
 		workers   = flag.Int("workers", 0, "parallel exploration goroutines for check/graph/starve modes (0 = sequential, -1 = GOMAXPROCS; -fcfs always runs sequentially)")
+		symmetry  = flag.Bool("symmetry", false, "process-symmetry reduction: explore one state per permutation orbit (specs declaring full symmetry only; deterministic for any -workers; ignored by -starve/-fcfs, whose properties pin concrete pids)")
 		trace     = flag.Bool("trace", false, "print the counterexample trace, if any")
 		starve    = flag.Int("starve", -1, "search for a Section 6.3 livelock pinning this pid at l1")
 		fcfs      = flag.String("fcfs", "", "check FCFS for a pid pair, e.g. -fcfs 0,1")
@@ -54,6 +55,10 @@ func main() {
 		Deadlock:   *deadlock,
 		MaxStates:  *maxStates,
 		Workers:    *workers,
+		Symmetry:   *symmetry,
+	}
+	if *symmetry && (*fcfs != "" || *starve >= 0) {
+		fmt.Fprintln(os.Stderr, "bakerymc: note: -symmetry is ignored for -starve and -fcfs (pid-pinned properties need the full state space)")
 	}
 
 	if *listing {
@@ -116,6 +121,9 @@ func main() {
 	}
 
 	res := mc.Check(p, opts)
+	if *symmetry && !res.Symmetry {
+		fmt.Fprintf(os.Stderr, "bakerymc: note: %s does not support symmetry reduction (declared asymmetric or too many processes); ran the full search\n", p.Name)
+	}
 	fmt.Println(res.String())
 	if res.Violation != nil {
 		if *trace {

@@ -21,6 +21,7 @@ package gcl
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // VarDecl declares a variable. Size 1 declares a scalar; Size > 1 declares
@@ -67,6 +68,20 @@ type Prog struct {
 	localInfo  map[string]varInfo
 	sharedLen  int
 	localLen   int // size of one per-process block, pc at offset 0
+
+	// Process-symmetry declarations and canonicalization support; see
+	// symmetry.go.
+	sym          Symmetry
+	pidIndexed   map[string]bool
+	pidLocals    map[string][]string // cursor name -> labels it is live at
+	pidArrayOffs []int               // offsets of pid-indexed arrays, declaration order
+	pidLocalOffs []int               // block offsets of pid scan cursors
+	cursorLive   []uint32            // per-label cursor-liveness bitsets
+	permsOnce    sync.Once
+	perms        [][]int
+	invPerms     [][]int
+	prefMasks    []uint32
+	canonPool    sync.Pool
 }
 
 // New returns an empty program for n >= 1 processes.
@@ -182,6 +197,9 @@ func (p *Prog) Build() error {
 					p.Name, p.labels[li], bi, b.Next)
 			}
 		}
+	}
+	if err := p.buildSymmetry(); err != nil {
+		return err
 	}
 	p.built = true
 	return nil

@@ -1,0 +1,537 @@
+package gcl
+
+// Process-symmetry support: the permutation action on states and the
+// canonical-representative computation the model checker's symmetry-aware
+// visited store is built on (Clarke/Emerson-style symmetry reduction, the
+// analog of TLC's SYMMETRY declaration and Murphi's scalarsets).
+//
+// A specification declares its symmetry group at construction time:
+// SetSymmetry(FullSymmetry) states that the program treats process
+// identities interchangeably, and the per-variable declarations tell the
+// layer where identities live in the state vector — shared arrays indexed
+// by pid (every Own'd array implicitly, plus PidIndexed ones), the
+// per-process [pc, locals...] blocks (always), and locals that are pid
+// scan cursors (PidLocal, e.g. the bakery trial-loop index j).
+//
+// Permute applies one permutation: pid-indexed cells and process blocks
+// relocate from slot i to slot perm[i]; cell and local values are never
+// rewritten. Canonicalize picks the lexicographically-least image of the
+// state over the permutations *valid for that state*, so two states merge
+// exactly when one is a valid image of the other:
+//
+//   - With no scan cursors mid-scan, every permutation is valid and the
+//     least image is found by sorting per-process signature columns.
+//   - An active cursor value j means "this process has already checked
+//     processes 0..j-1"; a permutation respects that history only if it
+//     preserves the set {0..j-1}. Valid permutations are therefore the
+//     ones that permute within the segments delimited by the active
+//     cursor values — a subgroup that depends only on the cursor values,
+//     which relocation leaves in place, so validity is orbit-invariant
+//     and the canonical form is well-defined. These states fall back to
+//     enumerating the precomputed permutation table, skipping invalid
+//     entries by a precomputed prefix-preservation mask and rejecting
+//     losing candidates after the first differing word.
+//
+// The naive alternative — remapping cursor VALUES through the permutation
+// and canonicalizing over the full group — is measurably unsound here: it
+// merges states whose scan histories are incompatible, and on 4-process
+// Bakery the over-pruning severs the ticket-growth paths entirely, turning
+// the overflow VIOLATION verdict into a false "verified". The segment
+// rule keeps every merge history-consistent.
+//
+// Soundness note for callers: even valid permutations are only
+// quasi-automorphisms for most specifications here — the bakery tie-break
+// (number[j], j) < (number[i], i) and Szymanski's id-ordered room draining
+// consult the concrete id order. Canonical forms are therefore safe for
+// duplicate detection (merging a state with an earlier orbit-mate), but
+// exploring a canonical *image* in place of a reachable state can
+// fabricate unreachable behaviours. internal/mc's symmetry store only
+// ever dedups; see docs/model-checking.md.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Symmetry identifies the process-permutation group a program declares.
+type Symmetry uint8
+
+const (
+	// NoSymmetry (the default) declares the trivial group: no two process
+	// identities are interchangeable, and symmetry reduction degrades to
+	// the full search.
+	NoSymmetry Symmetry = iota
+	// FullSymmetry declares the full symmetric group on process ids: the
+	// program is (quasi-)invariant under every permutation of 0..N-1 that
+	// respects the declared scan cursors.
+	FullSymmetry
+)
+
+// String returns the group name.
+func (y Symmetry) String() string {
+	switch y {
+	case NoSymmetry:
+		return "none"
+	case FullSymmetry:
+		return "full"
+	}
+	return fmt.Sprintf("symmetry(%d)", uint8(y))
+}
+
+// maxEnumProcs caps the permutation-enumeration fallback: N! permutations
+// are materialised once per program, so programs with scan cursors and
+// more processes than this cannot canonicalize (CanCanonicalize reports
+// false and the model checker falls back to the full search). 8! = 40320
+// permutations is already far beyond what explicit-state exploration can
+// cover anyway.
+const maxEnumProcs = 8
+
+// SetSymmetry declares the program's process-permutation group. Must be
+// called before Build.
+func (p *Prog) SetSymmetry(y Symmetry) {
+	if p.built {
+		panic("gcl: cannot declare symmetry after Build")
+	}
+	p.sym = y
+}
+
+// Symmetry returns the declared process-permutation group.
+func (p *Prog) Symmetry() Symmetry { return p.sym }
+
+// PidIndexed marks a shared array as indexed by process id, so Permute
+// relocates cell i to cell perm[i]. Own'd arrays are pid-indexed
+// implicitly; PidIndexed is for size-N arrays that are per-process without
+// being crash-reset. Must be called before Build.
+func (p *Prog) PidIndexed(name string) {
+	if p.built {
+		panic("gcl: cannot declare after Build")
+	}
+	if p.pidIndexed == nil {
+		p.pidIndexed = map[string]bool{}
+	}
+	p.pidIndexed[name] = true
+}
+
+// PidLocal marks a per-process local as a pid scan cursor: its value j
+// means the process has already visited pids 0..j-1 (j = N meaning "done",
+// the bakery-family trial-loop shape). Canonicalization then only applies
+// permutations that preserve every active cursor's visited prefix as a
+// set, keeping merges consistent with scan history.
+//
+// liveAt optionally lists the labels at which the cursor is LIVE (read
+// before being rewritten). At every other label the canonical key
+// normalizes the cursor to 0 — classic dead-variable reduction, sound
+// exactly when every path from a non-listed label rewrites the cursor
+// before reading it (the bakery family resets j at its doorway-done step,
+// so the stale previous-round value outside t1..t4 is pure key noise).
+// With no liveAt list the cursor is treated as live everywhere. Must be
+// called before Build.
+func (p *Prog) PidLocal(name string, liveAt ...string) {
+	if p.built {
+		panic("gcl: cannot declare after Build")
+	}
+	if p.pidLocals == nil {
+		p.pidLocals = map[string][]string{}
+	}
+	if liveAt == nil {
+		liveAt = []string{}
+	}
+	p.pidLocals[name] = liveAt
+}
+
+// buildSymmetry resolves the symmetry declarations against the layout;
+// called from Build after the offsets exist.
+func (p *Prog) buildSymmetry() error {
+	for name := range p.owned {
+		if p.pidIndexed == nil {
+			p.pidIndexed = map[string]bool{}
+		}
+		p.pidIndexed[name] = true
+	}
+	// Deterministic order (declaration order) so canonical comparison has
+	// a fixed word order — the state vector's own layout order.
+	for _, d := range p.shared {
+		if !p.pidIndexed[d.Name] {
+			continue
+		}
+		info := p.sharedInfo[d.Name]
+		if info.size != p.N {
+			return fmt.Errorf("gcl: %s: pid-indexed array %q must have size N=%d, has %d",
+				p.Name, d.Name, p.N, info.size)
+		}
+		p.pidArrayOffs = append(p.pidArrayOffs, info.off)
+	}
+	for name := range p.pidIndexed {
+		if _, ok := p.sharedInfo[name]; !ok {
+			return fmt.Errorf("gcl: %s: pid-indexed variable %q not declared shared", p.Name, name)
+		}
+	}
+	for _, d := range p.locals {
+		liveAt, isCursor := p.pidLocals[d.Name]
+		if !isCursor {
+			continue
+		}
+		p.pidLocalOffs = append(p.pidLocalOffs, p.localInfo[d.Name].off)
+		// liveMask rows are per-label bitsets over the cursors (in
+		// pidLocalOffs order); an unset bit means the cursor is dead at
+		// that label and normalized away in canonical keys.
+		cursorBit := uint32(1) << uint(len(p.pidLocalOffs)-1)
+		if p.cursorLive == nil {
+			p.cursorLive = make([]uint32, len(p.labels))
+		}
+		if len(liveAt) == 0 {
+			for li := range p.cursorLive {
+				p.cursorLive[li] |= cursorBit
+			}
+		} else {
+			for _, lbl := range liveAt {
+				li, ok := p.labelIdx[lbl]
+				if !ok {
+					return fmt.Errorf("gcl: %s: cursor %q live-at label %q not declared", p.Name, d.Name, lbl)
+				}
+				p.cursorLive[li] |= cursorBit
+			}
+		}
+	}
+	for name := range p.pidLocals {
+		if _, ok := p.localInfo[name]; !ok {
+			return fmt.Errorf("gcl: %s: pid-valued local %q not declared", p.Name, name)
+		}
+	}
+	return nil
+}
+
+// NormalizeCursors returns a copy of s with every dead scan cursor zeroed:
+// for each process, cursors whose bit is clear in the liveness mask of the
+// process's current label are set to 0. This is the key-normalization the
+// canonical layer applies; the exploration engines never store or expand
+// normalized states.
+func (p *Prog) NormalizeCursors(s State) State {
+	out := p.Clone(s)
+	p.normalizeCursorsInPlace(out)
+	return out
+}
+
+// normalizeCursorsInPlace is NormalizeCursors on a caller-owned copy.
+func (p *Prog) normalizeCursorsInPlace(s State) {
+	if len(p.pidLocalOffs) == 0 || p.cursorLive == nil {
+		return
+	}
+	for i := 0; i < p.N; i++ {
+		base := p.sharedLen + i*p.localLen
+		live := p.cursorLive[s[base]]
+		for ci, lo := range p.pidLocalOffs {
+			if live&(1<<uint(ci)) == 0 {
+				s[base+lo] = 0
+			}
+		}
+	}
+}
+
+// Permute returns the image of s under the process permutation perm, where
+// perm[i] is the new identity of process i: pid-indexed shared cells and
+// per-process blocks move from slot i to slot perm[i]; all values —
+// including scan cursors, which count a prefix rather than naming a pid —
+// are copied unchanged, and other shared variables stay in place.
+func (p *Prog) Permute(s State, perm []int) State {
+	out := make(State, len(s))
+	p.permuteInto(out, s, perm)
+	return out
+}
+
+// permuteInto is Permute into a caller-owned buffer.
+func (p *Prog) permuteInto(out State, s State, perm []int) {
+	if !p.built {
+		panic("gcl: Permute before Build")
+	}
+	if len(perm) != p.N {
+		panic(fmt.Sprintf("gcl: %s: Permute needs a permutation of %d ids, got %d", p.Name, p.N, len(perm)))
+	}
+	copy(out[:p.sharedLen], s[:p.sharedLen])
+	for _, off := range p.pidArrayOffs {
+		for i := 0; i < p.N; i++ {
+			out[off+perm[i]] = s[off+i]
+		}
+	}
+	for i := 0; i < p.N; i++ {
+		src := p.sharedLen + i*p.localLen
+		dst := p.sharedLen + perm[i]*p.localLen
+		copy(out[dst:dst+p.localLen], s[src:src+p.localLen])
+	}
+}
+
+// PermValid reports whether perm respects the scan history of s: for every
+// declared cursor local of every process, the visited prefix {0..j-1} must
+// be preserved as a set (equivalently, perm maps it onto itself). States
+// merged by canonicalization are always related by a valid permutation.
+func (p *Prog) PermValid(s State, perm []int) bool {
+	if len(perm) != p.N {
+		panic(fmt.Sprintf("gcl: %s: PermValid needs a permutation of %d ids, got %d", p.Name, p.N, len(perm)))
+	}
+	for _, lo := range p.pidLocalOffs {
+		for i := 0; i < p.N; i++ {
+			j := int(s[p.sharedLen+i*p.localLen+lo])
+			if j <= 0 || j >= p.N {
+				continue // empty or complete prefix constrains nothing
+			}
+			for q := 0; q < j; q++ {
+				if perm[q] >= j {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// CanCanonicalize reports whether the program supports canonicalization:
+// full symmetry declared, and — when scan cursors force the enumeration
+// fallback — no more than maxEnumProcs processes.
+func (p *Prog) CanCanonicalize() bool {
+	return p.built && p.sym == FullSymmetry &&
+		(len(p.pidLocalOffs) == 0 || p.N <= maxEnumProcs)
+}
+
+// Canonicalize returns the canonical representative of s's orbit: the
+// lexicographically-least image of the cursor-normalized state vector
+// (NormalizeCursors) over the permutations valid for it. Two states
+// canonicalize equally iff their normalized forms are valid images of one
+// another; the result is freshly allocated. Safe for concurrent use.
+func (p *Prog) Canonicalize(s State) State {
+	w := p.canonWorker()
+	defer p.canonPool.Put(w)
+	c := w.canonicalize(s)
+	out := make(State, len(c))
+	copy(out, c)
+	return out
+}
+
+// CanonicalFingerprint returns the fingerprint of the canonical
+// representative of s's orbit — the probe key of the symmetry-aware
+// visited store. Invariant under every valid process permutation of s.
+// Safe for concurrent use.
+func (p *Prog) CanonicalFingerprint(s State) uint64 {
+	w := p.canonWorker()
+	defer p.canonPool.Put(w)
+	return w.canonicalize(s).Fingerprint()
+}
+
+// CanonicalizeWithPerm returns the canonical representative together with
+// the witnessing permutation mapping the normalized state onto it
+// (Permute(NormalizeCursors(s), perm) equals the returned state, and
+// PermValid(NormalizeCursors(s), perm) holds). Safe for concurrent use.
+func (p *Prog) CanonicalizeWithPerm(s State) (State, []int) {
+	w := p.canonWorker()
+	defer p.canonPool.Put(w)
+	c := w.canonicalize(s)
+	out := make(State, len(c))
+	copy(out, c)
+	perm := make([]int, p.N)
+	copy(perm, w.bestPerm)
+	return out, perm
+}
+
+// canonWorker hands out a scratch canonicalizer from the program's pool,
+// initialising the shared permutation tables on first use.
+func (p *Prog) canonWorker() *canonicalizer {
+	if !p.CanCanonicalize() {
+		panic(fmt.Sprintf("gcl: %s: canonicalization unavailable (symmetry %v, %d scan cursors, N=%d)",
+			p.Name, p.sym, len(p.pidLocalOffs), p.N))
+	}
+	if len(p.pidLocalOffs) > 0 {
+		p.permsOnce.Do(func() { p.perms, p.invPerms, p.prefMasks = allPerms(p.N) })
+	}
+	if w, ok := p.canonPool.Get().(*canonicalizer); ok {
+		return w
+	}
+	return &canonicalizer{
+		p:        p,
+		buf:      make(State, p.StateLen()),
+		norm:     make(State, p.StateLen()),
+		bestPerm: make([]int, p.N),
+		order:    make([]int, p.N),
+	}
+}
+
+// canonicalizer holds the per-call scratch of one canonicalization; pooled
+// on the program so concurrent exploration workers never share buffers.
+type canonicalizer struct {
+	p        *Prog
+	buf      State
+	norm     State
+	bestPerm []int
+	order    []int
+}
+
+// canonicalize computes the least valid image of the cursor-normalized
+// state into w.buf and returns it (valid until the worker is reused) with
+// the witnessing permutation in w.bestPerm. With no active cursor every
+// permutation is valid and column sorting finds the least image directly;
+// otherwise the permutation table is enumerated under the cursor mask.
+func (w *canonicalizer) canonicalize(s State) State {
+	copy(w.norm, s)
+	w.p.normalizeCursorsInPlace(w.norm)
+	mask := w.cursorMask(w.norm)
+	if mask == 0 {
+		w.sortColumns(w.norm)
+	} else {
+		w.enumerate(w.norm, mask)
+	}
+	return w.buf
+}
+
+// cursorMask collects the active cursor values of s as a bitmask: bit j is
+// set when some process has visited exactly the prefix 0..j-1 (0 < j < N),
+// which a valid permutation must preserve.
+func (w *canonicalizer) cursorMask(s State) uint32 {
+	p := w.p
+	var mask uint32
+	for _, lo := range p.pidLocalOffs {
+		for i := 0; i < p.N; i++ {
+			if j := int(s[p.sharedLen+i*p.localLen+lo]); j > 0 && j < p.N {
+				mask |= 1 << uint(j)
+			}
+		}
+	}
+	return mask
+}
+
+// sortColumns finds the least image when every permutation is valid: the
+// action just relocates per-process "columns" (the process's cells of each
+// pid-indexed array, in declaration order, then its block), so placing the
+// columns in sorted order yields exactly the lexicographically-least
+// flattened vector (ties order identical columns, which cannot change the
+// image).
+func (w *canonicalizer) sortColumns(s State) {
+	p := w.p
+	for i := range w.order {
+		w.order[i] = i
+	}
+	sort.Slice(w.order, func(a, b int) bool {
+		return compareColumns(p, s, w.order[a], w.order[b]) < 0
+	})
+	// order[k] = the process whose column lands in slot k, i.e. the
+	// inverse of the witnessing permutation.
+	for k, i := range w.order {
+		w.bestPerm[i] = k
+	}
+	p.permuteInto(w.buf, s, w.bestPerm)
+}
+
+// compareColumns orders process columns by the state-layout word order:
+// each pid-indexed array cell in declaration order, then the block words.
+func compareColumns(p *Prog, s State, i, j int) int {
+	for _, off := range p.pidArrayOffs {
+		if d := s[off+i] - s[off+j]; d != 0 {
+			return int(d)
+		}
+	}
+	bi, bj := p.sharedLen+i*p.localLen, p.sharedLen+j*p.localLen
+	for k := 0; k < p.localLen; k++ {
+		if d := s[bi+k] - s[bj+k]; d != 0 {
+			return int(d)
+		}
+	}
+	return 0
+}
+
+// enumerate walks the permutation table, skipping permutations whose
+// precomputed prefix-preservation mask does not cover the state's cursor
+// mask, and keeps the least image seen. The comparison against the
+// incumbent walks the candidate image lazily in state-vector order through
+// the permutation's inverse, so a losing permutation is rejected after the
+// first differing word without materialising its image. The incumbent
+// starts as the identity image — s itself.
+func (w *canonicalizer) enumerate(s State, mask uint32) {
+	p := w.p
+	copy(w.buf, s)
+	for i := range w.bestPerm {
+		w.bestPerm[i] = i
+	}
+	for pi, perm := range p.perms {
+		if pi == 0 {
+			continue // identity: the incumbent
+		}
+		if mask&^p.prefMasks[pi] != 0 {
+			continue // violates some visited prefix
+		}
+		if w.imageLess(s, p.invPerms[pi]) {
+			p.permuteInto(w.buf, s, perm)
+			copy(w.bestPerm, perm)
+		}
+	}
+}
+
+// imageLess reports whether the image of s under the permutation with
+// inverse inv is lexicographically less than the incumbent in w.buf,
+// comparing only pid-dependent words (all others are equal by
+// construction): the image word at slot q of a pid-indexed array is
+// s[off+inv[q]], and the image block in slot q is process inv[q]'s block.
+func (w *canonicalizer) imageLess(s State, inv []int) bool {
+	p := w.p
+	for _, off := range p.pidArrayOffs {
+		for q := 0; q < p.N; q++ {
+			if v, b := s[off+inv[q]], w.buf[off+q]; v != b {
+				return v < b
+			}
+		}
+	}
+	for q := 0; q < p.N; q++ {
+		src := p.sharedLen + inv[q]*p.localLen
+		dst := p.sharedLen + q*p.localLen
+		for k := 0; k < p.localLen; k++ {
+			if v, b := s[src+k], w.buf[dst+k]; v != b {
+				return v < b
+			}
+		}
+	}
+	return false
+}
+
+// allPerms returns every permutation of 0..n-1 (identity first, then
+// lexicographic order), the inverse of each, and each permutation's
+// prefix-preservation mask: bit j set iff the permutation maps {0..j-1}
+// onto itself (computed as a running maximum).
+func allPerms(n int) (perms, invs [][]int, prefMasks []uint32) {
+	cur := make([]int, n)
+	for i := range cur {
+		cur[i] = i
+	}
+	for {
+		perm := make([]int, n)
+		copy(perm, cur)
+		inv := make([]int, n)
+		for i, v := range perm {
+			inv[v] = i
+		}
+		var mask uint32
+		cummax := -1
+		for j := 1; j < n; j++ {
+			if perm[j-1] > cummax {
+				cummax = perm[j-1]
+			}
+			if cummax == j-1 {
+				mask |= 1 << uint(j)
+			}
+		}
+		perms = append(perms, perm)
+		invs = append(invs, inv)
+		prefMasks = append(prefMasks, mask)
+		// Next lexicographic permutation.
+		i := n - 2
+		for i >= 0 && cur[i] >= cur[i+1] {
+			i--
+		}
+		if i < 0 {
+			return perms, invs, prefMasks
+		}
+		j := n - 1
+		for cur[j] <= cur[i] {
+			j--
+		}
+		cur[i], cur[j] = cur[j], cur[i]
+		for l, r := i+1, n-1; l < r; l, r = l+1, r-1 {
+			cur[l], cur[r] = cur[r], cur[l]
+		}
+	}
+}

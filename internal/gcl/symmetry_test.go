@@ -1,0 +1,303 @@
+package gcl
+
+import (
+	"testing"
+)
+
+// symProg builds an n-process fully-symmetric toy program: each process
+// raises its flag, scans the others with cursor c (live only at the scan
+// labels), then lowers the flag. It exercises owned arrays, a
+// perm-invariant shared scalar, a plain local, and a scan cursor.
+func symProg(n int) *Prog {
+	p := New("symtoy", n)
+	p.SharedArray("flag", n, 0)
+	p.SharedVar("round", 0)
+	p.Own("flag")
+	p.LocalVar("c", 0)
+	p.LocalVar("v", 0)
+	p.SetSymmetry(FullSymmetry)
+	p.PidLocal("c", "s1", "s2")
+	c := L("c")
+	p.Label("ncs", Goto("up"))
+	p.Label("up", Goto("s1", SetSelf("flag", C(1)), SetL("c", C(0))))
+	p.Label("s1",
+		Br(Ge(c, C(n)), "down"),
+		Br(Lt(c, C(n)), "s2"),
+	)
+	p.Label("s2", Goto("s1",
+		SetL("v", Add(L("v"), ShI("flag", c))),
+		SetL("c", Add(c, C(1))),
+	))
+	p.Label("down", Goto("ncs", SetSelf("flag", C(0)), SetL("v", C(0)), Set("round", C(1))))
+	return p.MustBuild()
+}
+
+// flagProg is symProg without the cursor: pure column symmetry, so the
+// sorted fast path is always taken.
+func flagProg(n int) *Prog {
+	p := New("flagtoy", n)
+	p.SharedArray("flag", n, 0)
+	p.Own("flag")
+	p.SetSymmetry(FullSymmetry)
+	p.Label("ncs", Goto("up"))
+	p.Label("up", Goto("down", SetSelf("flag", C(1))))
+	p.Label("down", Goto("ncs", SetSelf("flag", C(0))))
+	return p.MustBuild()
+}
+
+// walkStates returns up to limit distinct states of p reached by a
+// breadth-first walk from the initial state.
+func walkStates(p *Prog, limit int) []State {
+	seen := map[uint64][]State{}
+	lookup := func(s State) bool {
+		for _, t := range seen[s.Fingerprint()] {
+			if t.Equal(s) {
+				return true
+			}
+		}
+		return false
+	}
+	init := p.InitState()
+	states := []State{init}
+	seen[init.Fingerprint()] = []State{init}
+	for head := 0; head < len(states) && len(states) < limit; head++ {
+		for _, sc := range p.AllSuccs(states[head], ModeUnbounded) {
+			if lookup(sc.State) {
+				continue
+			}
+			fp := sc.State.Fingerprint()
+			seen[fp] = append(seen[fp], sc.State)
+			states = append(states, sc.State)
+			if len(states) >= limit {
+				break
+			}
+		}
+	}
+	return states
+}
+
+func composePerm(a, b []int) []int {
+	// (b ∘ a): apply a, then b.
+	out := make([]int, len(a))
+	for i := range a {
+		out[i] = b[a[i]]
+	}
+	return out
+}
+
+func TestPermuteGroupAction(t *testing.T) {
+	p := symProg(3)
+	id := []int{0, 1, 2}
+	a := []int{1, 2, 0}
+	b := []int{2, 1, 0}
+	for _, s := range walkStates(p, 200) {
+		if !p.Permute(s, id).Equal(s) {
+			t.Fatalf("identity permutation changed state %v", s)
+		}
+		lhs := p.Permute(p.Permute(s, a), b)
+		rhs := p.Permute(s, composePerm(a, b))
+		if !lhs.Equal(rhs) {
+			t.Fatalf("permutation action does not compose: %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+// TestCanonicalizeAgainstOracle cross-checks both canonicalization paths
+// against a brute-force oracle: the lexicographically-least image of the
+// normalized state over all valid permutations.
+func TestCanonicalizeAgainstOracle(t *testing.T) {
+	perms3, _, _ := allPerms(3)
+	for _, tc := range []struct {
+		name string
+		p    *Prog
+	}{
+		{"cursor-prog", symProg(3)},
+		{"sorted-fast-path", flagProg(3)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.p
+			for _, s := range walkStates(p, 400) {
+				norm := p.NormalizeCursors(s)
+				var best State
+				for _, perm := range perms3 {
+					if !p.PermValid(norm, perm) {
+						continue
+					}
+					img := p.Permute(norm, perm)
+					if best == nil || lexLess(img, best) {
+						best = img
+					}
+				}
+				got := p.Canonicalize(s)
+				if !got.Equal(best) {
+					t.Fatalf("canonical of %v:\n got %v\nwant %v", s, got, best)
+				}
+				if got.Fingerprint() != p.CanonicalFingerprint(s) {
+					t.Fatal("CanonicalFingerprint disagrees with Canonicalize")
+				}
+			}
+		})
+	}
+}
+
+func lexLess(a, b State) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// TestCanonicalInvariantUnderValidPerms is the core contract: the
+// canonical fingerprint does not change when a state is replaced by any
+// valid permutation image of it, and canonicalization is idempotent.
+func TestCanonicalInvariantUnderValidPerms(t *testing.T) {
+	p := symProg(3)
+	perms3, _, _ := allPerms(3)
+	for _, s := range walkStates(p, 400) {
+		want := p.CanonicalFingerprint(s)
+		norm := p.NormalizeCursors(s)
+		for _, perm := range perms3 {
+			if !p.PermValid(norm, perm) {
+				continue
+			}
+			if got := p.CanonicalFingerprint(p.Permute(norm, perm)); got != want {
+				t.Fatalf("canonical fingerprint varies over the orbit of %v (perm %v)", s, perm)
+			}
+		}
+		canon, perm := p.CanonicalizeWithPerm(s)
+		if !p.Permute(norm, perm).Equal(canon) {
+			t.Fatalf("witnessing permutation %v does not map the normalized state onto the canonical form", perm)
+		}
+		if !p.PermValid(norm, perm) {
+			t.Fatalf("witnessing permutation %v is not valid for %v", perm, norm)
+		}
+		if !p.Canonicalize(canon).Equal(canon) {
+			t.Fatalf("canonicalization not idempotent on %v", canon)
+		}
+	}
+}
+
+// TestCursorNormalization pins the dead-variable rule: the cursor is
+// zeroed in keys while the process is outside its scan loop and kept
+// while inside.
+func TestCursorNormalization(t *testing.T) {
+	p := symProg(2)
+	s := p.InitState()
+	p.SetLocal(s, 0, "c", 2)
+	p.SetPC(s, 0, p.LabelIndex("ncs")) // dead: c rewritten at "up"
+	norm := p.NormalizeCursors(s)
+	if got := p.Local(norm, 0, "c"); got != 0 {
+		t.Fatalf("dead cursor survived normalization: %d", got)
+	}
+	p.SetPC(s, 0, p.LabelIndex("s1")) // live
+	norm = p.NormalizeCursors(s)
+	if got := p.Local(norm, 0, "c"); got != 2 {
+		t.Fatalf("live cursor normalized away: %d", got)
+	}
+	// The plain local v is untouched either way.
+	p.SetLocal(s, 0, "v", 5)
+	if got := p.Local(p.NormalizeCursors(s), 0, "v"); got != 5 {
+		t.Fatalf("non-cursor local normalized: %d", got)
+	}
+}
+
+// TestPermValidSegments pins the prefix-preservation rule on a concrete
+// mid-scan state.
+func TestPermValidSegments(t *testing.T) {
+	p := symProg(3)
+	s := p.InitState()
+	p.SetPC(s, 0, p.LabelIndex("s1"))
+	p.SetLocal(s, 0, "c", 2) // process 0 has scanned {0, 1}
+	cases := []struct {
+		perm []int
+		ok   bool
+	}{
+		{[]int{0, 1, 2}, true},
+		{[]int{1, 0, 2}, true},  // permutes within the scanned prefix
+		{[]int{0, 2, 1}, false}, // moves scanned pid 1 out of the prefix
+		{[]int{2, 1, 0}, false},
+	}
+	for _, c := range cases {
+		if got := p.PermValid(s, c.perm); got != c.ok {
+			t.Fatalf("PermValid(%v) = %v, want %v", c.perm, got, c.ok)
+		}
+	}
+}
+
+// TestSymmetryBuildValidation pins the declaration errors.
+func TestSymmetryBuildValidation(t *testing.T) {
+	bad := New("bad-cursor", 2)
+	bad.SharedArray("a", 2, 0)
+	bad.Own("a")
+	bad.PidLocal("nope")
+	bad.Label("ncs", Goto("ncs"))
+	if err := bad.Build(); err == nil {
+		t.Fatal("undeclared cursor local accepted")
+	}
+	badLive := New("bad-live", 2)
+	badLive.SharedArray("a", 2, 0)
+	badLive.Own("a")
+	badLive.LocalVar("c", 0)
+	badLive.PidLocal("c", "nowhere")
+	badLive.Label("ncs", Goto("ncs"))
+	if err := badLive.Build(); err == nil {
+		t.Fatal("unknown live-at label accepted")
+	}
+	badArr := New("bad-arr", 3)
+	badArr.SharedArray("a", 2, 0)
+	badArr.PidIndexed("a")
+	badArr.Label("ncs", Goto("ncs"))
+	if err := badArr.Build(); err == nil {
+		t.Fatal("pid-indexed array of wrong size accepted")
+	}
+	noSym := flagProg(2)
+	if noSym.CanCanonicalize() != true {
+		t.Fatal("symmetric program must canonicalize")
+	}
+	plain := New("plain", 2)
+	plain.SharedArray("a", 2, 0)
+	plain.Own("a")
+	plain.Label("ncs", Goto("ncs"))
+	plain.MustBuild()
+	if plain.CanCanonicalize() {
+		t.Fatal("NoSymmetry program must not canonicalize")
+	}
+}
+
+// FuzzCanonicalFingerprint drives a random walk of the toy cursor program
+// from fuzzed bytes and asserts the satellite contract on every visited
+// state: the canonical fingerprint is invariant under every valid process
+// permutation, and the canonical form is stable (idempotent, equal
+// fingerprints from both APIs).
+func FuzzCanonicalFingerprint(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{9, 9, 9, 1, 0, 4, 2, 250, 17, 3})
+	p := symProg(3)
+	perms3, _, _ := allPerms(3)
+	f.Fuzz(func(t *testing.T, choices []byte) {
+		s := p.InitState()
+		for _, b := range choices {
+			succs := p.AllSuccs(s, ModeUnbounded)
+			if len(succs) == 0 {
+				break
+			}
+			s = succs[int(b)%len(succs)].State
+			want := p.CanonicalFingerprint(s)
+			norm := p.NormalizeCursors(s)
+			for _, perm := range perms3 {
+				if !p.PermValid(norm, perm) {
+					continue
+				}
+				if got := p.CanonicalFingerprint(p.Permute(norm, perm)); got != want {
+					t.Fatalf("canonical fingerprint not orbit-invariant at %v under %v", s, perm)
+				}
+			}
+			canon := p.Canonicalize(s)
+			if !p.Canonicalize(canon).Equal(canon) {
+				t.Fatalf("canonicalization not idempotent at %v", s)
+			}
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package harness
+
+// Machine-readable model-checking benchmarks: a fixed grid of exploration
+// runs (full and symmetry-reduced) whose states/sec, states explored, and
+// wall time are written as JSON so the perf trajectory of the engines is
+// tracked from PR to PR (`bakerybench -bench-json BENCH_mc.json`).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"bakerypp/internal/mc"
+	"bakerypp/internal/specs"
+)
+
+// MCBenchRecord is one exploration run of the benchmark grid.
+type MCBenchRecord struct {
+	// Name identifies the grid cell, e.g. "bakerypp-n4-m2/symmetry".
+	Name string `json:"name"`
+	Algo string `json:"algo"`
+	N    int    `json:"n"`
+	M    int    `json:"m"`
+	// Workers is the engine setting used (0 sequential, -1 GOMAXPROCS).
+	Workers int `json:"workers"`
+	// Symmetry records whether reduction was requested; Applied whether
+	// the spec supported it.
+	Symmetry bool `json:"symmetry"`
+	Applied  bool `json:"symmetry_applied"`
+
+	States       int     `json:"states"`
+	Transitions  int     `json:"transitions"`
+	Verdict      string  `json:"verdict"`
+	Complete     bool    `json:"complete"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	StatesPerSec float64 `json:"states_per_sec"`
+}
+
+// MCBenchReport is the JSON document bakerybench emits.
+type MCBenchReport struct {
+	GoVersion  string          `json:"go_version"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Timestamp  string          `json:"timestamp"`
+	Records    []MCBenchRecord `json:"records"`
+}
+
+// mcBenchCell is one grid entry; symmetry-only cells (full search far
+// beyond the state bound) set fullToo = false.
+type mcBenchCell struct {
+	algo    string
+	cfg     specs.Config
+	fullToo bool
+}
+
+// mcBenchGrid is the fixed benchmark grid. It spans the sizes the
+// EXPERIMENTS tables use plus the configurations symmetry reduction
+// newly unlocks (bakery++ N=5, bakery N=6 under the default bound).
+func mcBenchGrid() []mcBenchCell {
+	return []mcBenchCell{
+		{"bakerypp", specs.Config{N: 2, M: 2}, true},
+		{"bakerypp", specs.Config{N: 3, M: 2}, true},
+		{"bakerypp", specs.Config{N: 4, M: 2}, true},
+		{"bakerypp", specs.Config{N: 5, M: 2}, false},
+		{"bakery", specs.Config{N: 3, M: 3}, true},
+		{"bakery", specs.Config{N: 4, M: 4}, true},
+		{"bakery", specs.Config{N: 6, M: 4}, false},
+		{"szymanski", specs.Config{N: 3}, true},
+		{"szymanski", specs.Config{N: 4}, true},
+	}
+}
+
+// RunMCBench runs the benchmark grid. cfg.MCWorkers selects the engine;
+// cfg.Symmetry is ignored (the grid always measures both sides where the
+// full search is feasible).
+func RunMCBench(cfg ExpConfig) (*MCBenchReport, error) {
+	return runMCBench(cfg, mcBenchGrid())
+}
+
+func runMCBench(cfg ExpConfig, grid []mcBenchCell) (*MCBenchReport, error) {
+	rep := &MCBenchReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, cell := range grid {
+		variants := []bool{true}
+		if cell.fullToo {
+			variants = []bool{false, true}
+		}
+		for _, sym := range variants {
+			p, err := specs.Get(cell.algo, cell.cfg)
+			if err != nil {
+				return nil, err
+			}
+			res := mc.Check(p, mc.Options{
+				Invariants: safetyInvariants(),
+				Workers:    cfg.MCWorkers,
+				Symmetry:   sym,
+			})
+			secs := res.Elapsed.Seconds()
+			rate := 0.0
+			if secs > 0 {
+				rate = float64(res.States) / secs
+			}
+			suffix := "full"
+			if sym {
+				suffix = "symmetry"
+			}
+			rep.Records = append(rep.Records, MCBenchRecord{
+				Name:         fmt.Sprintf("%s-n%d-m%d/%s", cell.algo, p.N, p.M, suffix),
+				Algo:         cell.algo,
+				N:            p.N,
+				M:            int(p.M),
+				Workers:      cfg.MCWorkers,
+				Symmetry:     sym,
+				Applied:      res.Symmetry,
+				States:       res.States,
+				Transitions:  res.Transitions,
+				Verdict:      verdict(res),
+				Complete:     res.Complete,
+				WallSeconds:  secs,
+				StatesPerSec: rate,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// WriteMCBenchJSON runs the grid and writes the report to path.
+func WriteMCBenchJSON(path string, cfg ExpConfig) (*MCBenchReport, error) {
+	rep, err := RunMCBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeBenchJSON(path, rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func writeBenchJSON(path string, rep *MCBenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

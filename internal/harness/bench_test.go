@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bakerypp/internal/specs"
+)
+
+// TestWriteMCBenchJSON runs a trimmed benchmark grid (the N <= 3 cells —
+// the heavy N >= 4 explorations are covered by internal/mc's symmetry
+// tests and the full grid by `bakerybench -bench-json`) and checks the
+// emitted JSON is well-formed and internally consistent: every
+// full/symmetry pair agrees on the verdict and the reduced side never
+// explores more states.
+func TestWriteMCBenchJSON(t *testing.T) {
+	grid := []mcBenchCell{
+		{"bakerypp", specs.Config{N: 2, M: 2}, true},
+		{"bakerypp", specs.Config{N: 3, M: 2}, true},
+		{"bakery", specs.Config{N: 3, M: 3}, true},
+		{"szymanski", specs.Config{N: 3}, false},
+	}
+	rep, err := runMCBench(ExpConfig{MCWorkers: -1}, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_mc.json")
+	if err := writeBenchJSON(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed MCBenchReport
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if len(parsed.Records) != len(rep.Records) || len(parsed.Records) == 0 {
+		t.Fatalf("got %d records on disk, %d in memory", len(parsed.Records), len(rep.Records))
+	}
+	full := map[string]MCBenchRecord{}
+	for _, r := range parsed.Records {
+		if r.States <= 0 || r.WallSeconds < 0 {
+			t.Errorf("%s: implausible record %+v", r.Name, r)
+		}
+		if r.Symmetry && !r.Applied {
+			t.Errorf("%s: symmetry requested but not applied", r.Name)
+		}
+		if !r.Symmetry {
+			full[nmKey(r)] = r
+		}
+	}
+	for _, r := range parsed.Records {
+		if !r.Symmetry {
+			continue
+		}
+		f, ok := full[nmKey(r)]
+		if !ok {
+			continue // symmetry-only cell (full search beyond the bound)
+		}
+		if f.Verdict != r.Verdict {
+			t.Errorf("%s: verdict diverges from full run (%s vs %s)", r.Name, r.Verdict, f.Verdict)
+		}
+		if r.States > f.States {
+			t.Errorf("%s: reduced run explored more states (%d) than full (%d)", r.Name, r.States, f.States)
+		}
+	}
+}
+
+func nmKey(r MCBenchRecord) string {
+	return fmt.Sprintf("%s/%d/%d", r.Algo, r.N, r.M)
+}

@@ -33,6 +33,14 @@ type ExpConfig struct {
 	// parallel. The sweep's aggregated table is byte-identical regardless
 	// — that is the property E13 demonstrates.
 	SweepWorkers int
+	// Symmetry turns on process-symmetry reduction for the safety-check
+	// experiments (E1, E2, E8, E9, E12): specs that declare full symmetry
+	// explore one state per permutation orbit, shrinking the printed state
+	// counts without changing any verdict. The graph-based liveness
+	// analyses of E7 always run full — their predicates pin concrete pids,
+	// which the quotient graph does not support. E14 compares reduced
+	// against full explicitly and ignores this knob.
+	Symmetry bool
 }
 
 // Experiment is one reproducible experiment from the per-experiment index
@@ -75,6 +83,8 @@ func Experiments() []Experiment {
 			"Section 1.2 property 4: a read overlapping a write may return any value", runE12},
 		{"E13", "Deterministic contention sweep (virtual-time scenario grid)",
 			"Sections 3/6.3/7 operational claims, reproducible on any core count", runE13},
+		{"E14", "Process-symmetry reduction: quotient vs full exploration",
+			"Scaling the Section 6.2 TLC-style verification: Clarke/Emerson symmetry reduction (TLC SYMMETRY analog) preserves every verdict at a fraction of the states", runE14},
 	}
 }
 
@@ -152,7 +162,7 @@ func runE1(w io.Writer, cfg ExpConfig) error {
 	}
 	for _, r := range rows {
 		p := specs.BakeryPP(r.cfg)
-		res := mc.Check(p, mc.Options{Invariants: safetyInvariants(), Crash: r.crash, Workers: cfg.MCWorkers})
+		res := mc.Check(p, mc.Options{Invariants: safetyInvariants(), Crash: r.crash, Workers: cfg.MCWorkers, Symmetry: cfg.Symmetry})
 		tb.AddRow(p.Name, r.cfg.N, r.cfg.M, r.crash, res.States, res.Transitions, verdict(res))
 	}
 	_, err := fmt.Fprintln(w, tb)
@@ -177,7 +187,7 @@ func runE2(w io.Writer, cfg ExpConfig) error {
 	}
 	var bakeryTrace *mc.Trace
 	for _, e := range entries {
-		res := mc.Check(e.p, mc.Options{Invariants: []mc.Invariant{mc.NoOverflow()}, Crash: e.crash, Workers: cfg.MCWorkers})
+		res := mc.Check(e.p, mc.Options{Invariants: []mc.Invariant{mc.NoOverflow()}, Crash: e.crash, Workers: cfg.MCWorkers, Symmetry: cfg.Symmetry})
 		tl := 0
 		if res.Violation != nil {
 			tl = res.Violation.Trace.Len()
@@ -427,7 +437,7 @@ func runE12(w io.Writer, cfg ExpConfig) error {
 	}
 	for _, c := range []combo{{2, 2, false}, {2, 3, false}, {2, 2, true}} {
 		p := specs.BakeryPPSafe(c.n, c.m)
-		res := mc.Check(p, mc.Options{Invariants: safetyInvariants(), Crash: c.crash, Workers: cfg.MCWorkers})
+		res := mc.Check(p, mc.Options{Invariants: safetyInvariants(), Crash: c.crash, Workers: cfg.MCWorkers, Symmetry: cfg.Symmetry})
 		tb.AddRow(p.Name, c.n, c.m, c.crash, res.States, verdict(res))
 	}
 	fmt.Fprintln(w, tb)
@@ -525,7 +535,7 @@ func runE8(w io.Writer, cfg ExpConfig) error {
 	}
 	for _, a := range algos {
 		var states string
-		res := mc.Check(a.small, mc.Options{MaxStates: 400000, Workers: cfg.MCWorkers})
+		res := mc.Check(a.small, mc.Options{MaxStates: 400000, Workers: cfg.MCWorkers, Symmetry: cfg.Symmetry})
 		if res.Complete {
 			states = fmt.Sprint(res.States)
 		} else {
@@ -541,7 +551,7 @@ func runE8(w io.Writer, cfg ExpConfig) error {
 
 func runE9(w io.Writer, cfg ExpConfig) error {
 	p := specs.ModBakery(2, 2)
-	res := mc.Check(p, mc.Options{Invariants: []mc.Invariant{mc.Mutex()}, Workers: cfg.MCWorkers})
+	res := mc.Check(p, mc.Options{Invariants: []mc.Invariant{mc.Mutex()}, Workers: cfg.MCWorkers, Symmetry: cfg.Symmetry})
 	if res.Violation == nil {
 		return fmt.Errorf("expected a mutual-exclusion violation from modbakery")
 	}
@@ -622,6 +632,49 @@ func runE13(w io.Writer, cfg ExpConfig) error {
 		}
 	}
 	fmt.Fprintf(w, "Wrapped-register Bakery accumulated %d mutual-exclusion violations across its cells; Bakery++ zero. Time is virtual (scheduling steps), so the whole table — violations, resets, latency percentiles — replays exactly from the seed.\n", viols)
+	return nil
+}
+
+func runE14(w io.Writer, cfg ExpConfig) error {
+	tb := stats.NewTable("Symmetry reduction: states explored, quotient vs full (same invariants, same verdicts)",
+		"algorithm", "N", "M", "full states", "reduced states", "ratio", "verdict")
+	type cell struct {
+		p    func() *gcl.Prog
+		n, m int
+		full bool // run the full side too (skip when far beyond the bound)
+	}
+	cells := []cell{
+		{func() *gcl.Prog { return specs.BakeryPP(specs.Config{N: 2, M: 2}) }, 2, 2, true},
+		{func() *gcl.Prog { return specs.BakeryPP(specs.Config{N: 3, M: 2}) }, 3, 2, true},
+		{func() *gcl.Prog { return specs.BakeryPP(specs.Config{N: 5, M: 2}) }, 5, 2, false},
+		{func() *gcl.Prog { return specs.Bakery(specs.Config{N: 3, M: 3}) }, 3, 3, true},
+		{func() *gcl.Prog { return specs.Bakery(specs.Config{N: 4, M: 4}) }, 4, 4, true},
+		{func() *gcl.Prog { return specs.Bakery(specs.Config{N: 6, M: 4}) }, 6, 4, false},
+		{func() *gcl.Prog { return specs.Szymanski(3) }, 3, 4, true},
+		{func() *gcl.Prog { return specs.Szymanski(4) }, 4, 4, true},
+		{func() *gcl.Prog { return specs.ModBakery(2, 2) }, 2, 2, true},
+		{func() *gcl.Prog { return specs.BlackWhite(3) }, 3, 3, true}, // NoSymmetry control
+	}
+	for _, c := range cells {
+		red := mc.Check(c.p(), mc.Options{Invariants: safetyInvariants(), Workers: cfg.MCWorkers, Symmetry: true})
+		fullStates, ratio := "skipped (beyond bound)", "—"
+		if c.full {
+			full := mc.Check(c.p(), mc.Options{Invariants: safetyInvariants(), Workers: cfg.MCWorkers})
+			if verdict(full) != verdict(red) {
+				return fmt.Errorf("E14: verdicts diverge for %s N=%d: full %s, reduced %s",
+					red.Prog.Name, c.n, verdict(full), verdict(red))
+			}
+			fullStates = fmt.Sprint(full.States)
+			ratio = fmt.Sprintf("%.1fx", float64(full.States)/float64(red.States))
+		}
+		name := red.Prog.Name
+		if !red.Symmetry {
+			name += " (opted out)"
+		}
+		tb.AddRow(name, c.n, c.m, fullStates, red.States, ratio, verdict(red))
+	}
+	fmt.Fprintln(w, tb)
+	fmt.Fprintln(w, "Reduced runs store one representative per process-permutation orbit (canonical keys respect scan-cursor history; dead cursors normalized away). Verdicts and counterexample validity are preserved — the engine only ever dedups, it never expands a permuted image — and results are byte-identical for any -workers value. Bakery++ at N=5 and Bakery at N=6 become checkable under the default state bound; the black-white row pins the declared-asymmetric fallback (reduction off, full search).")
 	return nil
 }
 

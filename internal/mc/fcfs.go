@@ -80,8 +80,14 @@ func CheckFCFS(p *gcl.Prog, first, second, maxStates int) *FCFSResult {
 		byPid  int8
 		label  string
 	}
+	// The visited set over (program state, monitor phase) product nodes:
+	// the shared StateStore keyed on the state with the phase appended.
+	// The monitor is pinned to a concrete process pair, so the product is
+	// inherently asymmetric and never uses the symmetry-aware store.
 	nodes := []node{{st: p.InitState(), phase: 0, parent: -1, byPid: -1}}
-	seen := map[string]bool{p.Key(nodes[0].st) + "\x000": true}
+	seen := newStateStore(p, false, false)
+	fp0, key0 := seen.Prepare(nodes[0].st, 0)
+	seen.Insert(fp0, key0, 0)
 
 	buildTrace := func(i int32, extra *gcl.Succ) *Trace {
 		var rev []int32
@@ -124,11 +130,11 @@ func CheckFCFS(p *gcl.Prog, first, second, maxStates int) *FCFSResult {
 				res.Witness = buildTrace(head, &sc)
 				return res
 			}
-			key := p.Key(sc.State) + "\x00" + string(rune('0'+phase))
-			if seen[key] {
+			fp, key := seen.Prepare(sc.State, int32(phase))
+			if _, dup := seen.Lookup(fp, key); dup {
 				continue
 			}
-			seen[key] = true
+			seen.Insert(fp, key, int32(len(nodes)))
 			nodes = append(nodes, node{
 				st: sc.State, phase: phase, parent: head,
 				byPid: int8(sc.Pid), label: sc.Label,

@@ -43,8 +43,8 @@ func BuildGraph(p *gcl.Prog, opts Options) (*Graph, error) {
 		return buildGraphParallel(p, opts)
 	}
 	start := time.Now()
-	e := newExplorer(p, opts)
-	res := &Result{Prog: p}
+	e := newExplorer(p, opts, false)
+	res := &Result{Prog: p, Symmetry: e.symmetry}
 	g := &Graph{Summary: res, expl: e}
 
 	init := p.InitState()
@@ -337,8 +337,25 @@ func (g *Graph) tagOf(from int, e Edge) string {
 	}
 	p := g.expl.p
 	s := g.expl.states[from]
+	// Under symmetry reduction the stored target is the orbit
+	// representative, so successors must be compared through the store's
+	// canonical keys; the target's key is hoisted out of the loop.
+	var fpTo uint64
+	var keyTo gcl.State
+	if g.expl.symmetry {
+		fpTo, keyTo = g.expl.store.Prepare(g.expl.states[e.To])
+	}
 	for _, sc := range p.Succs(s, int(e.Pid), g.expl.opts.Mode, nil) {
-		if sc.Label == e.Label && p.Key(sc.State) == p.Key(g.expl.states[e.To]) {
+		if sc.Label != e.Label {
+			continue
+		}
+		if !g.expl.symmetry {
+			if sc.State.Equal(g.expl.states[e.To]) {
+				return sc.Tag
+			}
+			continue
+		}
+		if fp, key := g.expl.store.Prepare(sc.State); fp == fpTo && key.Equal(keyTo) {
 			return sc.Tag
 		}
 	}

@@ -99,10 +99,25 @@ type Options struct {
 	// must be safe for concurrent use when Workers != 0 (the stock
 	// invariants are pure reads and qualify).
 	Workers int
+	// Symmetry enables process-symmetry reduction: the visited store keys
+	// states on the canonical representative of their permutation orbit,
+	// so of every orbit only the first-encountered concrete state is
+	// numbered and expanded (duplicate detection only — counterexample
+	// traces stay concrete, reachable executions). Requires the program to
+	// declare gcl.FullSymmetry and be canonicalizable; otherwise — and
+	// when crash transitions are restricted to a proper subset of
+	// processes, which breaks the symmetry — the full search runs and
+	// Result.Symmetry reports false. Invariants must be symmetric in the
+	// process ids (the stock ones are). Deterministic for any Workers
+	// setting.
+	Symmetry bool
 }
 
 // DefaultMaxStates bounds exploration when Options.MaxStates is zero.
-const DefaultMaxStates = 2_000_000
+// Sized so the symmetry-reduced Bakery++ N=5 quotient (≈3.0M states at
+// the default M=4) completes with headroom; a run stopping at the bound
+// holds roughly a gigabyte of states and store entries.
+const DefaultMaxStates = 4_000_000
 
 // Step is one transition of a trace: process Pid executed the action at
 // Label (or the pseudo-label "CRASH"), producing State.
@@ -145,11 +160,15 @@ type Result struct {
 	Transitions int
 	Depth       int
 	// Complete reports that the whole reachable state space was explored
-	// (no violation, no MaxStates cutoff).
+	// (no violation, no MaxStates cutoff). Under symmetry reduction
+	// "whole" means one representative per encountered orbit.
 	Complete  bool
 	Violation *Violation
 	Deadlock  *Trace
-	Elapsed   time.Duration
+	// Symmetry reports that symmetry reduction was actually applied (it
+	// was requested and the program supports it).
+	Symmetry bool
+	Elapsed  time.Duration
 }
 
 // String renders a one-line verification summary.
@@ -163,31 +182,40 @@ func (r *Result) String() string {
 	case !r.Complete:
 		status = "INCOMPLETE (state bound reached)"
 	}
-	return fmt.Sprintf("%s: %s — %d states, %d transitions, depth %d, %v",
-		r.Prog.Name, status, r.States, r.Transitions, r.Depth, r.Elapsed.Round(time.Millisecond))
+	sym := ""
+	if r.Symmetry {
+		sym = " [symmetry-reduced]"
+	}
+	return fmt.Sprintf("%s: %s — %d states, %d transitions, depth %d, %v%s",
+		r.Prog.Name, status, r.States, r.Transitions, r.Depth, r.Elapsed.Round(time.Millisecond), sym)
 }
 
 // crashLabel is the pseudo-label recorded for crash transitions.
 const crashLabel = "CRASH"
 
-// explorer is the shared BFS engine behind Check and BuildGraph.
+// explorer is the shared BFS engine behind Check and BuildGraph. Its
+// visited set is a StateStore (store.go): fingerprint-keyed, Equal- (or,
+// under symmetry, canonical-)confirmed, so the sequential engine shares
+// the allocation-light scheme the parallel engine always used instead of
+// keying a map on Prog.Key strings.
 type explorer struct {
 	p        *gcl.Prog
 	opts     Options
+	store    StateStore
+	symmetry bool // reduction actually applied
 	states   []gcl.State
 	parent   []int32
 	parentBy []int32 // pid of the action producing this state; -1 for init
 	parentLb []string
 	depth    []int32
-	seen     map[string]int32
 	crashers []int
 }
 
-func newExplorer(p *gcl.Prog, opts Options) *explorer {
+func newExplorer(p *gcl.Prog, opts Options, sharded bool) *explorer {
 	if opts.MaxStates == 0 {
 		opts.MaxStates = DefaultMaxStates
 	}
-	e := &explorer{p: p, opts: opts, seen: map[string]int32{}}
+	e := &explorer{p: p, opts: opts}
 	if opts.Crash {
 		e.crashers = opts.CrashPids
 		if len(e.crashers) == 0 {
@@ -196,17 +224,37 @@ func newExplorer(p *gcl.Prog, opts Options) *explorer {
 			}
 		}
 	}
+	// Crashing only a proper subset of processes distinguishes their
+	// identities, so symmetry reduction would be unsound there. The gate
+	// compares the crasher SET against {0..N-1} — a duplicated CrashPids
+	// entry must not masquerade as full coverage.
+	e.symmetry = opts.Symmetry && p.CanCanonicalize() &&
+		(!opts.Crash || crashersCoverAll(e.crashers, p.N))
+	e.store = newStateStore(p, sharded, e.symmetry)
 	return e
+}
+
+// crashersCoverAll reports whether pids covers every process 0..n-1.
+func crashersCoverAll(pids []int, n int) bool {
+	covered := make([]bool, n)
+	distinct := 0
+	for _, pid := range pids {
+		if pid >= 0 && pid < n && !covered[pid] {
+			covered[pid] = true
+			distinct++
+		}
+	}
+	return distinct == n
 }
 
 // add registers a state, returning its index and whether it was new.
 func (e *explorer) add(s gcl.State, parent int32, byPid int32, label string) (int32, bool) {
-	key := e.p.Key(s)
-	if idx, ok := e.seen[key]; ok {
+	fp, key := e.store.Prepare(s)
+	if idx, ok := e.store.Lookup(fp, key); ok {
 		return idx, false
 	}
 	idx := int32(len(e.states))
-	e.seen[key] = idx
+	e.store.Insert(fp, key, idx)
 	e.states = append(e.states, s)
 	e.parent = append(e.parent, parent)
 	e.parentBy = append(e.parentBy, byPid)
@@ -270,8 +318,8 @@ func Check(p *gcl.Prog, opts Options) *Result {
 		return checkParallel(p, opts)
 	}
 	start := time.Now()
-	e := newExplorer(p, opts)
-	res := &Result{Prog: p}
+	e := newExplorer(p, opts, false)
+	res := &Result{Prog: p, Symmetry: e.symmetry}
 
 	finish := func() *Result {
 		res.States = len(e.states)

@@ -22,68 +22,15 @@ import (
 	"bakerypp/internal/gcl"
 )
 
-// shardCount is the number of stripes in the visited set; a power of two so
-// shard selection is a mask. 64 stripes keep lock contention negligible up
-// to far more workers than any current machine provides.
-const shardCount = 64
-
-// visitedShard is one stripe of the sharded visited set: a fingerprint-keyed
-// bucket map guarded by a read-write mutex. Workers only read (lookups during
-// expansion); the merge pass is the sole writer. Strictly, the expand and
-// merge phases never overlap (they are separated by the chunk barrier), so
-// the locks are uncontended belt-and-braces; they keep the set safe if a
-// future change lets phases overlap, at a cost of a few percent.
-type visitedShard struct {
-	mu sync.RWMutex
-	m  map[uint64][]int32
-}
-
-// shardedSet is the parallel engine's visited set: states are keyed by their
-// 64-bit fingerprint, striped over shardCount mutex-guarded maps. Fingerprint
-// collisions between distinct states are resolved by comparing the full state
-// vectors, so membership is exact.
-type shardedSet struct {
-	shards [shardCount]visitedShard
-}
-
-func newShardedSet() *shardedSet {
-	ss := &shardedSet{}
-	for i := range ss.shards {
-		ss.shards[i].m = map[uint64][]int32{}
-	}
-	return ss
-}
-
-// lookup returns the index of s in the numbered-state prefix, if present.
-// states must be the slice the stored indices point into.
-func (ss *shardedSet) lookup(fp uint64, s gcl.State, states []gcl.State) (int32, bool) {
-	sh := &ss.shards[fp&(shardCount-1)]
-	sh.mu.RLock()
-	for _, idx := range sh.m[fp] {
-		if s.Equal(states[idx]) {
-			sh.mu.RUnlock()
-			return idx, true
-		}
-	}
-	sh.mu.RUnlock()
-	return -1, false
-}
-
-// insert records that state index idx has fingerprint fp. Callers must have
-// established (via lookup) that the state is not already present.
-func (ss *shardedSet) insert(fp uint64, idx int32) {
-	sh := &ss.shards[fp&(shardCount-1)]
-	sh.mu.Lock()
-	sh.m[fp] = append(sh.m[fp], idx)
-	sh.mu.Unlock()
-}
-
 // candidate is one successor produced by a worker, carrying everything the
 // merge pass needs to number it without recomputing: the state, its
-// fingerprint, the transition that produced it, the visited-set verdict at
-// expansion time, and the invariant verdict if it looked fresh.
+// prepared store key (the state itself, or its canonical orbit
+// representative under symmetry reduction) with fingerprint, the
+// transition that produced it, the visited-set verdict at expansion time,
+// and the invariant verdict if it looked fresh.
 type candidate struct {
 	state gcl.State
+	key   gcl.State
 	fp    uint64
 	pid   int32
 	label string
@@ -107,11 +54,10 @@ type expansion struct {
 
 // pexplorer drives the parallel engine. It reuses the sequential explorer's
 // state/parent/depth arrays (so Graph, Trace, and the SCC analyses work
-// unchanged) but replaces the string-keyed seen map with the sharded
-// fingerprint set.
+// unchanged); the shared visited set is the explorer's StateStore, built
+// in its sharded variant so worker lookups are safe.
 type pexplorer struct {
 	e       *explorer
-	set     *shardedSet
 	workers int
 }
 
@@ -123,7 +69,7 @@ func newPExplorer(p *gcl.Prog, opts Options) *pexplorer {
 	if w < 1 {
 		w = 1
 	}
-	return &pexplorer{e: newExplorer(p, opts), set: newShardedSet(), workers: w}
+	return &pexplorer{e: newExplorer(p, opts, true), workers: w}
 }
 
 // addNumbered gives the candidate's state a number if it is new, mirroring
@@ -134,11 +80,11 @@ func (pe *pexplorer) addNumbered(c *candidate, parent int32) (int32, bool) {
 		return c.seen, false
 	}
 	e := pe.e
-	if idx, ok := pe.set.lookup(c.fp, c.state, e.states); ok {
+	if idx, ok := e.store.Lookup(c.fp, c.key); ok {
 		return idx, false
 	}
 	idx := int32(len(e.states))
-	pe.set.insert(c.fp, idx)
+	e.store.Insert(c.fp, c.key, idx)
 	e.states = append(e.states, c.state)
 	e.parent = append(e.parent, parent)
 	e.parentBy = append(e.parentBy, c.pid)
@@ -153,7 +99,8 @@ func (pe *pexplorer) addNumbered(c *candidate, parent int32) (int32, bool) {
 
 // addInit numbers the initial state (index 0).
 func (pe *pexplorer) addInit(init gcl.State) {
-	c := candidate{state: init, fp: init.Fingerprint(), pid: -1, seen: -1}
+	fp, key := pe.e.store.Prepare(init)
+	c := candidate{state: init, key: key, fp: fp, pid: -1, seen: -1}
 	pe.addNumbered(&c, -1)
 }
 
@@ -227,14 +174,16 @@ func (pe *pexplorer) expandState(idx int32, out *expansion, checkInv bool) {
 		if sc.Label != crashLabel {
 			out.progress = true
 		}
+		fp, key := e.store.Prepare(sc.State)
 		c := candidate{
 			state: sc.State,
-			fp:    sc.State.Fingerprint(),
+			key:   key,
+			fp:    fp,
 			pid:   int32(sc.Pid),
 			label: sc.Label,
 			seen:  -1,
 		}
-		if i, ok := pe.set.lookup(c.fp, c.state, e.states); ok {
+		if i, ok := e.store.Lookup(c.fp, c.key); ok {
 			c.seen = i
 		} else if checkInv {
 			if name, bad := e.checkInvariants(sc.State); bad {
@@ -254,7 +203,7 @@ func checkParallel(p *gcl.Prog, opts Options) *Result {
 	start := time.Now()
 	pe := newPExplorer(p, opts)
 	e := pe.e
-	res := &Result{Prog: p}
+	res := &Result{Prog: p, Symmetry: e.symmetry}
 
 	finish := func() *Result {
 		res.States = len(e.states)
@@ -315,7 +264,7 @@ func buildGraphParallel(p *gcl.Prog, opts Options) (*Graph, error) {
 	start := time.Now()
 	pe := newPExplorer(p, opts)
 	e := pe.e
-	res := &Result{Prog: p}
+	res := &Result{Prog: p, Symmetry: e.symmetry}
 	g := &Graph{Summary: res, expl: e}
 
 	init := p.InitState()

@@ -88,7 +88,7 @@ func CheckBoundedRefinement(impl, spec *gcl.Prog, opts RefinementOptions) (*Refi
 	}
 
 	r := &refiner{impl: impl, spec: spec, opts: opts,
-		beliefIDs: map[string]int{}, memo: map[string]int{}}
+		beliefIDs: map[string]int{}, memo: newStateStore(impl, false, false)}
 	res := &RefinementResult{}
 
 	initBelief := r.tauClosure([]gcl.State{spec.InitState()})
@@ -106,7 +106,7 @@ func CheckBoundedRefinement(impl, spec *gcl.Prog, opts RefinementOptions) (*Refi
 		remaining: opts.MaxEvents,
 		parent:    -1,
 	}}
-	r.memoize(impl.Key(nodes[0].implState), nodes[0].belief, nodes[0].remaining)
+	r.memoize(nodes[0].implState, nodes[0].belief, nodes[0].remaining)
 
 	buildTrace := func(i int, extra *gcl.Succ) *Trace {
 		var rev []int
@@ -151,8 +151,7 @@ func CheckBoundedRefinement(impl, spec *gcl.Prog, opts RefinementOptions) (*Refi
 				nextBelief = r.beliefID(moved)
 				nextRemaining = nd.remaining - 1
 			}
-			key := impl.Key(sc.State)
-			if !r.memoize(key, nextBelief, nextRemaining) {
+			if !r.memoize(sc.State, nextBelief, nextRemaining) {
 				continue
 			}
 			nodes = append(nodes, node{
@@ -176,17 +175,21 @@ type refiner struct {
 	opts       RefinementOptions
 	beliefs    [][]gcl.State
 	beliefIDs  map[string]int
-	memo       map[string]int // implKey + beliefID -> max remaining explored
+	// memo maps (impl state, belief id) to the largest remaining event
+	// budget already explored, via the shared StateStore (the belief id
+	// rides as an extra key word). Refinement relates concrete pids on
+	// both sides, so the non-symmetric store is the right one.
+	memo StateStore
 }
 
 // memoize records the visit and reports whether exploration should proceed
 // (i.e. this pair was never seen with at least this much event budget).
-func (r *refiner) memoize(implKey string, belief, remaining int) bool {
-	k := implKey + "#" + fmt.Sprint(belief)
-	if prev, ok := r.memo[k]; ok && prev >= remaining {
+func (r *refiner) memoize(implState gcl.State, belief, remaining int) bool {
+	fp, key := r.memo.Prepare(implState, int32(belief))
+	if prev, ok := r.memo.Lookup(fp, key); ok && int(prev) >= remaining {
 		return false
 	}
-	r.memo[k] = remaining
+	r.memo.Insert(fp, key, int32(remaining))
 	return true
 }
 
@@ -203,13 +206,13 @@ func (r *refiner) withinCeiling(s gcl.State) bool {
 // tauClosure expands a set of spec states with every state reachable by
 // internal (non-event) transitions, pruning above the ceiling.
 func (r *refiner) tauClosure(seed []gcl.State) []gcl.State {
-	seen := map[string]bool{}
+	seen := newStateStore(r.spec, false, false)
 	var out []gcl.State
 	var queue []gcl.State
 	push := func(s gcl.State) {
-		k := r.spec.Key(s)
-		if !seen[k] {
-			seen[k] = true
+		fp, key := seen.Prepare(s)
+		if _, dup := seen.Lookup(fp, key); !dup {
+			seen.Insert(fp, key, int32(len(out)))
 			out = append(out, s)
 			queue = append(queue, s)
 		}
@@ -237,16 +240,16 @@ func (r *refiner) tauClosure(seed []gcl.State) []gcl.State {
 // by exactly one occurrence of event ev.
 func (r *refiner) move(belief []gcl.State, ev string) []gcl.State {
 	var landed []gcl.State
-	seen := map[string]bool{}
+	seen := newStateStore(r.spec, false, false)
 	for _, s := range belief {
 		for _, sc := range r.spec.AllSuccs(s, gcl.ModeUnbounded) {
 			got := eventOf(r.spec, sc.Pid, r.spec.PCLabel(s, sc.Pid), r.spec.PCLabel(sc.State, sc.Pid))
 			if got != ev || !r.withinCeiling(sc.State) {
 				continue
 			}
-			k := r.spec.Key(sc.State)
-			if !seen[k] {
-				seen[k] = true
+			fp, key := seen.Prepare(sc.State)
+			if _, dup := seen.Lookup(fp, key); !dup {
+				seen.Insert(fp, key, int32(len(landed)))
 				landed = append(landed, sc.State)
 			}
 		}

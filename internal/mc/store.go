@@ -1,0 +1,186 @@
+package mc
+
+// StateStore is the visited-set abstraction every exploration loop in this
+// package — Check/BuildGraph (both engines), the FCFS monitor product, and
+// the bounded-refinement memo — routes through. All implementations share
+// one scheme: states are keyed by a 64-bit fingerprint and the rare
+// fingerprint collisions are resolved by comparing full key vectors, so
+// membership stays exact (unlike TLC's default trust-the-fingerprint
+// mode).
+//
+// Three implementations cover the engines' needs:
+//
+//   - sequential (newSeqStore): a single bucket map, no locking — the
+//     sequential engine and the monitor/memo searches.
+//   - sharded-parallel (newShardedStore): the same bucket scheme striped
+//     over 64 RWMutex-guarded shards selected by fingerprint, safe for the
+//     parallel engine's concurrent advisory lookups during expansion while
+//     the single-threaded merge pass remains the only writer.
+//   - symmetry-aware (either of the above with symmetry enabled): Prepare
+//     canonicalizes the state before probing, so all states of one
+//     process-permutation orbit collapse onto a single entry. The store
+//     retains the canonical key (and the witnessing permutation is
+//     recoverable via gcl.CanonicalizeWithPerm); the *engines* keep and
+//     expand the concrete, first-encountered representative, which is what
+//     keeps counterexample traces concrete and replayable — see
+//     docs/model-checking.md, "Symmetry reduction".
+
+import (
+	"sync"
+
+	"bakerypp/internal/gcl"
+)
+
+// StateStore maps key states to int32 values (state numbers for the
+// engines, monitor/memo payloads for the product searches) with
+// fingerprint+Equal exactness.
+type StateStore interface {
+	// Prepare computes the probe for s: a fingerprint and the key state it
+	// was computed from. Non-symmetric stores key on s itself (no copy);
+	// the symmetry-aware store keys on the canonical representative of s's
+	// orbit. Optional extra words (a monitor phase, a belief id) are
+	// appended to the key; they are rejected by symmetry-aware stores.
+	Prepare(s gcl.State, extra ...int32) (uint64, gcl.State)
+	// Lookup returns the value stored under key, if present.
+	Lookup(fp uint64, key gcl.State) (int32, bool)
+	// Insert stores val under key, replacing any previous value. The key
+	// must not be mutated afterwards.
+	Insert(fp uint64, key gcl.State, val int32)
+}
+
+// newStateStore builds the store variant an exploration needs. symmetry
+// requires p.CanCanonicalize(); callers gate on that and fall back to the
+// full search otherwise.
+func newStateStore(p *gcl.Prog, sharded, symmetry bool) StateStore {
+	if sharded {
+		return newShardedStore(p, symmetry)
+	}
+	return newSeqStore(p, symmetry)
+}
+
+// kv is one stored entry: the key vector (concrete or canonical) and its
+// value. For the engines' non-symmetric stores the key aliases the state
+// already retained in the numbered-state array, so the entry costs one
+// slice header beyond the value.
+type kv struct {
+	key gcl.State
+	val int32
+}
+
+// prepare implements Prepare's key derivation for both store variants.
+// The canonical key is an owned allocation by design: the parallel
+// engine's candidates carry their keys from the expand phase across the
+// chunk barrier into the merge pass, so a pooled probe buffer (copying
+// only on Insert) would be overwritten while still referenced.
+func prepare(p *gcl.Prog, symmetry bool, s gcl.State, extra []int32) (uint64, gcl.State) {
+	if symmetry {
+		if len(extra) > 0 {
+			panic("mc: symmetry-aware store cannot key on extra words")
+		}
+		c := p.Canonicalize(s)
+		return c.Fingerprint(), c
+	}
+	if len(extra) == 0 {
+		return s.Fingerprint(), s
+	}
+	key := make(gcl.State, len(s)+len(extra))
+	copy(key, s)
+	copy(key[len(s):], extra)
+	return key.Fingerprint(), key
+}
+
+// bucketLookup scans one fingerprint bucket for the key.
+func bucketLookup(bucket []kv, key gcl.State) (int32, bool) {
+	for _, e := range bucket {
+		if e.key.Equal(key) {
+			return e.val, true
+		}
+	}
+	return -1, false
+}
+
+// bucketInsert inserts or replaces the key's entry.
+func bucketInsert(bucket []kv, key gcl.State, val int32) []kv {
+	for i := range bucket {
+		if bucket[i].key.Equal(key) {
+			bucket[i].val = val
+			return bucket
+		}
+	}
+	return append(bucket, kv{key: key, val: val})
+}
+
+// seqStore is the unsharded implementation: one map, no locks.
+type seqStore struct {
+	p        *gcl.Prog
+	symmetry bool
+	m        map[uint64][]kv
+}
+
+func newSeqStore(p *gcl.Prog, symmetry bool) *seqStore {
+	return &seqStore{p: p, symmetry: symmetry, m: map[uint64][]kv{}}
+}
+
+func (st *seqStore) Prepare(s gcl.State, extra ...int32) (uint64, gcl.State) {
+	return prepare(st.p, st.symmetry, s, extra)
+}
+
+func (st *seqStore) Lookup(fp uint64, key gcl.State) (int32, bool) {
+	return bucketLookup(st.m[fp], key)
+}
+
+func (st *seqStore) Insert(fp uint64, key gcl.State, val int32) {
+	st.m[fp] = bucketInsert(st.m[fp], key, val)
+}
+
+// shardCount is the number of stripes in the sharded store; a power of two
+// so shard selection is a mask. 64 stripes keep lock contention negligible
+// up to far more workers than any current machine provides.
+const shardCount = 64
+
+// storeShard is one stripe: a fingerprint-keyed bucket map guarded by a
+// read-write mutex. Exploration workers only read (their lookups during
+// expansion are advisory); the merge pass is the sole writer. Strictly the
+// expand and merge phases never overlap (they are separated by the chunk
+// barrier), so the locks are uncontended belt-and-braces that keep the set
+// safe if a future change lets phases overlap.
+type storeShard struct {
+	mu sync.RWMutex
+	m  map[uint64][]kv
+}
+
+// shardedStore stripes the bucket maps over shardCount shards selected by
+// fingerprint.
+type shardedStore struct {
+	p        *gcl.Prog
+	symmetry bool
+	shards   [shardCount]storeShard
+}
+
+func newShardedStore(p *gcl.Prog, symmetry bool) *shardedStore {
+	st := &shardedStore{p: p, symmetry: symmetry}
+	for i := range st.shards {
+		st.shards[i].m = map[uint64][]kv{}
+	}
+	return st
+}
+
+func (st *shardedStore) Prepare(s gcl.State, extra ...int32) (uint64, gcl.State) {
+	return prepare(st.p, st.symmetry, s, extra)
+}
+
+func (st *shardedStore) Lookup(fp uint64, key gcl.State) (int32, bool) {
+	sh := &st.shards[fp&(shardCount-1)]
+	sh.mu.RLock()
+	idx, ok := bucketLookup(sh.m[fp], key)
+	sh.mu.RUnlock()
+	return idx, ok
+}
+
+// Insert must only be called from the single-threaded merge pass.
+func (st *shardedStore) Insert(fp uint64, key gcl.State, val int32) {
+	sh := &st.shards[fp&(shardCount-1)]
+	sh.mu.Lock()
+	sh.m[fp] = bucketInsert(sh.m[fp], key, val)
+	sh.mu.Unlock()
+}

@@ -37,6 +37,18 @@ func Bakery(cfg Config) *gcl.Prog {
 		p.LocalVar("tmp", 0)
 		p.LocalVar("k", 0)
 	}
+	// Process identities appear only as indices into the owned arrays and
+	// as the trial/scan cursors, so the spec declares full symmetry; the
+	// (number, id) tie-break makes it quasi-symmetric, which the checker's
+	// dedup-only reduction is built for (docs/model-checking.md). The
+	// cursors are live only inside their loops: j is reset at ch3 before
+	// the trial loop, k at ch2 before the scan, so the stale values
+	// elsewhere are normalized out of canonical keys.
+	p.SetSymmetry(gcl.FullSymmetry)
+	p.PidLocal("j", "t1", "t2", "t3", "t4")
+	if cfg.Fine {
+		p.PidLocal("k", "m1", "m2")
+	}
 
 	p.Label("ncs", gcl.Goto("ch1").WithTag("try"))
 	p.Label("ch1", gcl.Goto("ch2", gcl.SetSelf("choosing", gcl.C(1))))

@@ -48,6 +48,15 @@ func BakeryPP(cfg Config) *gcl.Prog {
 		p.LocalVar("tmp", 0)
 		p.LocalVar("k", 0)
 	}
+	// Fully symmetric like Bakery: ids occur only as array indices and
+	// scan cursors (j, live in the trial loop where ch3 resets it, and k
+	// in the fine-grained doorway scan); tmp holds a ticket value, not an
+	// id.
+	p.SetSymmetry(gcl.FullSymmetry)
+	p.PidLocal("j", "t1", "t2", "t3", "t4")
+	if cfg.Fine {
+		p.PidLocal("k", "m1", "m2")
+	}
 
 	numI := gcl.ShSelf("number")
 

@@ -38,6 +38,12 @@ func BlackWhite(n int) *gcl.Prog {
 	p.Own("mycolor")
 	p.Own("number")
 	p.LocalVar("j", 0)
+	// Declared asymmetric (gcl.NoSymmetry, the default): mixed-colour
+	// waiting batches drain in concrete id order through both the ticket
+	// tie-break and the global colour register, so this spec opts out of
+	// symmetry reduction and serves as the declared-asymmetric control —
+	// see specs.Symmetric.
+	p.SetSymmetry(gcl.NoSymmetry)
 
 	j := gcl.L("j")
 	numI := gcl.ShSelf("number")

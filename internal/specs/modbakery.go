@@ -23,6 +23,8 @@ func ModBakery(n, m int) *gcl.Prog {
 	p.Own("choosing")
 	p.Own("number")
 	p.LocalVar("j", 0)
+	p.SetSymmetry(gcl.FullSymmetry)
+	p.PidLocal("j", "t1", "t2", "t3", "t4")
 
 	p.Label("ncs", gcl.Goto("ch1").WithTag("try"))
 	p.Label("ch1", gcl.Goto("ch2", gcl.SetSelf("choosing", gcl.C(1))))

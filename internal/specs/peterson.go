@@ -25,6 +25,11 @@ func Peterson(n int) *gcl.Prog {
 	p.SharedArray("victim", n, 0)
 	p.Own("level")
 	p.LocalVar("l", 1)
+	// Declared asymmetric (gcl.NoSymmetry, the default): the victim cells
+	// are level-indexed registers holding pid+1 VALUES, a shared-cell
+	// value remapping the canonical layer deliberately does not model —
+	// see specs.Symmetric.
+	p.SetSymmetry(gcl.NoSymmetry)
 
 	l := gcl.L("l")
 

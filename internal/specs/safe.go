@@ -32,6 +32,11 @@ func BakeryPPSafe(n, m int) *gcl.Prog {
 	p.LocalVar("j", 0)
 	p.LocalVar("tmp", 0)
 	p.LocalVar("k", 0)
+	// j is reset on the doorway-done commit (c2b), k on the scan seed
+	// (m0); both are dead outside their loops.
+	p.SetSymmetry(gcl.FullSymmetry)
+	p.PidLocal("j", "t1", "t2", "t3", "t4")
+	p.PidLocal("k", "m1", "m2")
 
 	j := gcl.L("j")
 	k := gcl.L("k")

@@ -64,6 +64,25 @@ var registry = map[string]Constructor{
 	"modbakery":  func(c Config) *gcl.Prog { return ModBakery(c.N, c.M) },
 }
 
+// Symmetric reports whether the named specification declares full process
+// symmetry (and so supports the model checker's symmetry reduction),
+// derived from the group the constructor itself declares on the program.
+// The bakery family and Szymanski declare gcl.FullSymmetry. Peterson opts
+// out because its victim registers hold pid VALUES — the canonical layer
+// relocates pid-indexed cells and blocks but never rewrites stored
+// values, so pid-valued cells (or locals) are outside its model
+// (gcl.PidLocal covers prefix-counting scan cursors only, not pid-naming
+// locals). Black-White opts out because its mixed-colour waiting batches
+// drain in concrete id order through both the ticket tie-break and the
+// global colour register, which makes orbit merging markedly lossier than
+// the bakery family's tie-break-only quasi-symmetry; both double as the
+// declared-asymmetric controls for which -symmetry degrades to the full
+// search.
+func Symmetric(name string) bool {
+	p, err := Get(name, Config{})
+	return err == nil && p.Symmetry() == gcl.FullSymmetry
+}
+
 // Names returns the registered specification names, sorted.
 func Names() []string {
 	out := make([]string, 0, len(registry))

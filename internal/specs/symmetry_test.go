@@ -1,0 +1,154 @@
+package specs
+
+// Table-driven symmetry contract over the whole spec matrix at N <= 4:
+// declared groups match the registry, and for every symmetric spec the
+// canonical fingerprint is invariant under every valid process permutation
+// of every sampled reachable state (the satellite contract behind the
+// model checker's symmetry-reduced visited store).
+
+import (
+	"testing"
+
+	"bakerypp/internal/gcl"
+)
+
+// sampleStates walks the reachable states breadth-first (exact dedup via
+// fingerprint + Equal) and returns up to limit of them.
+func sampleStates(p *gcl.Prog, limit int) []gcl.State {
+	seen := map[uint64][]gcl.State{}
+	dup := func(s gcl.State) bool {
+		for _, t := range seen[s.Fingerprint()] {
+			if t.Equal(s) {
+				return true
+			}
+		}
+		return false
+	}
+	states := []gcl.State{p.InitState()}
+	seen[states[0].Fingerprint()] = states[:1]
+	for head := 0; head < len(states) && len(states) < limit; head++ {
+		for _, sc := range p.AllSuccs(states[head], gcl.ModeUnbounded) {
+			if dup(sc.State) {
+				continue
+			}
+			fp := sc.State.Fingerprint()
+			seen[fp] = append(seen[fp], sc.State)
+			states = append(states, sc.State)
+			if len(states) >= limit {
+				break
+			}
+		}
+	}
+	return states
+}
+
+// permutations of 0..n-1, brute force.
+func permutations(n int) [][]int {
+	if n == 1 {
+		return [][]int{{0}}
+	}
+	var out [][]int
+	for _, sub := range permutations(n - 1) {
+		for pos := 0; pos <= len(sub); pos++ {
+			perm := make([]int, 0, n)
+			perm = append(perm, sub[:pos]...)
+			perm = append(perm, n-1)
+			perm = append(perm, sub[pos:]...)
+			out = append(out, perm)
+		}
+	}
+	return out
+}
+
+func TestDeclaredSymmetry(t *testing.T) {
+	// The expected group per spec — a tripwire so a new or edited spec
+	// states its symmetry deliberately (see the Symmetric doc comment for
+	// why black-white and peterson opt out).
+	want := map[string]bool{
+		"bakery":     true,
+		"bakerypp":   true,
+		"modbakery":  true,
+		"szymanski":  true,
+		"blackwhite": false,
+		"peterson":   false,
+	}
+	for _, name := range Names() {
+		wantFull, known := want[name]
+		if !known {
+			t.Errorf("%s: new spec not classified in the symmetry expectation table", name)
+			continue
+		}
+		if got := Symmetric(name); got != wantFull {
+			t.Errorf("Symmetric(%q) = %v, want %v", name, got, wantFull)
+		}
+		p, err := Get(name, Config{N: 3, M: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantFull && !p.CanCanonicalize() {
+			t.Errorf("%s: symmetric spec cannot canonicalize at N=3", name)
+		}
+	}
+}
+
+// TestCanonicalFingerprintInvariance sweeps every symmetric spec at
+// N in {2, 3, 4}: for each sampled reachable state and every permutation
+// valid for its normalized form, the canonical fingerprint must not
+// change, and the witnessing permutation must map the normalized state
+// onto the canonical form.
+func TestCanonicalFingerprintInvariance(t *testing.T) {
+	builds := []struct {
+		name string
+		mk   func(n int) *gcl.Prog
+	}{
+		{"bakery", func(n int) *gcl.Prog { return Bakery(Config{N: n, M: 2}) }},
+		{"bakery-fine", func(n int) *gcl.Prog { return Bakery(Config{N: n, M: 2, Fine: true}) }},
+		{"bakerypp", func(n int) *gcl.Prog { return BakeryPP(Config{N: n, M: 2}) }},
+		{"bakerypp-fine", func(n int) *gcl.Prog { return BakeryPP(Config{N: n, M: 2, Fine: true}) }},
+		{"bakerypp-safe", func(n int) *gcl.Prog { return BakeryPPSafe(n, 2) }},
+		{"modbakery", func(n int) *gcl.Prog { return ModBakery(n, 2) }},
+		{"szymanski", Szymanski},
+	}
+	for _, b := range builds {
+		for _, n := range []int{2, 3, 4} {
+			p := b.mk(n)
+			if !p.CanCanonicalize() {
+				t.Fatalf("%s N=%d: expected canonicalization support", b.name, n)
+			}
+			perms := permutations(n)
+			limit := 400
+			if n == 4 {
+				limit = 150 // 24 perms per state; keep the sweep quick
+			}
+			for _, s := range sampleStates(p, limit) {
+				want := p.CanonicalFingerprint(s)
+				norm := p.NormalizeCursors(s)
+				for _, perm := range perms {
+					if !p.PermValid(norm, perm) {
+						continue
+					}
+					img := p.Permute(norm, perm)
+					if got := p.CanonicalFingerprint(img); got != want {
+						t.Fatalf("%s N=%d: canonical fingerprint varies under perm %v of state %s",
+							b.name, n, perm, p.Format(s))
+					}
+				}
+				canon, perm := p.CanonicalizeWithPerm(s)
+				if !p.Permute(norm, perm).Equal(canon) {
+					t.Fatalf("%s N=%d: witnessing permutation does not reproduce the canonical form", b.name, n)
+				}
+			}
+		}
+	}
+}
+
+// TestAsymmetricSpecsDoNotCanonicalize pins the opt-outs: the declared
+// NoSymmetry specs must refuse canonicalization so the checker falls back
+// to the full search.
+func TestAsymmetricSpecsDoNotCanonicalize(t *testing.T) {
+	for _, p := range []*gcl.Prog{BlackWhite(3), Peterson(3)} {
+		if p.CanCanonicalize() {
+			t.Errorf("%s: declared-asymmetric spec must not canonicalize", p.Name)
+		}
+	}
+}

@@ -27,6 +27,11 @@ func Szymanski(n int) *gcl.Prog {
 	p.SetM(4)
 	p.SharedArray("flag", n, 0)
 	p.Own("flag")
+	// The shared state is one owned flag per process and there are no
+	// pid-valued locals, so canonicalization takes the sorted-column fast
+	// path. The id-ordered room draining (s7/s8 guards) makes the spec
+	// quasi-symmetric, exactly like the bakery tie-break.
+	p.SetSymmetry(gcl.FullSymmetry)
 
 	flag := func(q int) gcl.Expr { return gcl.ShI("flag", gcl.C(q)) }
 
