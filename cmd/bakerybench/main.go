@@ -1,6 +1,7 @@
-// Command bakerybench runs the repository's experiment suite (E1–E13 of
-// DESIGN.md) and prints the tables recorded in EXPERIMENTS.md, or — with
-// -sweep — the deterministic contention sweep on its full default grid.
+// Command bakerybench runs the repository's experiment suite (E1–E15; see
+// docs/experiments.md for the catalogue) and prints the tables recorded in
+// EXPERIMENTS.md, or — with -sweep — the deterministic contention sweep on
+// its full default grid.
 //
 //	bakerybench               # run every experiment
 //	bakerybench -run E2,E9    # selected experiments
@@ -29,6 +30,7 @@ func main() {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		workers  = flag.Int("workers", 0, "parallel model-checking goroutines (0 = sequential, -1 = GOMAXPROCS; FCFS/refinement checks stay sequential)")
 		symmetry = flag.Bool("symmetry", false, "process-symmetry reduction for the safety-check experiments (specs declaring full symmetry explore one state per orbit; verdicts unchanged)")
+		por      = flag.Bool("por", false, "ample-set partial-order reduction for the safety-check experiments (composes with -symmetry; verdicts unchanged)")
 
 		benchJSON = flag.String("bench-json", "", "run the model-checking benchmark grid and write it as JSON to this path (e.g. BENCH_mc.json), instead of the experiment suite")
 
@@ -84,7 +86,7 @@ func main() {
 	for i := range ids {
 		ids[i] = strings.TrimSpace(ids[i])
 	}
-	cfg := harness.ExpConfig{MCWorkers: *workers, SweepWorkers: *sweepWorkers, Symmetry: *symmetry}
+	cfg := harness.ExpConfig{MCWorkers: *workers, SweepWorkers: *sweepWorkers, Symmetry: *symmetry, POR: *por}
 	if err := harness.RunExperiments(os.Stdout, ids, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bakerybench:", err)
 		os.Exit(1)

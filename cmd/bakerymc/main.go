@@ -8,6 +8,7 @@
 //	bakerymc -algo modbakery -n 2 -m 2 -trace       # modulo strawman breaks
 //	bakerymc -algo bakerypp -n 2 -m 2 -crash        # with crash-restart
 //	bakerymc -algo bakerypp -n 3 -m 2 -starve 2     # Section 6.3 livelock
+//	bakerymc -algo bakerypp -n 5 -m 2 -symmetry -por -workers -1  # composed reductions
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 		maxStates = flag.Int("maxstates", 0, "state bound (0 = default)")
 		workers   = flag.Int("workers", 0, "parallel exploration goroutines for check/graph/starve modes (0 = sequential, -1 = GOMAXPROCS; -fcfs always runs sequentially)")
 		symmetry  = flag.Bool("symmetry", false, "process-symmetry reduction: explore one state per permutation orbit (specs declaring full symmetry only; deterministic for any -workers; ignored by -starve/-fcfs, whose properties pin concrete pids)")
+		por       = flag.Bool("por", false, "ample-set partial-order reduction: compress independent local actions instead of interleaving them (composes with -symmetry; deterministic for any -workers; ignored by -starve/-fcfs and disabled under -crash)")
 		trace     = flag.Bool("trace", false, "print the counterexample trace, if any")
 		starve    = flag.Int("starve", -1, "search for a Section 6.3 livelock pinning this pid at l1")
 		fcfs      = flag.String("fcfs", "", "check FCFS for a pid pair, e.g. -fcfs 0,1")
@@ -56,9 +58,10 @@ func main() {
 		MaxStates:  *maxStates,
 		Workers:    *workers,
 		Symmetry:   *symmetry,
+		POR:        *por,
 	}
-	if *symmetry && (*fcfs != "" || *starve >= 0) {
-		fmt.Fprintln(os.Stderr, "bakerymc: note: -symmetry is ignored for -starve and -fcfs (pid-pinned properties need the full state space)")
+	if (*symmetry || *por) && (*fcfs != "" || *starve >= 0) {
+		fmt.Fprintln(os.Stderr, "bakerymc: note: -symmetry/-por are ignored for -starve and -fcfs (pid-pinned and cycle properties need the full state space)")
 	}
 
 	if *listing {
@@ -123,6 +126,9 @@ func main() {
 	res := mc.Check(p, opts)
 	if *symmetry && !res.Symmetry {
 		fmt.Fprintf(os.Stderr, "bakerymc: note: %s does not support symmetry reduction (declared asymmetric or too many processes); ran the full search\n", p.Name)
+	}
+	if *por && !res.POR {
+		fmt.Fprintln(os.Stderr, "bakerymc: note: -por fell back to the full search (crash transitions make no action safely independent)")
 	}
 	fmt.Println(res.String())
 	if res.Violation != nil {

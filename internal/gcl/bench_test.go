@@ -57,6 +57,6 @@ func BenchmarkGuardEval(b *testing.B) {
 	c := &Ctx{P: p, S: s, Pid: 0}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = guard(c)
+		_ = guard.Eval(c)
 	}
 }

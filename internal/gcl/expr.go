@@ -10,40 +10,83 @@ type Ctx struct {
 	Pid int
 }
 
+// shape classifies what an expression evaluates to when used as an array
+// index, so footprints can be kept precise for the common index forms:
+// a compile-time constant, the executing process id, or anything else
+// (state-dependent, hence "could be any cell").
+type shape uint8
+
+const (
+	shapeOpaque shape = iota
+	shapeConst
+	shapeSelf
+)
+
 // Expr evaluates to an int32 in a context. Booleans are represented as 0
-// (false) and 1 (true), C-style.
-type Expr func(c *Ctx) int32
+// (false) and 1 (true), C-style. Alongside the compiled closure, every
+// expression carries its static footprint — the shared cells it may read —
+// so that programs can derive per-action footprints and an independence
+// relation (footprint.go) without an interpretable syntax tree. The zero
+// value is "no expression" (an absent guard or index).
+type Expr struct {
+	f     func(c *Ctx) int32
+	reads cellMap
+	shp   shape
+	k     int32 // constant value when shp == shapeConst
+}
+
+// Eval evaluates the expression.
+func (e Expr) Eval(c *Ctx) int32 { return e.f(c) }
+
+// defined reports whether the expression was constructed (vs the zero
+// value used for "no guard" / "no index").
+func (e Expr) defined() bool { return e.f != nil }
+
+// expr wraps a closure with the merged footprints of its operands.
+func expr(f func(c *Ctx) int32, ops ...Expr) Expr {
+	return Expr{f: f, reads: mergeReads(ops)}
+}
 
 // C returns a constant expression.
 func C(v int) Expr {
 	x := int32(v)
-	return func(*Ctx) int32 { return x }
+	return Expr{f: func(*Ctx) int32 { return x }, shp: shapeConst, k: x}
 }
 
 // Self returns the executing process id.
 func Self() Expr {
-	return func(c *Ctx) int32 { return int32(c.Pid) }
+	return Expr{f: func(c *Ctx) int32 { return int32(c.Pid) }, shp: shapeSelf}
 }
 
-// L reads the executing process's local variable.
+// L reads the executing process's local variable. Locals live in the
+// process's private block, so they never enter shared footprints.
 func L(name string) Expr {
-	return func(c *Ctx) int32 { return c.P.Local(c.S, c.Pid, name) }
+	return Expr{f: func(c *Ctx) int32 { return c.P.Local(c.S, c.Pid, name) }}
 }
 
 // Sh reads a shared scalar.
 func Sh(name string) Expr {
-	return func(c *Ctx) int32 { return c.P.Shared(c.S, name, 0) }
+	return Expr{
+		f:     func(c *Ctx) int32 { return c.P.Shared(c.S, name, 0) },
+		reads: cellMap{name: {Idx: []int{0}}},
+	}
 }
 
 // ShI reads a shared array cell at a computed index.
 func ShI(name string, idx Expr) Expr {
-	return func(c *Ctx) int32 { return c.P.Shared(c.S, name, int(idx(c))) }
+	e := Expr{f: func(c *Ctx) int32 { return c.P.Shared(c.S, name, int(idx.f(c))) }}
+	e.reads = mergeReads([]Expr{idx})
+	e.reads = e.reads.add(name, idx.indexCells())
+	return e
 }
 
 // ShSelf reads the executing process's own cell of a shared array; it is
 // ShI(name, Self()) without the closure hop.
 func ShSelf(name string) Expr {
-	return func(c *Ctx) int32 { return c.P.Shared(c.S, name, c.Pid) }
+	return Expr{
+		f:     func(c *Ctx) int32 { return c.P.Shared(c.S, name, c.Pid) },
+		reads: cellMap{name: {Self: true}},
+	}
 }
 
 // MaxSh returns the maximum over all cells of a shared array, the paper's
@@ -51,18 +94,21 @@ func ShSelf(name string) Expr {
 // coarse-grained doorway; internal/specs also provides a fine-grained
 // variant that reads one cell per step).
 func MaxSh(name string) Expr {
-	return func(c *Ctx) int32 { return c.P.MaxShared(c.S, name) }
+	return Expr{
+		f:     func(c *Ctx) int32 { return c.P.MaxShared(c.S, name) },
+		reads: cellMap{name: {All: true}},
+	}
 }
 
 // Max2 returns the larger of a and b.
 func Max2(a, b Expr) Expr {
-	return func(c *Ctx) int32 {
-		x, y := a(c), b(c)
+	return expr(func(c *Ctx) int32 {
+		x, y := a.f(c), b.f(c)
 		if x > y {
 			return x
 		}
 		return y
-	}
+	}, a, b)
 }
 
 // MaxN returns the maximum of val(q) over all q in 0..n-1 with cond(q) true,
@@ -74,34 +120,38 @@ func MaxN(n int, f func(q int) (cond, val Expr)) Expr {
 	for q := 0; q < n; q++ {
 		conds[q], vals[q] = f(q)
 	}
-	return func(c *Ctx) int32 {
+	return expr(func(c *Ctx) int32 {
 		max := int32(0)
 		for q := 0; q < n; q++ {
-			if conds[q](c) != 0 {
-				if v := vals[q](c); v > max {
+			if conds[q].f(c) != 0 {
+				if v := vals[q].f(c); v > max {
 					max = v
 				}
 			}
 		}
 		return max
-	}
+	}, append(append([]Expr{}, conds...), vals...)...)
 }
 
 // Add returns a+b.
-func Add(a, b Expr) Expr { return func(c *Ctx) int32 { return a(c) + b(c) } }
+func Add(a, b Expr) Expr {
+	return expr(func(c *Ctx) int32 { return a.f(c) + b.f(c) }, a, b)
+}
 
 // Sub returns a-b.
-func Sub(a, b Expr) Expr { return func(c *Ctx) int32 { return a(c) - b(c) } }
+func Sub(a, b Expr) Expr {
+	return expr(func(c *Ctx) int32 { return a.f(c) - b.f(c) }, a, b)
+}
 
 // Mod returns a mod b (b must evaluate nonzero).
 func Mod(a, b Expr) Expr {
-	return func(c *Ctx) int32 {
-		d := b(c)
+	return expr(func(c *Ctx) int32 {
+		d := b.f(c)
 		if d == 0 {
 			panic("gcl: modulo by zero")
 		}
-		return a(c) % d
-	}
+		return a.f(c) % d
+	}, a, b)
 }
 
 func b2i(b bool) int32 {
@@ -112,48 +162,62 @@ func b2i(b bool) int32 {
 }
 
 // Eq returns a == b.
-func Eq(a, b Expr) Expr { return func(c *Ctx) int32 { return b2i(a(c) == b(c)) } }
+func Eq(a, b Expr) Expr {
+	return expr(func(c *Ctx) int32 { return b2i(a.f(c) == b.f(c)) }, a, b)
+}
 
 // Ne returns a != b.
-func Ne(a, b Expr) Expr { return func(c *Ctx) int32 { return b2i(a(c) != b(c)) } }
+func Ne(a, b Expr) Expr {
+	return expr(func(c *Ctx) int32 { return b2i(a.f(c) != b.f(c)) }, a, b)
+}
 
 // Lt returns a < b.
-func Lt(a, b Expr) Expr { return func(c *Ctx) int32 { return b2i(a(c) < b(c)) } }
+func Lt(a, b Expr) Expr {
+	return expr(func(c *Ctx) int32 { return b2i(a.f(c) < b.f(c)) }, a, b)
+}
 
 // Le returns a <= b.
-func Le(a, b Expr) Expr { return func(c *Ctx) int32 { return b2i(a(c) <= b(c)) } }
+func Le(a, b Expr) Expr {
+	return expr(func(c *Ctx) int32 { return b2i(a.f(c) <= b.f(c)) }, a, b)
+}
 
 // Gt returns a > b.
-func Gt(a, b Expr) Expr { return func(c *Ctx) int32 { return b2i(a(c) > b(c)) } }
+func Gt(a, b Expr) Expr {
+	return expr(func(c *Ctx) int32 { return b2i(a.f(c) > b.f(c)) }, a, b)
+}
 
 // Ge returns a >= b.
-func Ge(a, b Expr) Expr { return func(c *Ctx) int32 { return b2i(a(c) >= b(c)) } }
+func Ge(a, b Expr) Expr {
+	return expr(func(c *Ctx) int32 { return b2i(a.f(c) >= b.f(c)) }, a, b)
+}
 
 // Not returns the boolean negation of a.
-func Not(a Expr) Expr { return func(c *Ctx) int32 { return b2i(a(c) == 0) } }
+func Not(a Expr) Expr {
+	return expr(func(c *Ctx) int32 { return b2i(a.f(c) == 0) }, a)
+}
 
 // And returns the conjunction of its operands, short-circuiting.
 func And(xs ...Expr) Expr {
-	return func(c *Ctx) int32 {
+	return expr(func(c *Ctx) int32 {
 		for _, x := range xs {
-			if x(c) == 0 {
+			if x.f(c) == 0 {
 				return 0
 			}
 		}
 		return 1
-	}
+	}, xs...)
 }
 
 // Or returns the disjunction of its operands, short-circuiting.
 func Or(xs ...Expr) Expr {
-	return func(c *Ctx) int32 {
+	return expr(func(c *Ctx) int32 {
 		for _, x := range xs {
-			if x(c) != 0 {
+			if x.f(c) != 0 {
 				return 1
 			}
 		}
 		return 0
-	}
+	}, xs...)
 }
 
 // AndN builds a universal quantification over 0..n-1: the conjunction of
@@ -178,13 +242,13 @@ func OrN(n int, f func(q int) Expr) Expr {
 // LexLt returns the paper's ordered-pair comparison: (a1, b1) < (a2, b2)
 // iff a1 < a2, or a1 = a2 and b1 < b2 (Algorithm 1's "<" on tickets).
 func LexLt(a1, b1, a2, b2 Expr) Expr {
-	return func(c *Ctx) int32 {
-		x1, x2 := a1(c), a2(c)
+	return expr(func(c *Ctx) int32 {
+		x1, x2 := a1.f(c), a2.f(c)
 		if x1 != x2 {
 			return b2i(x1 < x2)
 		}
-		return b2i(b1(c) < b2(c))
-	}
+		return b2i(b1.f(c) < b2.f(c))
+	}, a1, b1, a2, b2)
 }
 
 // Assign is one variable update within an action's effect. All right-hand
@@ -192,7 +256,7 @@ func LexLt(a1, b1, a2, b2 Expr) Expr {
 // simultaneously (TLA+ priming semantics).
 type Assign struct {
 	Name  string
-	Idx   Expr // nil for shared scalars; unused for locals
+	Idx   Expr // zero Expr for shared scalars; unused for locals
 	Val   Expr
 	Local bool
 }
@@ -210,9 +274,10 @@ func SetSelf(name string, val Expr) Assign { return Assign{Name: name, Idx: Self
 func SetL(name string, val Expr) Assign { return Assign{Name: name, Val: val, Local: true} }
 
 // Branch is one guarded alternative of a labelled action: when Guard holds
-// (nil means always), the Effect assignments are applied and control moves
-// to Next. A label with several branches whose guards overlap is
-// nondeterministic; a label none of whose guards hold is blocked (an await).
+// (the zero Expr means always), the Effect assignments are applied and
+// control moves to Next. A label with several branches whose guards overlap
+// is nondeterministic; a label none of whose guards hold is blocked (an
+// await).
 type Branch struct {
 	Guard Expr
 	Eff   []Assign

@@ -63,6 +63,9 @@ type Prog struct {
 	labels   []string
 	labelIdx map[string]int
 	branches [][]Branch
+	// foot holds the per-branch shared-footprint analysis backing the
+	// independence relation; see footprint.go.
+	foot [][]branchFoot
 
 	sharedInfo map[string]varInfo
 	localInfo  map[string]varInfo
@@ -198,6 +201,7 @@ func (p *Prog) Build() error {
 			}
 		}
 	}
+	p.buildFootprints()
 	if err := p.buildSymmetry(); err != nil {
 		return err
 	}

@@ -210,7 +210,7 @@ func TestExprOps(t *testing.T) {
 		{"OrN false", OrN(3, func(q int) Expr { return C(0) }), 0},
 	}
 	for _, tc := range cases {
-		if got := tc.e(c); got != tc.want {
+		if got := tc.e.Eval(c); got != tc.want {
 			t.Errorf("%s = %d, want %d", tc.name, got, tc.want)
 		}
 	}
@@ -228,7 +228,7 @@ func TestMax2(t *testing.T) {
 	c := &Ctx{P: p, S: p.InitState(), Pid: 0}
 	cases := []struct{ a, b, want int }{{1, 2, 2}, {5, 3, 5}, {4, 4, 4}, {0, 0, 0}}
 	for _, tc := range cases {
-		if got := Max2(C(tc.a), C(tc.b))(c); got != int32(tc.want) {
+		if got := Max2(C(tc.a), C(tc.b)).Eval(c); got != int32(tc.want) {
 			t.Errorf("Max2(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
 		}
 	}
@@ -242,17 +242,17 @@ func TestMaxN(t *testing.T) {
 	c := &Ctx{P: p, S: s, Pid: 0}
 	// Max over all cells.
 	all := MaxN(2, func(q int) (Expr, Expr) { return C(1), ShI("cnt", C(q)) })
-	if got := all(c); got != 9 {
+	if got := all.Eval(c); got != 9 {
 		t.Errorf("unconditional MaxN = %d, want 9", got)
 	}
 	// Max restricted to cell 1 only.
 	only1 := MaxN(2, func(q int) (Expr, Expr) { return b2iE(q == 1), ShI("cnt", C(q)) })
-	if got := only1(c); got != 4 {
+	if got := only1.Eval(c); got != 4 {
 		t.Errorf("restricted MaxN = %d, want 4", got)
 	}
 	// No condition holds: zero.
 	none := MaxN(2, func(q int) (Expr, Expr) { return C(0), ShI("cnt", C(q)) })
-	if got := none(c); got != 0 {
+	if got := none.Eval(c); got != 0 {
 		t.Errorf("empty MaxN = %d, want 0", got)
 	}
 }
@@ -265,7 +265,7 @@ func TestModByZeroPanics(t *testing.T) {
 			t.Error("Mod by zero did not panic")
 		}
 	}()
-	Mod(C(1), C(0))(c)
+	Mod(C(1), C(0)).Eval(c)
 }
 
 // LexLt must implement the paper's ordered-pair comparison: (a,b) < (c,d)
@@ -274,7 +274,7 @@ func TestLexLtMatchesDefinition(t *testing.T) {
 	p := tinyProg()
 	c := &Ctx{P: p, S: p.InitState(), Pid: 0}
 	f := func(a, b, cc, d uint8) bool {
-		got := LexLt(C(int(a)), C(int(b)), C(int(cc)), C(int(d)))(c) == 1
+		got := LexLt(C(int(a)), C(int(b)), C(int(cc)), C(int(d))).Eval(c) == 1
 		want := a < cc || (a == cc && b < d)
 		return got == want
 	}
@@ -289,8 +289,8 @@ func TestLexLtTrichotomy(t *testing.T) {
 	p := tinyProg()
 	c := &Ctx{P: p, S: p.InitState(), Pid: 0}
 	f := func(a, b, cc, d uint8) bool {
-		lt := LexLt(C(int(a)), C(int(b)), C(int(cc)), C(int(d)))(c) == 1
-		gt := LexLt(C(int(cc)), C(int(d)), C(int(a)), C(int(b)))(c) == 1
+		lt := LexLt(C(int(a)), C(int(b)), C(int(cc)), C(int(d))).Eval(c) == 1
+		gt := LexLt(C(int(cc)), C(int(d)), C(int(a)), C(int(b))).Eval(c) == 1
 		eq := a == cc && b == d
 		n := 0
 		for _, x := range []bool{lt, gt, eq} {

@@ -26,7 +26,7 @@ func (p *Prog) BranchesAt(label string) []BranchInfo {
 		out = append(out, BranchInfo{
 			Next:    b.Next,
 			Tag:     b.Tag,
-			Guarded: b.Guard != nil,
+			Guarded: b.Guard.defined(),
 			Assigns: len(b.Eff),
 		})
 	}
@@ -59,7 +59,7 @@ func (p *Prog) Listing() string {
 		fmt.Fprintf(&b, "%s:\n", label)
 		for _, br := range p.branches[li] {
 			guard := "always"
-			if br.Guard != nil {
+			if br.Guard.defined() {
 				guard = "when <guard>"
 			}
 			tag := ""

@@ -47,11 +47,26 @@ type Succ struct {
 func (p *Prog) Enabled(s State, pid int) bool {
 	c := Ctx{P: p, S: s, Pid: pid}
 	for _, b := range p.branches[p.PC(s, pid)] {
-		if b.Guard == nil || b.Guard(&c) != 0 {
+		if !b.Guard.defined() || b.Guard.f(&c) != 0 {
 			return true
 		}
 	}
 	return false
+}
+
+// EnabledMask returns a bitmask of the enabled branches at process pid's
+// current label (bit i set = branch i enabled), evaluating guards only —
+// no successor states are materialised. Labels with more than 64 branches
+// do not occur in practice; their higher branches fall outside the mask.
+func (p *Prog) EnabledMask(s State, pid int) uint64 {
+	c := Ctx{P: p, S: s, Pid: pid}
+	var mask uint64
+	for bi, b := range p.branches[p.PC(s, pid)] {
+		if !b.Guard.defined() || b.Guard.f(&c) != 0 {
+			mask |= 1 << uint(bi)
+		}
+	}
+	return mask
 }
 
 // EnabledAny reports whether any process has an enabled branch in s; a state
@@ -74,7 +89,7 @@ func (p *Prog) Succs(s State, pid int, mode Mode, out []Succ) []Succ {
 	pc := p.PC(s, pid)
 	c := Ctx{P: p, S: s, Pid: pid}
 	for bi, b := range p.branches[pc] {
-		if b.Guard != nil && b.Guard(&c) == 0 {
+		if b.Guard.defined() && b.Guard.f(&c) == 0 {
 			continue
 		}
 		next, overflow := p.apply(s, pid, b, mode)
@@ -111,7 +126,7 @@ func (p *Prog) apply(s State, pid int, b Branch, mode Mode) (State, bool) {
 	writes := make([]write, 0, len(b.Eff))
 	overflow := false
 	for _, a := range b.Eff {
-		v := a.Val(&c)
+		v := a.Val.f(&c)
 		if v < 0 {
 			panic(fmt.Sprintf("gcl: %s: assignment to %q computes negative value %d",
 				p.Name, a.Name, v))
@@ -129,8 +144,8 @@ func (p *Prog) apply(s State, pid int, b Branch, mode Mode) (State, bool) {
 				panic(fmt.Sprintf("gcl: %s: unknown shared variable %q", p.Name, a.Name))
 			}
 			idx := 0
-			if a.Idx != nil {
-				idx = int(a.Idx(&c))
+			if a.Idx.defined() {
+				idx = int(a.Idx.f(&c))
 			}
 			if idx < 0 || idx >= info.size {
 				panic(fmt.Sprintf("gcl: %s: index %d out of range for %q", p.Name, idx, a.Name))

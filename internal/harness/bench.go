@@ -1,9 +1,10 @@
 package harness
 
 // Machine-readable model-checking benchmarks: a fixed grid of exploration
-// runs (full and symmetry-reduced) whose states/sec, states explored, and
-// wall time are written as JSON so the perf trajectory of the engines is
-// tracked from PR to PR (`bakerybench -bench-json BENCH_mc.json`).
+// runs across the reduction modes (none / symmetry / por / symmetry+por)
+// whose states/sec, states explored, and wall time are written as JSON so
+// the perf trajectory of the engines is tracked from PR to PR
+// (`bakerybench -bench-json BENCH_mc.json`).
 
 import (
 	"encoding/json"
@@ -18,17 +19,23 @@ import (
 
 // MCBenchRecord is one exploration run of the benchmark grid.
 type MCBenchRecord struct {
-	// Name identifies the grid cell, e.g. "bakerypp-n4-m2/symmetry".
+	// Name identifies the grid cell, e.g. "bakerypp-n4-m2/symmetry+por".
 	Name string `json:"name"`
 	Algo string `json:"algo"`
 	N    int    `json:"n"`
 	M    int    `json:"m"`
 	// Workers is the engine setting used (0 sequential, -1 GOMAXPROCS).
 	Workers int `json:"workers"`
-	// Symmetry records whether reduction was requested; Applied whether
-	// the spec supported it.
-	Symmetry bool `json:"symmetry"`
-	Applied  bool `json:"symmetry_applied"`
+	// Reduction is the requested reduction mode: "none", "symmetry",
+	// "por", or "symmetry+por".
+	Reduction string `json:"reduction"`
+	// Symmetry/POR record the requested reductions individually; the
+	// *_applied fields whether the run actually used them (a spec may
+	// not support symmetry; POR needs no spec support).
+	Symmetry   bool `json:"symmetry"`
+	Applied    bool `json:"symmetry_applied"`
+	POR        bool `json:"por"`
+	PORApplied bool `json:"por_applied"`
 
 	States       int     `json:"states"`
 	Transitions  int     `json:"transitions"`
@@ -46,12 +53,35 @@ type MCBenchReport struct {
 	Records    []MCBenchRecord `json:"records"`
 }
 
-// mcBenchCell is one grid entry; symmetry-only cells (full search far
-// beyond the state bound) set fullToo = false.
+// mcBenchCell is one grid entry. Cells whose unreduced search is far
+// beyond the state bound set fullToo = false and measure only the
+// symmetry-based modes.
 type mcBenchCell struct {
 	algo    string
 	cfg     specs.Config
 	fullToo bool
+}
+
+// benchMode is one reduction mode of the benchmark grid.
+type benchMode struct {
+	name     string
+	sym, por bool
+}
+
+// benchModes returns the modes a cell measures: all four reduction modes
+// where the unreduced search is feasible, the symmetry-based pair
+// otherwise.
+func benchModes(fullToo bool) []benchMode {
+	all := []benchMode{
+		{"none", false, false},
+		{"symmetry", true, false},
+		{"por", false, true},
+		{"symmetry+por", true, true},
+	}
+	if fullToo {
+		return all
+	}
+	return []benchMode{all[1], all[3]}
 }
 
 // mcBenchGrid is the fixed benchmark grid. It spans the sizes the
@@ -85,11 +115,7 @@ func runMCBench(cfg ExpConfig, grid []mcBenchCell) (*MCBenchReport, error) {
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 	}
 	for _, cell := range grid {
-		variants := []bool{true}
-		if cell.fullToo {
-			variants = []bool{false, true}
-		}
-		for _, sym := range variants {
+		for _, mode := range benchModes(cell.fullToo) {
 			p, err := specs.Get(cell.algo, cell.cfg)
 			if err != nil {
 				return nil, err
@@ -97,25 +123,25 @@ func runMCBench(cfg ExpConfig, grid []mcBenchCell) (*MCBenchReport, error) {
 			res := mc.Check(p, mc.Options{
 				Invariants: safetyInvariants(),
 				Workers:    cfg.MCWorkers,
-				Symmetry:   sym,
+				Symmetry:   mode.sym,
+				POR:        mode.por,
 			})
 			secs := res.Elapsed.Seconds()
 			rate := 0.0
 			if secs > 0 {
 				rate = float64(res.States) / secs
 			}
-			suffix := "full"
-			if sym {
-				suffix = "symmetry"
-			}
 			rep.Records = append(rep.Records, MCBenchRecord{
-				Name:         fmt.Sprintf("%s-n%d-m%d/%s", cell.algo, p.N, p.M, suffix),
+				Name:         fmt.Sprintf("%s-n%d-m%d/%s", cell.algo, p.N, p.M, mode.name),
 				Algo:         cell.algo,
 				N:            p.N,
 				M:            int(p.M),
 				Workers:      cfg.MCWorkers,
-				Symmetry:     sym,
+				Reduction:    mode.name,
+				Symmetry:     mode.sym,
 				Applied:      res.Symmetry,
+				POR:          mode.por,
+				PORApplied:   res.POR,
 				States:       res.States,
 				Transitions:  res.Transitions,
 				Verdict:      verdict(res),

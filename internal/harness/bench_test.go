@@ -5,17 +5,19 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"bakerypp/internal/specs"
 )
 
 // TestWriteMCBenchJSON runs a trimmed benchmark grid (the N <= 3 cells —
-// the heavy N >= 4 explorations are covered by internal/mc's symmetry
+// the heavy N >= 4 explorations are covered by internal/mc's reduction
 // tests and the full grid by `bakerybench -bench-json`) and checks the
-// emitted JSON is well-formed and internally consistent: every
-// full/symmetry pair agrees on the verdict and the reduced side never
-// explores more states.
+// emitted JSON round-trips losslessly and is internally consistent:
+// every cell emits one record per reduction mode, all modes of a cell
+// agree on the verdict, and no reduced mode explores more states than
+// the unreduced run.
 func TestWriteMCBenchJSON(t *testing.T) {
 	grid := []mcBenchCell{
 		{"bakerypp", specs.Config{N: 2, M: 2}, true},
@@ -39,10 +41,15 @@ func TestWriteMCBenchJSON(t *testing.T) {
 	if err := json.Unmarshal(data, &parsed); err != nil {
 		t.Fatalf("emitted JSON does not parse: %v", err)
 	}
-	if len(parsed.Records) != len(rep.Records) || len(parsed.Records) == 0 {
-		t.Fatalf("got %d records on disk, %d in memory", len(parsed.Records), len(rep.Records))
+	if !reflect.DeepEqual(parsed.Records, rep.Records) {
+		t.Fatal("records did not round-trip through JSON")
 	}
-	full := map[string]MCBenchRecord{}
+	wantRecords := 3*len(benchModes(true)) + len(benchModes(false))
+	if len(parsed.Records) != wantRecords {
+		t.Fatalf("got %d records, want %d (one per cell and reduction mode)", len(parsed.Records), wantRecords)
+	}
+
+	modes := map[string]map[string]MCBenchRecord{}
 	for _, r := range parsed.Records {
 		if r.States <= 0 || r.WallSeconds < 0 {
 			t.Errorf("%s: implausible record %+v", r.Name, r)
@@ -50,23 +57,86 @@ func TestWriteMCBenchJSON(t *testing.T) {
 		if r.Symmetry && !r.Applied {
 			t.Errorf("%s: symmetry requested but not applied", r.Name)
 		}
-		if !r.Symmetry {
-			full[nmKey(r)] = r
+		if r.POR != r.PORApplied {
+			t.Errorf("%s: por requested (%v) but applied (%v)", r.Name, r.POR, r.PORApplied)
+		}
+		wantName := fmt.Sprintf("%s-n%d-m%d/%s", r.Algo, r.N, r.M, r.Reduction)
+		if r.Name != wantName {
+			t.Errorf("record name %q does not encode its reduction mode (want %q)", r.Name, wantName)
+		}
+		if modes[nmKey(r)] == nil {
+			modes[nmKey(r)] = map[string]MCBenchRecord{}
+		}
+		modes[nmKey(r)][r.Reduction] = r
+	}
+	for cell, byMode := range modes {
+		base, haveFull := byMode["none"]
+		if !haveFull {
+			base = byMode["symmetry"]
+		}
+		for mode, r := range byMode {
+			if r.Verdict != base.Verdict {
+				t.Errorf("%s/%s: verdict diverges (%s vs %s)", cell, mode, r.Verdict, base.Verdict)
+			}
+			if haveFull && r.States > base.States {
+				t.Errorf("%s/%s: reduced run explored more states (%d) than full (%d)", cell, mode, r.States, base.States)
+			}
 		}
 	}
-	for _, r := range parsed.Records {
-		if !r.Symmetry {
-			continue
+}
+
+// TestMCBenchJSONSchema pins the machine-readable surface: the set of
+// keys each record serialises must not drift silently (downstream
+// trajectory tooling parses these by name), and the reduction-mode column
+// must be present with one of its four values.
+func TestMCBenchJSONSchema(t *testing.T) {
+	grid := []mcBenchCell{{"bakerypp", specs.Config{N: 2, M: 2}, true}}
+	rep, err := runMCBench(ExpConfig{}, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw struct {
+		GoVersion  string                   `json:"go_version"`
+		GOMAXPROCS int                      `json:"gomaxprocs"`
+		Timestamp  string                   `json:"timestamp"`
+		Records    []map[string]interface{} `json:"records"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw.GoVersion == "" || raw.Timestamp == "" || len(raw.Records) == 0 {
+		t.Fatalf("report header incomplete: %+v", raw)
+	}
+	want := []string{
+		"name", "algo", "n", "m", "workers",
+		"reduction", "symmetry", "symmetry_applied", "por", "por_applied",
+		"states", "transitions", "verdict", "complete",
+		"wall_seconds", "states_per_sec",
+	}
+	validModes := map[string]bool{"none": true, "symmetry": true, "por": true, "symmetry+por": true}
+	seen := map[string]bool{}
+	for _, rec := range raw.Records {
+		for _, k := range want {
+			if _, ok := rec[k]; !ok {
+				t.Errorf("record %v missing key %q", rec["name"], k)
+			}
 		}
-		f, ok := full[nmKey(r)]
-		if !ok {
-			continue // symmetry-only cell (full search beyond the bound)
+		if len(rec) != len(want) {
+			t.Errorf("record has %d keys, schema has %d — update the schema test alongside the struct", len(rec), len(want))
 		}
-		if f.Verdict != r.Verdict {
-			t.Errorf("%s: verdict diverges from full run (%s vs %s)", r.Name, r.Verdict, f.Verdict)
+		mode, _ := rec["reduction"].(string)
+		if !validModes[mode] {
+			t.Errorf("record %v has invalid reduction mode %q", rec["name"], mode)
 		}
-		if r.States > f.States {
-			t.Errorf("%s: reduced run explored more states (%d) than full (%d)", r.Name, r.States, f.States)
+		seen[mode] = true
+	}
+	for mode := range validModes {
+		if !seen[mode] {
+			t.Errorf("full-cell grid emitted no %q record", mode)
 		}
 	}
 }

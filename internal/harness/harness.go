@@ -7,7 +7,7 @@
 // (see docs/harness.md); sweep.go scales the same measurements across a
 // deterministic scenario grid. The experiments file assembles these runs —
 // together with the model checker and the interleaving simulator — into
-// the E1–E13 tables recorded in EXPERIMENTS.md.
+// the E1–E15 tables recorded in EXPERIMENTS.md (see docs/experiments.md).
 package harness
 
 import (

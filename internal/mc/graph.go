@@ -37,8 +37,12 @@ func (g *Graph) State(i int) gcl.State { return g.expl.states[i] }
 // fails only if the state bound is exceeded, since an incomplete graph
 // would make cycle analysis meaningless. Options.Workers selects between
 // the sequential engine below and the parallel engine; state numbering and
-// edge order are identical either way.
+// edge order are identical either way. Options.POR is ignored (the graph
+// analyses — SCCs, starvation and no-progress cycles — quantify over every
+// interleaving, which a partial-order-reduced graph by design omits), so
+// graphs are always built full.
 func BuildGraph(p *gcl.Prog, opts Options) (*Graph, error) {
+	opts.POR = false
 	if opts.Workers != 0 {
 		return buildGraphParallel(p, opts)
 	}
@@ -62,7 +66,8 @@ func BuildGraph(p *gcl.Prog, opts Options) (*Graph, error) {
 		}
 		s := e.states[head]
 		res.Depth = int(e.depth[head])
-		for _, sc := range e.successors(s) {
+		succs, _, _, _ := e.successors(s)
+		for _, sc := range succs {
 			res.Transitions++
 			idx, fresh := e.add(sc.State, int32(head), int32(sc.Pid), sc.Label)
 			if fresh {

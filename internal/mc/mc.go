@@ -26,6 +26,25 @@ import (
 type Invariant struct {
 	Name  string
 	Holds func(p *gcl.Prog, s gcl.State) bool
+	// Observes declares the slice of state the predicate reads, so
+	// partial-order reduction can prove an action invisible (unable to
+	// change the predicate's truth value). nil means "unknown — may read
+	// anything", which soundly disables POR. The stock invariants all
+	// declare precise observations.
+	Observes *Observation
+}
+
+// Observation is an invariant's declared read set: the labels whose
+// occupancy it may depend on (CountAtLabel-style predicates) and whether
+// it may depend on shared variable values. It cannot express reading
+// anything else — a predicate that consults local variables, pcs beyond
+// label occupancy, or any other part of the state MUST leave
+// Invariant.Observes nil (full-search fallback); declaring an empty
+// Observation for such a predicate would let POR treat actions that
+// change it as invisible.
+type Observation struct {
+	Labels []string
+	Shared bool
 }
 
 // Mutex is the mutual-exclusion invariant: at most one process resides at
@@ -37,6 +56,7 @@ func Mutex() Invariant {
 		Holds: func(p *gcl.Prog, s gcl.State) bool {
 			return p.CountAtLabel(s, "cs") <= 1
 		},
+		Observes: &Observation{Labels: []string{"cs"}},
 	}
 }
 
@@ -59,6 +79,7 @@ func NoOverflow() Invariant {
 			}
 			return true
 		},
+		Observes: &Observation{Shared: true},
 	}
 }
 
@@ -69,6 +90,7 @@ func AtMostAtLabel(label string, k int) Invariant {
 		Holds: func(p *gcl.Prog, s gcl.State) bool {
 			return p.CountAtLabel(s, label) <= k
 		},
+		Observes: &Observation{Labels: []string{label}},
 	}
 }
 
@@ -111,6 +133,27 @@ type Options struct {
 	// process ids (the stock ones are). Deterministic for any Workers
 	// setting.
 	Symmetry bool
+	// POR enables ample-set partial-order reduction: at states where some
+	// process's every enabled branch is local (touches nothing shared —
+	// proved by the gcl footprint analysis) and invisible (cannot change
+	// any configured invariant, per the invariants' Observes declarations),
+	// only that process is expanded. Soundness conditions enforced at
+	// expansion time: the ample set is one process's complete enabled
+	// branch set (C0/C1, backed by the static independence relation), every
+	// ample action is invisible (C2), and a state whose ample successor is
+	// already in the visited store is expanded fully instead (C3, the BFS
+	// cycle proviso — every cycle of the reduced graph contains a fully
+	// expanded state, so no enabled action is ignored forever). Verdicts —
+	// including deadlocks — are preserved; state and transition counts
+	// shrink. Composes with Symmetry (freshness is judged on canonical
+	// keys, reducing the orbit quotient further) and stays byte-identical
+	// for any Workers count. Falls back to the full search (Result.POR
+	// false) when crash transitions are on (crashes reset owned shared
+	// cells from every state, so no action is ever safe) or when any
+	// invariant omits its Observes declaration. BuildGraph and the
+	// graph-based analyses ignore POR: SCC, starvation, FCFS, and
+	// refinement questions need the whole reachability graph.
+	POR bool
 }
 
 // DefaultMaxStates bounds exploration when Options.MaxStates is zero.
@@ -168,7 +211,11 @@ type Result struct {
 	// Symmetry reports that symmetry reduction was actually applied (it
 	// was requested and the program supports it).
 	Symmetry bool
-	Elapsed  time.Duration
+	// POR reports that ample-set partial-order reduction was actually
+	// applied (requested, no crash transitions, all invariants declare
+	// their observations).
+	POR     bool
+	Elapsed time.Duration
 }
 
 // String renders a one-line verification summary.
@@ -185,6 +232,9 @@ func (r *Result) String() string {
 	sym := ""
 	if r.Symmetry {
 		sym = " [symmetry-reduced]"
+	}
+	if r.POR {
+		sym += " [por-reduced]"
 	}
 	return fmt.Sprintf("%s: %s — %d states, %d transitions, depth %d, %v%s",
 		r.Prog.Name, status, r.States, r.Transitions, r.Depth, r.Elapsed.Round(time.Millisecond), sym)
@@ -203,6 +253,22 @@ type explorer struct {
 	opts     Options
 	store    StateStore
 	symmetry bool // reduction actually applied
+	por      bool // ample-set reduction actually applied
+	// porOK[label][branch] marks branches eligible to form ample sets:
+	// local-only per the gcl footprint analysis, and invisible (neither
+	// endpoint label observed by any invariant).
+	porOK [][]bool
+	// porGuardShared[label][branch] marks branches whose guards read
+	// shared state: while disabled, another process's write can enable
+	// them, so their process cannot be singled out (see ampleProcessOK).
+	porGuardShared [][]bool
+	// prepBuf carries prepared store probes from ampleOK to the committed
+	// insertion so reduced expansions do not canonicalize twice.
+	// Sequential engine only.
+	prepBuf []prep
+	// chaseCap bounds local-chain compression so a cycle of local actions
+	// (a local spin) cannot chase forever.
+	chaseCap int
 	states   []gcl.State
 	parent   []int32
 	parentBy []int32 // pid of the action producing this state; -1 for init
@@ -230,8 +296,60 @@ func newExplorer(p *gcl.Prog, opts Options, sharded bool) *explorer {
 	// entry must not masquerade as full coverage.
 	e.symmetry = opts.Symmetry && p.CanCanonicalize() &&
 		(!opts.Crash || crashersCoverAll(e.crashers, p.N))
+	// Crash transitions reset owned shared cells from every state, so no
+	// action of any process is safe to single out; an invariant without an
+	// Observes declaration could watch anything, making invisibility
+	// unprovable. Either condition falls back to the full search.
+	e.por = opts.POR && !opts.Crash && invariantsObservable(opts.Invariants)
+	if e.por {
+		e.porOK = porEligibility(p, opts.Invariants)
+		e.porGuardShared = make([][]bool, len(p.Labels()))
+		for li := range e.porGuardShared {
+			e.porGuardShared[li] = make([]bool, p.NumBranchesAt(li))
+			for bi := range e.porGuardShared[li] {
+				e.porGuardShared[li][bi] = p.BranchGuardReadsShared(li, bi)
+			}
+		}
+		e.chaseCap = p.N*len(p.Labels()) + 8
+	}
 	e.store = newStateStore(p, sharded, e.symmetry)
 	return e
+}
+
+// invariantsObservable reports whether every invariant declares its read
+// set, the precondition for proving actions invisible.
+func invariantsObservable(invs []Invariant) bool {
+	for _, inv := range invs {
+		if inv.Observes == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// porEligibility precomputes, per label and branch, whether the branch may
+// sit in an ample set: it must be local-only (no shared reads or writes —
+// independent of every other process's actions, per the footprint
+// analysis) and invisible (its source and target labels are observed by no
+// invariant; local-only already rules out shared-value observations).
+func porEligibility(p *gcl.Prog, invs []Invariant) [][]bool {
+	observed := map[int]bool{}
+	for _, inv := range invs {
+		for _, lbl := range inv.Observes.Labels {
+			if p.HasLabel(lbl) {
+				observed[p.LabelIndex(lbl)] = true
+			}
+		}
+	}
+	out := make([][]bool, len(p.Labels()))
+	for li := range out {
+		out[li] = make([]bool, p.NumBranchesAt(li))
+		for bi := range out[li] {
+			out[li][bi] = p.BranchLocalOnly(li, bi) &&
+				!observed[li] && !observed[p.BranchNext(li, bi)]
+		}
+	}
+	return out
 }
 
 // crashersCoverAll reports whether pids covers every process 0..n-1.
@@ -247,9 +365,23 @@ func crashersCoverAll(pids []int, n int) bool {
 	return distinct == n
 }
 
+// prep is a successor's prepared store probe, cached across the C3
+// proviso check and the committed insertion.
+type prep struct {
+	fp  uint64
+	key gcl.State
+}
+
 // add registers a state, returning its index and whether it was new.
 func (e *explorer) add(s gcl.State, parent int32, byPid int32, label string) (int32, bool) {
 	fp, key := e.store.Prepare(s)
+	return e.addPrepared(fp, key, s, parent, byPid, label)
+}
+
+// addPrepared is add with the store probe already computed — the reduced
+// expansion path prepares each ample candidate once in ampleOK and must
+// not pay a second canonicalization here.
+func (e *explorer) addPrepared(fp uint64, key gcl.State, s gcl.State, parent int32, byPid int32, label string) (int32, bool) {
 	if idx, ok := e.store.Lookup(fp, key); ok {
 		return idx, false
 	}
@@ -268,6 +400,9 @@ func (e *explorer) add(s gcl.State, parent int32, byPid int32, label string) (in
 }
 
 // trace reconstructs the path from the initial state to states[idx].
+// Under partial-order reduction an edge may be a compressed local chain;
+// edgeSteps re-derives the concrete intermediate transitions, so traces
+// are always step-by-step real executions.
 func (e *explorer) trace(idx int32) Trace {
 	var rev []int32
 	for i := idx; i >= 0; i = e.parent[i] {
@@ -276,6 +411,11 @@ func (e *explorer) trace(idx int32) Trace {
 	t := Trace{Prog: e.p, Init: e.states[rev[len(rev)-1]]}
 	for k := len(rev) - 2; k >= 0; k-- {
 		i := rev[k]
+		if e.por {
+			t.Steps = append(t.Steps,
+				e.edgeSteps(e.states[e.parent[i]], e.states[i], int(e.parentBy[i]), e.parentLb[i])...)
+			continue
+		}
 		t.Steps = append(t.Steps, Step{
 			Pid:   int(e.parentBy[i]),
 			Label: e.parentLb[i],
@@ -283,6 +423,34 @@ func (e *explorer) trace(idx int32) Trace {
 		})
 	}
 	return t
+}
+
+// edgeSteps expands one reduced-graph edge into concrete trace steps: a
+// plain edge is a single real transition of the recorded process and
+// label; a chained edge is re-derived by finding the first action of the
+// parent whose state-deterministic local chain ends at the child, and
+// replaying it step by step. Every returned step is a real transition.
+func (e *explorer) edgeSteps(parent, child gcl.State, pid int, label string) []Step {
+	for _, sc := range e.p.Succs(parent, pid, e.opts.Mode, nil) {
+		if sc.Label == label && sc.State.Equal(child) {
+			return []Step{{Pid: pid, Label: label, State: child}}
+		}
+	}
+	for _, sc := range e.p.AllSuccs(parent, e.opts.Mode) {
+		steps := []Step{{Pid: sc.Pid, Label: sc.Label, State: sc.State}}
+		for hops := 0; hops < e.chaseCap && !sc.State.Equal(child); hops++ {
+			next, ok := e.ampleSingle(sc.State)
+			if !ok {
+				break
+			}
+			sc = next
+			steps = append(steps, Step{Pid: sc.Pid, Label: sc.Label, State: sc.State})
+		}
+		if sc.State.Equal(child) {
+			return steps
+		}
+	}
+	panic("mc: cannot reconstruct reduced-graph edge as a concrete chain")
 }
 
 // checkInvariants returns the name of the first violated invariant, if any.
@@ -295,9 +463,41 @@ func (e *explorer) checkInvariants(s gcl.State) (string, bool) {
 	return "", false
 }
 
-// successors yields all program successors of s plus crash transitions.
-func (e *explorer) successors(s gcl.State) []gcl.Succ {
-	succs := e.p.AllSuccs(s, e.opts.Mode)
+// successors yields all program successors of s plus crash transitions,
+// together with the ample segment: when POR is on and some process's
+// every enabled branch is ample-eligible, aPid is the lowest such pid and
+// succs[aLo:aHi] are exactly its successors (aPid is -1 otherwise). The
+// caller commits to the segment only if every state in it is absent from
+// the visited store (the C3 proviso); the full list is always returned so
+// deadlock detection and proviso fallback need no recomputation.
+func (e *explorer) successors(s gcl.State) (succs []gcl.Succ, aPid, aLo, aHi int) {
+	aPid = -1
+	for pid := 0; pid < e.p.N; pid++ {
+		start := len(succs)
+		succs = e.p.Succs(s, pid, e.opts.Mode, succs)
+		if e.por && aPid < 0 && len(succs) > start &&
+			e.ampleProcessOK(e.p.PC(s, pid), succs[start:]) {
+			aPid, aLo, aHi = pid, start, len(succs)
+		}
+	}
+	if e.por {
+		// Local-chain compression (Lipton-style step merging): every
+		// emitted successor is chased through the run of single-candidate
+		// ample steps that follows it, and only the chain's end is
+		// emitted. The skipped intermediates cannot violate an invariant
+		// (every chained action is invisible, and the stored predecessor
+		// already passed), cannot deadlock (they have the chain action
+		// enabled), and cannot disable any deferred action of another
+		// process (chained actions are independent of everything), so the
+		// deferred actions are all still enabled at the chain's end, which
+		// is stored and expanded normally. Storing intermediates would
+		// only record dead interleaving bookkeeping — and, under symmetry,
+		// manufacture straggler orbits whose sole difference from stored
+		// states is a process sitting a few local steps behind.
+		for i := range succs {
+			succs[i] = e.chase(succs[i])
+		}
+	}
 	for _, pid := range e.crashers {
 		succs = append(succs, gcl.Succ{
 			State: e.p.CrashSucc(s, pid),
@@ -305,7 +505,106 @@ func (e *explorer) successors(s gcl.State) []gcl.Succ {
 			Label: crashLabel,
 		})
 	}
-	return succs
+	return succs, aPid, aLo, aHi
+}
+
+// ampleProcessOK reports whether a process's complete branch set at pc
+// permits singling it out as the ample process, given its currently
+// enabled successors: every enabled branch must be eligible (local and
+// invisible), and every disabled branch must have a guard free of shared
+// reads — a disabled shared-guarded branch could be enabled by another
+// process's write before the ample action fires, which would execute a
+// dependent action first and violate C1. Guards without shared reads
+// cannot change truth while their process stands still, so such disabled
+// branches stay disabled until after the ample action.
+func (e *explorer) ampleProcessOK(pc int, enabled []gcl.Succ) bool {
+	var mask uint64
+	for i := range enabled {
+		mask |= 1 << uint(enabled[i].Branch)
+	}
+	return e.ampleProcessOKMask(pc, mask)
+}
+
+// ampleProcessOKMask is ampleProcessOK on an enabled-branch bitmask.
+func (e *explorer) ampleProcessOKMask(pc int, enabled uint64) bool {
+	nb := len(e.porOK[pc])
+	if nb > 64 {
+		return false
+	}
+	for bi := 0; bi < nb; bi++ {
+		if enabled&(1<<uint(bi)) != 0 {
+			if !e.porOK[pc][bi] {
+				return false
+			}
+		} else if e.porGuardShared[pc][bi] {
+			return false
+		}
+	}
+	return true
+}
+
+// ampleSingle reports the unique ample candidate of u, if the ample
+// process exists and has exactly one enabled branch: the precondition for
+// continuing a local chain. Selection mirrors successors exactly (lowest
+// eligible pid), which is what lets traces re-derive chains. Eligibility
+// is decided from guard evaluation alone; the one successor state is
+// materialised only when the chain actually continues.
+func (e *explorer) ampleSingle(u gcl.State) (gcl.Succ, bool) {
+	for pid := 0; pid < e.p.N; pid++ {
+		mask := e.p.EnabledMask(u, pid)
+		if mask == 0 {
+			continue
+		}
+		if !e.ampleProcessOKMask(e.p.PC(u, pid), mask) {
+			continue
+		}
+		if mask&(mask-1) != 0 {
+			return gcl.Succ{}, false // nondeterministic local step: chain stops
+		}
+		return e.p.Succs(u, pid, e.opts.Mode, nil)[0], true
+	}
+	return gcl.Succ{}, false
+}
+
+// chase follows single-candidate ample steps from sc's state, bounded by
+// chaseCap (a cycle of local actions would otherwise spin), and returns
+// the chain's last transition. Purely state-deterministic — no store
+// access — so expansion workers may chase concurrently and traces can
+// replay the same chain later.
+func (e *explorer) chase(sc gcl.Succ) gcl.Succ {
+	for hops := 0; hops < e.chaseCap; hops++ {
+		next, ok := e.ampleSingle(sc.State)
+		if !ok {
+			return sc
+		}
+		sc = next
+	}
+	return sc
+}
+
+// ampleOK decides the BFS cycle proviso (C3) for a state at depth d: a
+// reduced expansion is allowed only if every ample successor is either not
+// yet in the visited store (it will be numbered at depth d+1) or already
+// stored at exactly depth d+1. Every edge a reduced expansion keeps
+// therefore strictly increases depth by one, and depth cannot strictly
+// increase around a cycle, so every cycle of the reduced graph contains at
+// least one fully expanded state — no enabled action is ignored forever.
+// (The classic stricter proviso — all successors fresh — breaks ties the
+// same way but refuses harmless cross-edges within the next BFS level,
+// which in diamond-shaped interleaving lattices vetoes most reductions.)
+// It caches each candidate's prepared probe in e.prepBuf so a committed
+// reduced expansion inserts through addPrepared without canonicalizing
+// again.
+func (e *explorer) ampleOK(succs []gcl.Succ, d int32) bool {
+	e.prepBuf = e.prepBuf[:0]
+	for i := range succs {
+		fp, key := e.store.Prepare(succs[i].State)
+		e.prepBuf = append(e.prepBuf, prep{fp: fp, key: key})
+		if idx, ok := e.store.Lookup(fp, key); ok && e.depth[idx] != d+1 {
+			return false
+		}
+	}
+	return true
 }
 
 // Check explores the reachable states of p breadth-first, verifying the
@@ -319,7 +618,7 @@ func Check(p *gcl.Prog, opts Options) *Result {
 	}
 	start := time.Now()
 	e := newExplorer(p, opts, false)
-	res := &Result{Prog: p, Symmetry: e.symmetry}
+	res := &Result{Prog: p, Symmetry: e.symmetry, POR: e.por}
 
 	finish := func() *Result {
 		res.States = len(e.states)
@@ -341,14 +640,32 @@ func Check(p *gcl.Prog, opts Options) *Result {
 		}
 		s := e.states[head]
 		res.Depth = int(e.depth[head])
-		succs := e.successors(s)
+		succs, aPid, aLo, aHi := e.successors(s)
 		progress := false
 		for _, sc := range succs {
 			if sc.Label != crashLabel {
 				progress = true
+				break
 			}
+		}
+		// On a committed reduction the loop walks the ample segment, whose
+		// probes ampleOK just prepared; on proviso failure the full list
+		// still reuses the (possibly partial) prepared prefix rather than
+		// canonicalizing those successors a second time.
+		use, pLo := succs, aLo
+		if aPid >= 0 && e.ampleOK(succs[aLo:aHi], e.depth[head]) {
+			use, pLo = succs[aLo:aHi], 0
+		}
+		for i, sc := range use {
 			res.Transitions++
-			idx, fresh := e.add(sc.State, int32(head), int32(sc.Pid), sc.Label)
+			var idx int32
+			var fresh bool
+			if aPid >= 0 && i >= pLo && i < pLo+len(e.prepBuf) {
+				pr := &e.prepBuf[i-pLo]
+				idx, fresh = e.addPrepared(pr.fp, pr.key, sc.State, int32(head), int32(sc.Pid), sc.Label)
+			} else {
+				idx, fresh = e.add(sc.State, int32(head), int32(sc.Pid), sc.Label)
+			}
 			if !fresh {
 				continue
 			}

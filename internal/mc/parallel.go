@@ -50,6 +50,12 @@ type expansion struct {
 	// progress records whether any successor was a program action (crash
 	// pseudo-transitions do not count), feeding deadlock detection.
 	progress bool
+	// aPid/aLo/aHi describe the ample segment cands[aLo:aHi] when
+	// partial-order reduction selected a process at expansion time
+	// (aPid = -1 otherwise). The merge pass commits to the segment only
+	// after re-checking, in deterministic merge order, that every segment
+	// candidate is still absent from the visited store (the C3 proviso).
+	aPid, aLo, aHi int32
 }
 
 // pexplorer drives the parallel engine. It reuses the sequential explorer's
@@ -168,7 +174,8 @@ func (pe *pexplorer) expandRange(lo, hi int32, checkInv bool) []expansion {
 // its private result slot.
 func (pe *pexplorer) expandState(idx int32, out *expansion, checkInv bool) {
 	e := pe.e
-	succs := e.successors(e.states[idx])
+	succs, aPid, aLo, aHi := e.successors(e.states[idx])
+	out.aPid, out.aLo, out.aHi = int32(aPid), int32(aLo), int32(aHi)
 	out.cands = make([]candidate, 0, len(succs))
 	for _, sc := range succs {
 		if sc.Label != crashLabel {
@@ -194,6 +201,28 @@ func (pe *pexplorer) expandState(idx int32, out *expansion, checkInv bool) {
 	}
 }
 
+// ampleOKAtMerge re-checks the C3 proviso at merge time, where the
+// deterministic insertion order is known: every ample candidate must be
+// absent from the visited store (an earlier merge in this chunk may have
+// inserted it since expansion) or stored at exactly the next BFS depth —
+// the same decision, at the same logical point, as the sequential engine's
+// ampleOK, which keeps the two engines byte-identical. An expansion-time
+// seen hit is re-used only for its index (the store never deletes).
+func (pe *pexplorer) ampleOKAtMerge(cands []candidate, d int32) bool {
+	e := pe.e
+	for i := range cands {
+		c := &cands[i]
+		idx, ok := c.seen, c.seen >= 0
+		if !ok {
+			idx, ok = e.store.Lookup(c.fp, c.key)
+		}
+		if ok && e.depth[idx] != d+1 {
+			return false
+		}
+	}
+	return true
+}
+
 // checkParallel is Check on the parallel engine. The merge pass replays the
 // sequential loop's order exactly — per-head state-bound check, transition
 // counting, first-violation stop, deadlock check after a head's successors —
@@ -203,7 +232,7 @@ func checkParallel(p *gcl.Prog, opts Options) *Result {
 	start := time.Now()
 	pe := newPExplorer(p, opts)
 	e := pe.e
-	res := &Result{Prog: p, Symmetry: e.symmetry}
+	res := &Result{Prog: p, Symmetry: e.symmetry, POR: e.por}
 
 	finish := func() *Result {
 		res.States = len(e.states)
@@ -234,8 +263,12 @@ func checkParallel(p *gcl.Prog, opts Options) *Result {
 			}
 			res.Depth = int(e.depth[head])
 			x := &exps[i]
-			for ci := range x.cands {
-				c := &x.cands[ci]
+			cands := x.cands
+			if x.aPid >= 0 && pe.ampleOKAtMerge(x.cands[x.aLo:x.aHi], e.depth[head]) {
+				cands = x.cands[x.aLo:x.aHi]
+			}
+			for ci := range cands {
+				c := &cands[ci]
 				res.Transitions++
 				idx, fresh := pe.addNumbered(c, head)
 				if !fresh {

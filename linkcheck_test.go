@@ -1,0 +1,102 @@
+package bakerypp
+
+// Documentation link check: every relative markdown link in README.md and
+// docs/*.md must resolve to an existing file, and every anchored link to
+// a heading that actually exists in the target document. Run by the CI
+// docs job so the documentation cannot silently rot as files move.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// linkRE matches inline markdown links [text](target); images and
+// reference-style links are out of scope (the docs do not use them).
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// headingRE matches ATX headings, whose GitHub anchor slugs the checker
+// reproduces.
+var headingRE = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*$`)
+
+func TestDocsLinks(t *testing.T) {
+	files := []string{"README.md"}
+	docs, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, docs...)
+	if len(files) < 2 {
+		t.Fatalf("suspiciously few documentation files: %v", files)
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; not checked offline
+			}
+			path, anchor, _ := strings.Cut(target, "#")
+			if path == "" {
+				// Same-document anchor.
+				if !hasAnchor(string(data), anchor) {
+					t.Errorf("%s: anchor %q not found in the same document", file, target)
+				}
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), path)
+			info, err := os.Stat(resolved)
+			if err != nil {
+				t.Errorf("%s: link target %q does not exist (resolved %q)", file, target, resolved)
+				continue
+			}
+			if anchor == "" {
+				continue
+			}
+			if info.IsDir() || !strings.HasSuffix(resolved, ".md") {
+				t.Errorf("%s: anchored link %q into a non-markdown target", file, target)
+				continue
+			}
+			tdata, err := os.ReadFile(resolved)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !hasAnchor(string(tdata), anchor) {
+				t.Errorf("%s: anchor %q not found in %s", file, target, resolved)
+			}
+		}
+	}
+}
+
+// hasAnchor reports whether the document has a heading whose GitHub slug
+// equals the anchor.
+func hasAnchor(doc, anchor string) bool {
+	for _, h := range headingRE.FindAllStringSubmatch(doc, -1) {
+		if slugify(h[1]) == anchor {
+			return true
+		}
+	}
+	return false
+}
+
+// slugify reproduces GitHub's heading-to-anchor rule closely enough for
+// these docs: lowercase, inline code markers stripped, punctuation other
+// than hyphens and underscores dropped, spaces to hyphens.
+func slugify(heading string) string {
+	s := strings.ToLower(strings.ReplaceAll(heading, "`", ""))
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '_' || r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
