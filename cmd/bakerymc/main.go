@@ -35,8 +35,8 @@ func main() {
 		deadlock  = flag.Bool("deadlock", false, "also detect deadlocks")
 		maxStates = flag.Int("maxstates", 0, "state bound (0 = default)")
 		workers   = flag.Int("workers", 0, "parallel exploration goroutines for check/graph/starve modes (0 = sequential, -1 = GOMAXPROCS; -fcfs always runs sequentially)")
-		symmetry  = flag.Bool("symmetry", false, "process-symmetry reduction: explore one state per permutation orbit (specs declaring full symmetry only; deterministic for any -workers; ignored by -starve/-fcfs, whose properties pin concrete pids)")
-		por       = flag.Bool("por", false, "ample-set partial-order reduction: compress independent local actions instead of interleaving them (composes with -symmetry; deterministic for any -workers; ignored by -starve/-fcfs and disabled under -crash)")
+		symmetry  = flag.Bool("symmetry", false, "process-symmetry reduction: explore one state per permutation orbit (specs declaring full symmetry only; deterministic for any -workers; composes with -starve/-fcfs — cycle analyses run orbit-aware on the quotient graph, FCFS canonicalizes the non-pinned pids)")
+		por       = flag.Bool("por", false, "ample-set partial-order reduction: compress independent local actions instead of interleaving them (composes with -symmetry; deterministic for any -workers; cycle-sensitive -starve/-fcfs and -crash runs fall back to the full interleaving, see docs/model-checking.md)")
 		trace     = flag.Bool("trace", false, "print the counterexample trace, if any")
 		starve    = flag.Int("starve", -1, "search for a Section 6.3 livelock pinning this pid at l1")
 		fcfs      = flag.String("fcfs", "", "check FCFS for a pid pair, e.g. -fcfs 0,1")
@@ -60,8 +60,8 @@ func main() {
 		Symmetry:   *symmetry,
 		POR:        *por,
 	}
-	if (*symmetry || *por) && (*fcfs != "" || *starve >= 0) {
-		fmt.Fprintln(os.Stderr, "bakerymc: note: -symmetry/-por are ignored for -starve and -fcfs (pid-pinned and cycle properties need the full state space)")
+	if *por && (*fcfs != "" || *starve >= 0) {
+		fmt.Fprintln(os.Stderr, "bakerymc: note: -por does not apply to -starve/-fcfs (cycle- and identity-sensitive properties need every interleaving; -symmetry composes)")
 	}
 
 	if *listing {
@@ -75,7 +75,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bakerymc: -fcfs wants \"first,second\", got %q\n", *fcfs)
 			os.Exit(2)
 		}
-		res := mc.CheckFCFS(p, first, second, *maxStates)
+		if first < 0 || first >= p.N || second < 0 || second >= p.N {
+			fmt.Fprintf(os.Stderr, "bakerymc: -fcfs pair (%d,%d) out of range: pids must lie in [0,%d) for -n %d\n",
+				first, second, p.N, p.N)
+			os.Exit(2)
+		}
+		if first == second {
+			fmt.Fprintf(os.Stderr, "bakerymc: -fcfs pair (%d,%d) names the same process twice; FCFS relates two distinct processes\n",
+				first, second)
+			os.Exit(2)
+		}
+		res := mc.CheckFCFS(p, first, second, opts)
 		fmt.Println(res.String())
 		if !res.Holds {
 			if *trace {
@@ -88,19 +98,25 @@ func main() {
 
 	if *starve >= 0 {
 		if *starve >= p.N {
-			fmt.Fprintf(os.Stderr, "bakerymc: -starve pid %d out of range\n", *starve)
+			fmt.Fprintf(os.Stderr, "bakerymc: -starve pid %d out of range: pids lie in [0,%d) for -n %d\n",
+				*starve, p.N, p.N)
 			os.Exit(2)
 		}
-		if !p.HasLabel("l1") {
-			fmt.Fprintf(os.Stderr, "bakerymc: %s has no l1 label to starve at\n", p.Name)
+		live := specs.LivenessOf(p)
+		if live.StarveAt == "" {
+			fmt.Fprintf(os.Stderr, "bakerymc: %s declares no gate label to starve at\n", p.Name)
 			os.Exit(2)
 		}
-		g, err := mc.BuildGraph(p, mc.Options{MaxStates: opts.MaxStates, Workers: opts.Workers})
+		g, err := mc.BuildGraph(p, mc.Options{MaxStates: opts.MaxStates, Workers: opts.Workers, Symmetry: opts.Symmetry})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		l1 := p.LabelIndex("l1")
+		graphKind := "graph"
+		if g.Quotient() {
+			graphKind = "quotient graph"
+		}
+		l1 := p.LabelIndex(live.StarveAt)
 		var fast []int
 		for pid := 0; pid < p.N; pid++ {
 			if pid != *starve {
@@ -111,14 +127,25 @@ func main() {
 			return pr.PC(s, *starve) == l1
 		}, fast)
 		if rep == nil {
-			fmt.Printf("%s: no livelock cycle pins process %d at l1 (graph: %d states)\n",
-				p.Name, *starve, g.NumStates())
+			fmt.Printf("%s: no livelock cycle pins process %d at %s (%s: %d states)\n",
+				p.Name, *starve, live.StarveAt, graphKind, g.NumStates())
 			return
 		}
-		fmt.Printf("%s: livelock cycle found — %d states keep process %d at l1; per-process moves %v; entry depth %d\n",
-			p.Name, rep.ComponentSize, *starve, rep.MovesByPid, rep.EntryLen)
+		how := ""
+		if rep.Quotient {
+			how = fmt.Sprintf(" (orbit-level search on a %d-state quotient; lasso replayed and re-verified concretely)", g.NumStates())
+		}
+		fmt.Printf("%s: livelock cycle found — %d states keep process %d at %s; per-process moves %v; entry depth %d%s\n",
+			p.Name, rep.ComponentSize, *starve, live.StarveAt, rep.MovesByPid, rep.EntryLen, how)
 		if *trace {
 			fmt.Printf("path into the cycle:\n%s", rep.Entry.String())
+			if len(rep.Cycle) > 0 {
+				cyc := mc.Trace{Prog: p, Init: rep.Entry.Init, Steps: rep.Cycle}
+				if n := len(rep.Entry.Steps); n > 0 {
+					cyc.Init = rep.Entry.Steps[n-1].State
+				}
+				fmt.Printf("verified concrete cycle:\n%s", cyc.String())
+			}
 		}
 		return
 	}

@@ -84,6 +84,8 @@ type Prog struct {
 	perms        [][]int
 	invPerms     [][]int
 	prefMasks    []uint32
+	fixMasks     []uint32
+	invIdx       []int32
 	canonPool    sync.Pool
 }
 

@@ -1,0 +1,148 @@
+package gcl
+
+import (
+	"testing"
+)
+
+// permProg builds a small fully-symmetric program with a pid-indexed array
+// and a scan cursor, the bakery-family shape the permutation API serves.
+func permProg(t *testing.T, n int) *Prog {
+	t.Helper()
+	p := New("permtrack", n)
+	p.SharedArray("number", n, 0)
+	p.Own("number")
+	p.LocalVar("j", 0)
+	p.SetSymmetry(FullSymmetry)
+	p.PidLocal("j", "scan")
+	p.Label("ncs", Goto("scan", SetL("j", C(0))))
+	p.Label("scan",
+		Br(Lt(L("j"), C(n)), "scan", SetL("j", Add(L("j"), C(1)))),
+		Br(Ge(L("j"), C(n)), "bump"),
+	)
+	p.Label("bump", Goto("ncs", SetSelf("number", Add(ShSelf("number"), C(1)))))
+	p.MustBuild()
+	return p
+}
+
+// The permutation table is ranked lexicographically with the identity at
+// index 0, PermIndexOf inverts PermAt, and inversion/composition agree
+// with the array-level definitions.
+func TestPermIndexRoundTrip(t *testing.T) {
+	p := permProg(t, 4)
+	n := p.NumPerms()
+	if n != 24 {
+		t.Fatalf("NumPerms = %d, want 24", n)
+	}
+	for i := 0; i < n; i++ {
+		perm := p.PermAt(i)
+		if got := p.PermIndexOf(perm); got != i {
+			t.Fatalf("PermIndexOf(PermAt(%d)) = %d", i, got)
+		}
+		inv := p.InvPermAt(i)
+		for k := range perm {
+			if inv[perm[k]] != k {
+				t.Fatalf("InvPermAt(%d) is not the inverse of PermAt(%d)", i, i)
+			}
+		}
+		if got := p.ComposePermIndex(p.InvPermIndex(i), i); got != 0 {
+			t.Fatalf("inv(%d) ∘ %d = %d, want identity (0)", i, i, got)
+		}
+	}
+	id := p.PermAt(0)
+	for k, v := range id {
+		if v != k {
+			t.Fatalf("PermAt(0) = %v, want identity", id)
+		}
+	}
+}
+
+// ComposePermIndex applies its second argument first: (a∘b)(i) = a(b(i)).
+func TestComposePermIndexOrder(t *testing.T) {
+	p := permProg(t, 3)
+	a := p.PermIndexOf([]int{1, 2, 0})
+	b := p.PermIndexOf([]int{0, 2, 1})
+	got := p.PermAt(p.ComposePermIndex(a, b))
+	want := []int{1, 0, 2} // i -> a(b(i)): 0->a(0)=1, 1->a(2)=0, 2->a(1)=2
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("a∘b = %v, want %v", got, want)
+		}
+	}
+}
+
+// CanonicalizeWithPerm's witness ranks consistently with the table: the
+// canonical state equals Permute(NormalizeCursors(s), PermAt(rank)).
+func TestCanonicalPermRanks(t *testing.T) {
+	p := permProg(t, 3)
+	s := p.InitState()
+	p.SetShared(s, "number", 0, 2)
+	p.SetShared(s, "number", 2, 1)
+	p.SetPC(s, 1, p.LabelIndex("scan"))
+	p.SetLocal(s, 1, "j", 1)
+	c, perm := p.CanonicalizeWithPerm(s)
+	img := p.Permute(p.NormalizeCursors(s), p.PermAt(p.PermIndexOf(perm)))
+	if !c.Equal(img) {
+		t.Fatalf("canonical %v != permuted image %v", c, img)
+	}
+}
+
+// Pinned canonicalization is invariant under valid permutations that fix
+// the pinned pids, and leaves the pinned pids' columns in place.
+func TestCanonicalizePinned(t *testing.T) {
+	p := permProg(t, 4)
+	s := p.InitState()
+	p.SetShared(s, "number", 0, 3)
+	p.SetShared(s, "number", 1, 1)
+	p.SetShared(s, "number", 2, 2)
+	p.SetShared(s, "number", 3, 1)
+	pinned := []int{1}
+
+	base := p.CanonicalizePinned(s, pinned)
+	if got := p.Shared(base, "number", 1); got != 1 {
+		t.Fatalf("pinned pid's cell moved: number[1] = %d, want 1", got)
+	}
+	// Every permutation fixing pid 1 (no cursors active here, so all are
+	// prefix-valid) must canonicalize to the same representative.
+	for i := 0; i < p.NumPerms(); i++ {
+		perm := p.PermAt(i)
+		if perm[1] != 1 {
+			continue
+		}
+		img := p.Permute(s, perm)
+		if got := p.CanonicalizePinned(img, pinned); !got.Equal(base) {
+			t.Fatalf("perm %v: pinned canonical %v != %v", perm, got, base)
+		}
+	}
+	// A permutation moving the pinned pid generally lands elsewhere.
+	moved := p.Permute(s, []int{1, 0, 2, 3})
+	if got := p.CanonicalizePinned(moved, pinned); got.Equal(base) {
+		t.Fatal("moving the pinned pid should change the pinned representative here")
+	}
+
+	// Pinning every pid degrades to cursor normalization only.
+	all := p.CanonicalizePinned(s, []int{0, 1, 2, 3})
+	if !all.Equal(p.NormalizeCursors(s)) {
+		t.Fatalf("all-pinned canonical %v != normalized state", all)
+	}
+}
+
+// Pinned canonicalization still respects scan-cursor prefixes: an active
+// cursor restricts the group to prefix-preserving permutations exactly as
+// in the unpinned path.
+func TestCanonicalizePinnedRespectsCursors(t *testing.T) {
+	p := permProg(t, 4)
+	s := p.InitState()
+	p.SetShared(s, "number", 2, 5)
+	p.SetShared(s, "number", 3, 1)
+	p.SetPC(s, 0, p.LabelIndex("scan"))
+	p.SetLocal(s, 0, "j", 2) // pid 0 has visited {0,1}
+	c := p.CanonicalizePinned(s, []int{0})
+	// The witnessing permutation must preserve {0,1} as a set and fix 0,
+	// so slots 2 and 3 may swap but 5 can never land in slots 0/1.
+	if p.Shared(c, "number", 0) == 5 || p.Shared(c, "number", 1) == 5 {
+		t.Fatalf("prefix violated: %v", c)
+	}
+	if p.Shared(c, "number", 2) != 1 || p.Shared(c, "number", 3) != 5 {
+		t.Fatalf("slots 2,3 should sort to (1,5): %v", c)
+	}
+}

@@ -212,6 +212,11 @@ func (p *Prog) NormalizeCursors(s State) State {
 	return out
 }
 
+// NormalizeCursorsInPlace is NormalizeCursors mutating a caller-owned
+// state — the allocation-free variant for hot paths that already hold a
+// private copy (the model checker's quotient-product expansion).
+func (p *Prog) NormalizeCursorsInPlace(s State) { p.normalizeCursorsInPlace(s) }
+
 // normalizeCursorsInPlace is NormalizeCursors on a caller-owned copy.
 func (p *Prog) normalizeCursorsInPlace(s State) {
 	if len(p.pidLocalOffs) == 0 || p.cursorLive == nil {
@@ -237,6 +242,16 @@ func (p *Prog) Permute(s State, perm []int) State {
 	out := make(State, len(s))
 	p.permuteInto(out, s, perm)
 	return out
+}
+
+// PermuteInto is Permute into a caller-owned destination buffer of
+// StateLen words — the allocation-free variant the model checker's
+// quotient-product analyses use on their hot path.
+func (p *Prog) PermuteInto(dst, s State, perm []int) {
+	if len(dst) != len(s) {
+		panic(fmt.Sprintf("gcl: %s: PermuteInto needs a %d-word destination, got %d", p.Name, len(s), len(dst)))
+	}
+	p.permuteInto(dst, s, perm)
 }
 
 // permuteInto is Permute into a caller-owned buffer.
@@ -339,7 +354,7 @@ func (p *Prog) canonWorker() *canonicalizer {
 			p.Name, p.sym, len(p.pidLocalOffs), p.N))
 	}
 	if len(p.pidLocalOffs) > 0 {
-		p.permsOnce.Do(func() { p.perms, p.invPerms, p.prefMasks = allPerms(p.N) })
+		p.ensurePerms()
 	}
 	if w, ok := p.canonPool.Get().(*canonicalizer); ok {
 		return w
@@ -489,10 +504,13 @@ func (w *canonicalizer) imageLess(s State, inv []int) bool {
 }
 
 // allPerms returns every permutation of 0..n-1 (identity first, then
-// lexicographic order), the inverse of each, and each permutation's
-// prefix-preservation mask: bit j set iff the permutation maps {0..j-1}
-// onto itself (computed as a running maximum).
-func allPerms(n int) (perms, invs [][]int, prefMasks []uint32) {
+// lexicographic order), the inverse of each, each permutation's
+// prefix-preservation mask — bit j set iff the permutation maps {0..j-1}
+// onto itself (computed as a running maximum) — and its fixed-point mask:
+// bit k set iff the permutation fixes k. The fixed-point masks drive
+// pinned canonicalization (permutations that must leave given pids in
+// place, see CanonicalizePinned).
+func allPerms(n int) (perms, invs [][]int, prefMasks, fixMasks []uint32) {
 	cur := make([]int, n)
 	for i := range cur {
 		cur[i] = i
@@ -514,16 +532,23 @@ func allPerms(n int) (perms, invs [][]int, prefMasks []uint32) {
 				mask |= 1 << uint(j)
 			}
 		}
+		var fixed uint32
+		for k, v := range perm {
+			if v == k {
+				fixed |= 1 << uint(k)
+			}
+		}
 		perms = append(perms, perm)
 		invs = append(invs, inv)
 		prefMasks = append(prefMasks, mask)
+		fixMasks = append(fixMasks, fixed)
 		// Next lexicographic permutation.
 		i := n - 2
 		for i >= 0 && cur[i] >= cur[i+1] {
 			i--
 		}
 		if i < 0 {
-			return perms, invs, prefMasks
+			return perms, invs, prefMasks, fixMasks
 		}
 		j := n - 1
 		for cur[j] <= cur[i] {

@@ -106,7 +106,7 @@ func TestPermuteGroupAction(t *testing.T) {
 // against a brute-force oracle: the lexicographically-least image of the
 // normalized state over all valid permutations.
 func TestCanonicalizeAgainstOracle(t *testing.T) {
-	perms3, _, _ := allPerms(3)
+	perms3, _, _, _ := allPerms(3)
 	for _, tc := range []struct {
 		name string
 		p    *Prog
@@ -154,7 +154,7 @@ func lexLess(a, b State) bool {
 // valid permutation image of it, and canonicalization is idempotent.
 func TestCanonicalInvariantUnderValidPerms(t *testing.T) {
 	p := symProg(3)
-	perms3, _, _ := allPerms(3)
+	perms3, _, _, _ := allPerms(3)
 	for _, s := range walkStates(p, 400) {
 		want := p.CanonicalFingerprint(s)
 		norm := p.NormalizeCursors(s)
@@ -275,7 +275,7 @@ func FuzzCanonicalFingerprint(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
 	f.Add([]byte{9, 9, 9, 1, 0, 4, 2, 250, 17, 3})
 	p := symProg(3)
-	perms3, _, _ := allPerms(3)
+	perms3, _, _, _ := allPerms(3)
 	f.Fuzz(func(t *testing.T, choices []byte) {
 		s := p.InitState()
 		for _, b := range choices {

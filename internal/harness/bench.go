@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"time"
 
+	"bakerypp/internal/gcl"
 	"bakerypp/internal/mc"
 	"bakerypp/internal/specs"
 )
@@ -24,6 +25,11 @@ type MCBenchRecord struct {
 	Algo string `json:"algo"`
 	N    int    `json:"n"`
 	M    int    `json:"m"`
+	// Analysis identifies what the record measures: "" (plain safety
+	// check), "starve" (graph build + orbit-aware starvation search), or
+	// "fcfs" (monitor product). For "starve" the States column counts
+	// graph states; for "fcfs", monitor-product states.
+	Analysis string `json:"analysis,omitempty"`
 	// Workers is the engine setting used (0 sequential, -1 GOMAXPROCS).
 	Workers int `json:"workers"`
 	// Reduction is the requested reduction mode: "none", "symmetry",
@@ -101,11 +107,115 @@ func mcBenchGrid() []mcBenchCell {
 	}
 }
 
-// RunMCBench runs the benchmark grid. cfg.MCWorkers selects the engine;
-// cfg.Symmetry is ignored (the grid always measures both sides where the
-// full search is feasible).
+// RunMCBench runs the benchmark grid — the safety-check cells plus the
+// liveness rows (starvation on full vs quotient graphs, FCFS on concrete
+// vs pinned-orbit product keys) the unified analysis pipeline added.
+// cfg.MCWorkers selects the engine; cfg.Symmetry is ignored (the grid
+// always measures both sides where the full search is feasible).
 func RunMCBench(cfg ExpConfig) (*MCBenchReport, error) {
-	return runMCBench(cfg, mcBenchGrid())
+	rep, err := runMCBench(cfg, mcBenchGrid())
+	if err != nil {
+		return nil, err
+	}
+	if err := appendLivenessBench(rep, cfg, livenessBenchCells()); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// livenessBenchCell is one starvation-analysis cell of the liveness grid.
+type livenessBenchCell struct {
+	algo string
+	cfg  specs.Config
+	full bool // run the unreduced side too
+}
+
+// livenessBenchCells is the fixed starvation grid (the FCFS pair is fixed
+// inside appendLivenessBench).
+func livenessBenchCells() []livenessBenchCell {
+	return []livenessBenchCell{
+		{"bakerypp", specs.Config{N: 3, M: 2}, true},
+		{"bakerypp", specs.Config{N: 4, M: 2}, false},
+	}
+}
+
+// appendLivenessBench measures the liveness analyses across reduction
+// modes: E7's starvation question on the full and the quotient graph, and
+// the FCFS monitor on concrete and pinned-orbit keys. Cells are a
+// parameter so the schema test can run a trimmed grid.
+func appendLivenessBench(rep *MCBenchReport, cfg ExpConfig, cells []livenessBenchCell) error {
+	record := func(name, algo string, c specs.Config, mode string, workers int, sym, applied bool,
+		states, transitions int, verdict string, complete bool, secs float64) {
+		rate := 0.0
+		if secs > 0 {
+			rate = float64(states) / secs
+		}
+		rep.Records = append(rep.Records, MCBenchRecord{
+			Name: name, Algo: algo, N: c.N, M: c.M,
+			Analysis: mode, Workers: workers,
+			Reduction: map[bool]string{false: "none", true: "symmetry"}[sym],
+			Symmetry:  sym, Applied: applied,
+			States: states, Transitions: transitions,
+			Verdict: verdict, Complete: complete,
+			WallSeconds: secs, StatesPerSec: rate,
+		})
+	}
+	for _, c := range cells {
+		for _, sym := range []bool{false, true} {
+			if !sym && !c.full {
+				continue
+			}
+			p, err := specs.Get(c.algo, c.cfg)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			g, err := mc.BuildGraph(p, mc.Options{Workers: cfg.MCWorkers, Symmetry: sym})
+			if err != nil {
+				return err
+			}
+			slow := p.N - 1
+			l1 := p.LabelIndex("l1")
+			fast := make([]int, 0, p.N-1)
+			for pid := 0; pid < p.N; pid++ {
+				if pid != slow {
+					fast = append(fast, pid)
+				}
+			}
+			found := g.FindStarvation(func(pr *gcl.Prog, s gcl.State) bool {
+				return pr.PC(s, slow) == l1
+			}, fast) != nil
+			verdict := "no cycle"
+			if found {
+				verdict = "cycle"
+			}
+			mode := map[bool]string{false: "none", true: "symmetry"}[sym]
+			record(fmt.Sprintf("%s-n%d-m%d/starve/%s", c.algo, c.cfg.N, c.cfg.M, mode),
+				c.algo, c.cfg, "starve", cfg.MCWorkers, sym, g.Quotient(),
+				g.NumStates(), g.Summary.Transitions, verdict, g.Summary.Complete,
+				time.Since(start).Seconds())
+		}
+	}
+	for _, sym := range []bool{false, true} {
+		c := specs.Config{N: 3, M: 2}
+		p, err := specs.Get("bakerypp", c)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		res := mc.CheckFCFS(p, 2, 0, mc.Options{Symmetry: sym})
+		verdict := "holds"
+		if !res.Holds {
+			verdict = "VIOLATED"
+		}
+		// CheckFCFS always runs sequentially; recording Workers 0 keeps the
+		// machine-readable surface honest about which engine produced it.
+		mode := map[bool]string{false: "none", true: "symmetry"}[sym]
+		record(fmt.Sprintf("bakerypp-n%d-m%d/fcfs/%s", c.N, c.M, mode),
+			"bakerypp", c, "fcfs", 0, sym, res.Symmetry,
+			res.States, 0, verdict, res.Complete, time.Since(start).Seconds())
+	}
+	return nil
 }
 
 func runMCBench(cfg ExpConfig, grid []mcBenchCell) (*MCBenchReport, error) {

@@ -1,0 +1,66 @@
+package mc
+
+import (
+	"testing"
+
+	"bakerypp/internal/gcl"
+	"bakerypp/internal/specs"
+)
+
+// The pipeline's reduction choices per analysis, asserted through the
+// exported PlanFor: the same options yield different (and differently
+// sound) plans depending on what the analysis declares it needs.
+func TestPlanForReductionChoices(t *testing.T) {
+	p := specs.BakeryPP(specs.Config{N: 3, M: 2})
+	opts := Options{Invariants: []Invariant{Mutex(), NoOverflow()}, Symmetry: true, POR: true}
+
+	safety := PlanFor(p, opts, SafetyAnalysis{Invariants: opts.Invariants})
+	if !safety.Symmetry || !safety.POR || safety.Pinned != nil || safety.TrackPerms {
+		t.Errorf("safety plan = %+v, want full symmetry + POR", safety)
+	}
+
+	graph := PlanFor(p, opts, GraphAnalysis{Invariants: opts.Invariants})
+	if !graph.Symmetry || !graph.TrackPerms {
+		t.Errorf("graph plan = %+v, want permutation-tracked symmetry", graph)
+	}
+	if graph.POR {
+		t.Error("graph analyses are cycle-sensitive; POR must never be planned")
+	}
+	gNeeds := GraphAnalysis{}.Needs()
+	if !gNeeds.Edges || !gNeeds.Depth || !gNeeds.Cycles {
+		t.Errorf("graph needs = %+v, want edges+depth+cycles", gNeeds)
+	}
+
+	fcfs := PlanFor(p, opts, FCFSAnalysis{First: 2, Second: 0})
+	if fcfs.Symmetry || fcfs.POR || fcfs.TrackPerms {
+		t.Errorf("fcfs plan = %+v, want pinned-orbit dedup only", fcfs)
+	}
+	if len(fcfs.Pinned) != 2 || fcfs.Pinned[0] != 2 || fcfs.Pinned[1] != 0 {
+		t.Errorf("fcfs pinned = %v, want [2 0]", fcfs.Pinned)
+	}
+
+	refine := PlanFor(p, opts, RefinementAnalysis{})
+	if refine.Symmetry || refine.POR || refine.TrackPerms || refine.Pinned != nil {
+		t.Errorf("refinement plan = %+v, want no reduction", refine)
+	}
+
+	// Crashing a proper pid subset distinguishes identities: symmetry off.
+	crashOpts := opts
+	crashOpts.Crash = true
+	crashOpts.CrashPids = []int{0}
+	if pl := PlanFor(p, crashOpts, SafetyAnalysis{Invariants: opts.Invariants}); pl.Symmetry || pl.POR {
+		t.Errorf("subset-crash plan = %+v, want no reduction", pl)
+	}
+
+	// An invariant without a declared read set blocks POR but not symmetry.
+	blind := Options{Invariants: []Invariant{{Name: "opaque", Holds: func(pr *gcl.Prog, s gcl.State) bool { return true }}}, Symmetry: true, POR: true}
+	if pl := PlanFor(p, blind, SafetyAnalysis{Invariants: blind.Invariants}); pl.POR || !pl.Symmetry {
+		t.Errorf("undeclared-observation plan = %+v, want symmetry without POR", pl)
+	}
+
+	// Declared-asymmetric specs fall back entirely.
+	bw := specs.BlackWhite(3)
+	if pl := PlanFor(bw, opts, GraphAnalysis{Invariants: opts.Invariants}); pl.Symmetry || pl.TrackPerms {
+		t.Errorf("asymmetric-spec graph plan = %+v, want full search", pl)
+	}
+}

@@ -38,6 +38,11 @@ type FCFSResult struct {
 	States   int
 	// Witness is the violating execution when Holds is false.
 	Witness *Trace
+	// Symmetry reports that the product was deduplicated on pinned-orbit
+	// representatives: states related by a permutation of the NON-pinned
+	// pids share one product entry. Requested via Options.Symmetry,
+	// applied when the spec supports it (see analysis.go).
+	Symmetry bool
 }
 
 // String renders a one-line summary.
@@ -48,17 +53,27 @@ func (r *FCFSResult) String() string {
 	} else if !r.Complete {
 		status = "FCFS holds up to state bound"
 	}
-	return fmt.Sprintf("%s: %s for pair (%d, %d) — %d product states",
-		r.Prog.Name, status, r.First, r.Second, r.States)
+	sym := ""
+	if r.Symmetry {
+		sym = " [pinned-symmetry]"
+	}
+	return fmt.Sprintf("%s: %s for pair (%d, %d) — %d product states%s",
+		r.Prog.Name, status, r.First, r.Second, r.States, sym)
 }
 
 // CheckFCFS verifies first-come-first-served entry for the ordered process
 // pair (first, second): whenever first completes its doorway before second
 // begins competing, first enters the critical section before second. The
 // program must carry the specs package's "doorway-done", "try" and
-// "cs-enter" branch tags. maxStates bounds the product exploration
-// (0 = DefaultMaxStates).
-func CheckFCFS(p *gcl.Prog, first, second, maxStates int) *FCFSResult {
+// "cs-enter" branch tags. Options.MaxStates bounds the product exploration
+// (0 = DefaultMaxStates); Options.Symmetry requests pinned-orbit
+// deduplication — the monitor names the pair, so the pipeline
+// canonicalizes over the permutations fixing first and second only
+// (FCFSAnalysis in analysis.go). Dedup is again representative-only:
+// stored product nodes are concrete states discovered from their concrete
+// parents, so a violation witness is a real execution. Other Options
+// fields (Workers, POR, Crash) do not apply to the monitor product.
+func CheckFCFS(p *gcl.Prog, first, second int, opts Options) *FCFSResult {
 	if first == second || first < 0 || second < 0 || first >= p.N || second >= p.N {
 		panic(fmt.Sprintf("mc: bad FCFS pair (%d, %d) for N=%d", first, second, p.N))
 	}
@@ -68,10 +83,13 @@ func CheckFCFS(p *gcl.Prog, first, second, maxStates int) *FCFSResult {
 			panic(fmt.Sprintf("mc: %s lacks the %q tag needed for FCFS checking", p.Name, need))
 		}
 	}
+	maxStates := opts.MaxStates
 	if maxStates == 0 {
 		maxStates = DefaultMaxStates
 	}
-	res := &FCFSResult{Prog: p, First: first, Second: second, Holds: true}
+	plan := planFor(p, opts, FCFSAnalysis{First: first, Second: second}.Needs())
+	res := &FCFSResult{Prog: p, First: first, Second: second, Holds: true,
+		Symmetry: plan.Pinned != nil}
 
 	type node struct {
 		st     gcl.State
@@ -82,10 +100,11 @@ func CheckFCFS(p *gcl.Prog, first, second, maxStates int) *FCFSResult {
 	}
 	// The visited set over (program state, monitor phase) product nodes:
 	// the shared StateStore keyed on the state with the phase appended.
-	// The monitor is pinned to a concrete process pair, so the product is
-	// inherently asymmetric and never uses the symmetry-aware store.
+	// The monitor pins a concrete process pair, so full-orbit symmetry is
+	// out — but the plan may select pinned-orbit keying, which collapses
+	// states related by permutations of the remaining pids.
 	nodes := []node{{st: p.InitState(), phase: 0, parent: -1, byPid: -1}}
-	seen := newStateStore(p, false, false)
+	seen := newStateStore(p, false, plan)
 	fp0, key0 := seen.Prepare(nodes[0].st, 0)
 	seen.Insert(fp0, key0, 0)
 

@@ -16,19 +16,19 @@ func TestFCFSBakeryFamily(t *testing.T) {
 		mk   func() *FCFSResult
 	}{
 		{"bakerypp-2", 2, func() *FCFSResult {
-			return CheckFCFS(specs.BakeryPP(specs.Config{N: 2, M: 2}), 0, 1, 0)
+			return CheckFCFS(specs.BakeryPP(specs.Config{N: 2, M: 2}), 0, 1, Options{})
 		}},
 		{"bakerypp-2-rev", 2, func() *FCFSResult {
-			return CheckFCFS(specs.BakeryPP(specs.Config{N: 2, M: 2}), 1, 0, 0)
+			return CheckFCFS(specs.BakeryPP(specs.Config{N: 2, M: 2}), 1, 0, Options{})
 		}},
 		{"bakerypp-3", 3, func() *FCFSResult {
-			return CheckFCFS(specs.BakeryPP(specs.Config{N: 3, M: 2}), 2, 0, 0)
+			return CheckFCFS(specs.BakeryPP(specs.Config{N: 3, M: 2}), 2, 0, Options{})
 		}},
 		{"blackwhite-2", 2, func() *FCFSResult {
-			return CheckFCFS(specs.BlackWhite(2), 0, 1, 0)
+			return CheckFCFS(specs.BlackWhite(2), 0, 1, Options{})
 		}},
 		{"blackwhite-2-rev", 2, func() *FCFSResult {
-			return CheckFCFS(specs.BlackWhite(2), 1, 0, 0)
+			return CheckFCFS(specs.BlackWhite(2), 1, 0, Options{})
 		}},
 	}
 	for _, tc := range progs {
@@ -46,7 +46,7 @@ func TestFCFSBakeryFamily(t *testing.T) {
 // Classic Bakery's state space is infinite; FCFS is checked up to a state
 // bound (bounded evidence, like the mutex check).
 func TestFCFSBakeryBounded(t *testing.T) {
-	res := CheckFCFS(specs.Bakery(specs.Config{N: 2, M: 1 << 14}), 0, 1, 60000)
+	res := CheckFCFS(specs.Bakery(specs.Config{N: 2, M: 1 << 14}), 0, 1, Options{MaxStates: 60000})
 	if !res.Holds {
 		t.Fatalf("bakery FCFS violated:\n%s", res.Witness.String())
 	}
@@ -59,7 +59,7 @@ func TestFCFSBakeryBounded(t *testing.T) {
 // published its intent can be overtaken by a later arrival. The checker
 // finds a shortest witnessing interleaving.
 func TestFCFSPetersonViolated(t *testing.T) {
-	res := CheckFCFS(specs.Peterson(3), 0, 1, 0)
+	res := CheckFCFS(specs.Peterson(3), 0, 1, Options{})
 	if res.Holds {
 		t.Fatal("peterson filter reported FCFS; it is not")
 	}
@@ -73,13 +73,13 @@ func TestFCFSPetersonViolated(t *testing.T) {
 // only up to intra-batch id reordering: with the lower-id process arriving
 // second, the checker finds the reorder; and the favourable direction holds.
 func TestFCFSSzymanskiBatchOrder(t *testing.T) {
-	rev := CheckFCFS(specs.Szymanski(2), 1, 0, 0)
+	rev := CheckFCFS(specs.Szymanski(2), 1, 0, Options{})
 	if rev.Holds {
 		t.Error("szymanski (first=1, second=0): expected id-order overtake")
 	} else {
 		t.Logf("id-order overtake witness: %d steps", rev.Witness.Len())
 	}
-	fwd := CheckFCFS(specs.Szymanski(2), 0, 1, 0)
+	fwd := CheckFCFS(specs.Szymanski(2), 0, 1, Options{})
 	if !fwd.Holds {
 		t.Errorf("szymanski (first=0, second=1): unexpected violation:\n%s", fwd.Witness.String())
 	}
@@ -88,8 +88,8 @@ func TestFCFSSzymanskiBatchOrder(t *testing.T) {
 func TestFCFSValidation(t *testing.T) {
 	p := specs.BakeryPP(specs.Config{N: 2, M: 2})
 	for _, f := range []func(){
-		func() { CheckFCFS(p, 0, 0, 0) },
-		func() { CheckFCFS(p, 0, 5, 0) },
+		func() { CheckFCFS(p, 0, 0, Options{}) },
+		func() { CheckFCFS(p, 0, 5, Options{}) },
 	} {
 		func() {
 			defer func() {
@@ -103,11 +103,11 @@ func TestFCFSValidation(t *testing.T) {
 }
 
 func TestFCFSResultString(t *testing.T) {
-	res := CheckFCFS(specs.BakeryPP(specs.Config{N: 2, M: 2}), 0, 1, 0)
+	res := CheckFCFS(specs.BakeryPP(specs.Config{N: 2, M: 2}), 0, 1, Options{})
 	if !strings.Contains(res.String(), "FCFS holds") {
 		t.Errorf("String = %q", res.String())
 	}
-	bad := CheckFCFS(specs.Peterson(3), 0, 1, 0)
+	bad := CheckFCFS(specs.Peterson(3), 0, 1, Options{})
 	if !strings.Contains(bad.String(), "VIOLATED") {
 		t.Errorf("String = %q", bad.String())
 	}

@@ -7,11 +7,22 @@ import (
 	"bakerypp/internal/gcl"
 )
 
-// Edge is one transition of the reachability graph.
+// Edge is one transition of the reachability graph. Pid is the moving
+// process in the SOURCE state's slot coordinates.
 type Edge struct {
 	To    int32
 	Pid   int8
 	Label string
+	// Perm, on a symmetry-reduced (quotient) graph, is the index of the
+	// permutation ρ relating the concrete successor t to the stored
+	// representative of its orbit: NormalizeCursors(t) =
+	// Permute(NormalizeCursors(State(To)), ρ). Index 0 is the identity —
+	// in particular every edge to a fresh state, and every edge of an
+	// unreduced graph. The quotient-product liveness analyses compose
+	// these annotations along paths to recover concrete pid identities
+	// (see quotient.go). int32 because indices range over N! — up to
+	// 40320 at the N=8 table cap, past int16.
+	Perm int32
 }
 
 // Graph is the full reachability graph of a program, built by BuildGraph.
@@ -23,6 +34,12 @@ type Graph struct {
 	Summary *Result
 	expl    *explorer
 	Adj     [][]Edge
+	// prod caches the tracking product (quotient.go) across the cycle
+	// analyses: it is immutable once built and dominates any single SCC
+	// pass, so FindStarvation followed by FindNoProgress must not pay the
+	// construction twice. Graphs are not safe for concurrent analysis
+	// calls (they never were: the analyses share the explorer's scratch).
+	prod *product
 }
 
 // NumStates returns the number of reachable states.
@@ -37,17 +54,20 @@ func (g *Graph) State(i int) gcl.State { return g.expl.states[i] }
 // fails only if the state bound is exceeded, since an incomplete graph
 // would make cycle analysis meaningless. Options.Workers selects between
 // the sequential engine below and the parallel engine; state numbering and
-// edge order are identical either way. Options.POR is ignored (the graph
+// edge order are identical either way. The reduction plan comes from the
+// pipeline's GraphAnalysis declaration: POR never applies (the graph
 // analyses — SCCs, starvation and no-progress cycles — quantify over every
-// interleaving, which a partial-order-reduced graph by design omits), so
-// graphs are always built full.
+// interleaving, which a partial-order-reduced graph by design omits), but
+// symmetry does — the result is then the QUOTIENT graph, one state per
+// encountered orbit, with permutation-annotated edges the cycle analyses
+// lift concrete pid identities through (quotient.go).
 func BuildGraph(p *gcl.Prog, opts Options) (*Graph, error) {
-	opts.POR = false
+	plan := planFor(p, opts, GraphAnalysis{Invariants: opts.Invariants}.Needs())
 	if opts.Workers != 0 {
-		return buildGraphParallel(p, opts)
+		return buildGraphParallel(p, opts, plan)
 	}
 	start := time.Now()
-	e := newExplorer(p, opts, false)
+	e := newExplorer(p, opts, false, plan)
 	res := &Result{Prog: p, Symmetry: e.symmetry}
 	g := &Graph{Summary: res, expl: e}
 
@@ -69,7 +89,8 @@ func BuildGraph(p *gcl.Prog, opts Options) (*Graph, error) {
 		succs, _, _, _ := e.successors(s)
 		for _, sc := range succs {
 			res.Transitions++
-			idx, fresh := e.add(sc.State, int32(head), int32(sc.Pid), sc.Label)
+			fp, key, perm := e.prepareProbe(sc.State)
+			idx, fresh := e.addPrepared(fp, key, perm, sc.State, int32(head), int32(sc.Pid), sc.Label)
 			if fresh {
 				g.Adj = append(g.Adj, nil)
 				if name, bad := e.checkInvariants(sc.State); bad && res.Violation == nil {
@@ -77,7 +98,8 @@ func BuildGraph(p *gcl.Prog, opts Options) (*Graph, error) {
 					res.Violation = &Violation{Invariant: name, Trace: t}
 				}
 			}
-			g.Adj[head] = append(g.Adj[head], Edge{To: idx, Pid: int8(sc.Pid), Label: sc.Label})
+			g.Adj[head] = append(g.Adj[head], Edge{To: idx, Pid: int8(sc.Pid), Label: sc.Label,
+				Perm: e.edgePermIdx(perm, idx, fresh)})
 		}
 	}
 	res.States = len(e.states)
@@ -85,6 +107,11 @@ func BuildGraph(p *gcl.Prog, opts Options) (*Graph, error) {
 	res.Elapsed = time.Since(start)
 	return g, nil
 }
+
+// Quotient reports whether the graph is symmetry-reduced: states are orbit
+// representatives and edges carry permutation annotations. The cycle
+// analyses below automatically run orbit-aware on such graphs.
+func (g *Graph) Quotient() bool { return g.expl.trackPerms }
 
 // Trace reconstructs the BFS path from the initial state to graph index i.
 func (g *Graph) Trace(i int) Trace { return g.expl.trace(int32(i)) }
@@ -169,21 +196,36 @@ func (g *Graph) SCCs() [][]int32 {
 // the paper's Section 6.3 scenario ("the two fast processes keep competing
 // ... and they reach M again" while the slow process never leaves L1).
 type StarvationReport struct {
-	// ComponentSize is the number of states in the witnessing SCC.
+	// ComponentSize is the number of states in the witnessing SCC — full
+	// states on an unreduced graph, product states (orbit representative ×
+	// tracking permutation) on a quotient graph.
 	ComponentSize int
 	// EntryLen is the number of steps from the initial state to the
 	// component.
 	EntryLen int
-	// Entry is the path from the initial state into the component.
+	// Entry is the path from the initial state into the component. It is
+	// always a concrete execution; on a quotient graph it is replayed from
+	// the product lasso and re-verified step by step (quotient.go).
 	Entry Trace
 	// MovesByPid counts, for each process, the transitions it owns inside
-	// the component.
+	// the component. On a quotient graph pids are CONCRETE identities,
+	// recovered through the edges' permutation annotations.
 	MovesByPid []int
 	// Component lists the graph indices of the component's states, so
 	// callers can assert additional properties (e.g. that the starved
 	// process is genuinely blocked somewhere on the cycle, ruling out
-	// plain unfair-scheduler starvation).
+	// plain unfair-scheduler starvation). On a quotient graph these are
+	// the distinct orbit representatives the product component touches.
 	Component []int32
+	// Quotient reports the analysis ran orbit-aware on the quotient graph.
+	Quotient bool
+	// Cycle, on a quotient graph, is the concrete execution closing the
+	// lasso: starting from Entry's final state, every listed step is a
+	// real transition, the predicate holds throughout, every mustMove pid
+	// moves, and the final state revisits the starting state's orbit
+	// position — verified by execution before the report is returned.
+	// Unreduced analyses leave it nil (the SCC itself is the witness).
+	Cycle []Step
 }
 
 // FindStarvation searches for a reachable strongly connected component with
@@ -191,7 +233,18 @@ type StarvationReport struct {
 // every process in mustMove takes at least one step. It returns nil if no
 // such component exists. pred typically pins the starved process to a label
 // (e.g. "pc of process 2 is l1") while mustMove lists the fast processes.
+//
+// On a quotient graph (BuildGraph under symmetry) the search runs on the
+// permutation-tracked product, so pred still reads CONCRETE pid positions:
+// it is evaluated on the orbit representative permuted back into the
+// concrete frame of each path that reaches it. Predicates must not depend
+// on dead scan-cursor values (normalized away in orbit keys); pc- and
+// shared-value predicates are unaffected. A found lasso is replayed to a
+// concrete full-space execution and re-verified before being reported.
 func (g *Graph) FindStarvation(pred func(p *gcl.Prog, s gcl.State) bool, mustMove []int) *StarvationReport {
+	if g.Quotient() {
+		return g.findStarvationQuotient(pred, mustMove)
+	}
 	n := len(g.Adj)
 	ok := make([]bool, n)
 	for i := 0; i < n; i++ {
@@ -210,25 +263,32 @@ func (g *Graph) FindStarvation(pred func(p *gcl.Prog, s gcl.State) bool, mustMov
 			}
 		}
 	}
+	// Component membership via epoch marking: one int32 slice reused
+	// across components (a fresh epoch per component) instead of a
+	// per-SCC map — the SCC loop over a million-state graph allocates
+	// nothing and probes by index.
+	mark := make([]int32, n)
+	epoch := int32(0)
 	for _, comp := range masked.SCCs() {
 		if len(comp) == 1 && !hasSelfLoop(masked, comp[0]) {
 			continue
 		}
-		inComp := map[int32]bool{}
+		epoch++
+		predOK := true
 		for _, v := range comp {
 			if !ok[v] {
-				inComp = nil
+				predOK = false
 				break
 			}
-			inComp[v] = true
+			mark[v] = epoch
 		}
-		if inComp == nil {
+		if !predOK {
 			continue
 		}
 		moves := make([]int, g.expl.p.N)
 		for _, v := range comp {
 			for _, e := range masked.Adj[v] {
-				if inComp[e.To] && e.Pid >= 0 {
+				if mark[e.To] == epoch && e.Pid >= 0 {
 					moves[e.Pid]++
 				}
 			}
@@ -268,43 +328,56 @@ func (g *Graph) FindStarvation(pred func(p *gcl.Prog, s gcl.State) bool, mustMov
 // others (the Section 6.3 cycle found by FindStarvation has cs-enter edges
 // for the fast pair).
 type NoProgressReport struct {
+	// ComponentSize counts full states on an unreduced graph, product
+	// states on a quotient graph.
 	ComponentSize int
-	MovesByPid    []int
-	Entry         Trace
+	// MovesByPid attributes component-internal moves to CONCRETE pids (on
+	// a quotient graph, recovered through the edge permutations).
+	MovesByPid []int
+	Entry      Trace
+	// Quotient/Cycle: as in StarvationReport — set on quotient graphs,
+	// where the replayed concrete cycle (no cs-enter step, every mustMove
+	// pid moving, orbit position revisited) is verified by execution.
+	Quotient bool
+	Cycle    []Step
 }
 
 // FindNoProgress searches for a reachable SCC with at least one edge, in
 // which every process in mustMove takes a step but no edge carries the
-// "cs-enter" tag. It returns nil when no such component exists.
+// "cs-enter" tag. It returns nil when no such component exists. On a
+// quotient graph the search runs on the permutation-tracked product
+// exactly like FindStarvation, with found lassos replayed and re-verified.
 func (g *Graph) FindNoProgress(mustMove []int) *NoProgressReport {
+	if g.Quotient() {
+		return g.findNoProgressQuotient(mustMove)
+	}
 	n := len(g.Adj)
 	// Mask out cs-enter edges and SCC the remainder: a qualifying cycle
 	// must avoid entries entirely.
 	masked := &Graph{expl: g.expl, Adj: make([][]Edge, n)}
-	enter := map[int32]bool{}
 	for v := 0; v < n; v++ {
 		for _, e := range g.Adj[v] {
-			tag := g.tagOf(v, e)
-			if tag == "cs-enter" {
-				enter[int32(v)] = true
+			if g.tagOf(v, e) == "cs-enter" {
 				continue
 			}
 			masked.Adj[v] = append(masked.Adj[v], e)
 		}
 	}
-	_ = enter
+	// Epoch-marked membership; see FindStarvation.
+	mark := make([]int32, n)
+	epoch := int32(0)
 	for _, comp := range masked.SCCs() {
 		if len(comp) == 1 && !hasSelfLoop(masked, comp[0]) {
 			continue
 		}
-		inComp := map[int32]bool{}
+		epoch++
 		for _, v := range comp {
-			inComp[v] = true
+			mark[v] = epoch
 		}
 		moves := make([]int, g.expl.p.N)
 		for _, v := range comp {
 			for _, e := range masked.Adj[v] {
-				if inComp[e.To] && e.Pid >= 0 {
+				if mark[e.To] == epoch && e.Pid >= 0 {
 					moves[e.Pid]++
 				}
 			}

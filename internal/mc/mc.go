@@ -131,7 +131,11 @@ type Options struct {
 	// processes, which breaks the symmetry — the full search runs and
 	// Result.Symmetry reports false. Invariants must be symmetric in the
 	// process ids (the stock ones are). Deterministic for any Workers
-	// setting.
+	// setting. BuildGraph composes too: it produces the quotient graph
+	// with permutation-annotated edges, on which the SCC/starvation/
+	// no-progress analyses run orbit-aware (see quotient.go); CheckFCFS
+	// canonicalizes over the subgroup fixing its pinned pair. Each entry
+	// point's reduction gating is declared in analysis.go.
 	Symmetry bool
 	// POR enables ample-set partial-order reduction: at states where some
 	// process's every enabled branch is local (touches nothing shared —
@@ -152,7 +156,9 @@ type Options struct {
 	// cells from every state, so no action is ever safe) or when any
 	// invariant omits its Observes declaration. BuildGraph and the
 	// graph-based analyses ignore POR: SCC, starvation, FCFS, and
-	// refinement questions need the whole reachability graph.
+	// refinement are cycle- or identity-sensitive, which the ample
+	// reduction does not preserve (analysis.go declares this per entry
+	// point; symmetry still applies there).
 	POR bool
 }
 
@@ -251,9 +257,16 @@ const crashLabel = "CRASH"
 type explorer struct {
 	p        *gcl.Prog
 	opts     Options
+	plan     Plan
 	store    StateStore
-	symmetry bool // reduction actually applied
+	symmetry bool // orbit dedup actually applied
 	por      bool // ample-set reduction actually applied
+	// trackPerms annotates graph edges with the permutation relating each
+	// concrete successor to its orbit's stored representative; canonPerm
+	// records, per stored state, the index of its canonical witnessing
+	// permutation (see quotient.go).
+	trackPerms bool
+	canonPerm  []int32
 	// porOK[label][branch] marks branches eligible to form ample sets:
 	// local-only per the gcl footprint analysis, and invisible (neither
 	// endpoint label observed by any invariant).
@@ -277,30 +290,20 @@ type explorer struct {
 	crashers []int
 }
 
-func newExplorer(p *gcl.Prog, opts Options, sharded bool) *explorer {
+// newExplorer builds the engine state for one exploration executing the
+// given reduction plan (see analysis.go; planFor gates every reduction on
+// soundness for the requesting analysis, e.g. crashing only a proper
+// subset of processes distinguishes their identities and disables
+// symmetry).
+func newExplorer(p *gcl.Prog, opts Options, sharded bool, plan Plan) *explorer {
 	if opts.MaxStates == 0 {
 		opts.MaxStates = DefaultMaxStates
 	}
-	e := &explorer{p: p, opts: opts}
-	if opts.Crash {
-		e.crashers = opts.CrashPids
-		if len(e.crashers) == 0 {
-			for pid := 0; pid < p.N; pid++ {
-				e.crashers = append(e.crashers, pid)
-			}
-		}
-	}
-	// Crashing only a proper subset of processes distinguishes their
-	// identities, so symmetry reduction would be unsound there. The gate
-	// compares the crasher SET against {0..N-1} — a duplicated CrashPids
-	// entry must not masquerade as full coverage.
-	e.symmetry = opts.Symmetry && p.CanCanonicalize() &&
-		(!opts.Crash || crashersCoverAll(e.crashers, p.N))
-	// Crash transitions reset owned shared cells from every state, so no
-	// action of any process is safe to single out; an invariant without an
-	// Observes declaration could watch anything, making invisibility
-	// unprovable. Either condition falls back to the full search.
-	e.por = opts.POR && !opts.Crash && invariantsObservable(opts.Invariants)
+	e := &explorer{p: p, opts: opts, plan: plan}
+	e.crashers = crashersOf(p, opts)
+	e.symmetry = plan.Symmetry
+	e.trackPerms = plan.TrackPerms
+	e.por = plan.POR
 	if e.por {
 		e.porOK = porEligibility(p, opts.Invariants)
 		e.porGuardShared = make([][]bool, len(p.Labels()))
@@ -312,19 +315,8 @@ func newExplorer(p *gcl.Prog, opts Options, sharded bool) *explorer {
 		}
 		e.chaseCap = p.N*len(p.Labels()) + 8
 	}
-	e.store = newStateStore(p, sharded, e.symmetry)
+	e.store = newStateStore(p, sharded, plan)
 	return e
-}
-
-// invariantsObservable reports whether every invariant declares its read
-// set, the precondition for proving actions invisible.
-func invariantsObservable(invs []Invariant) bool {
-	for _, inv := range invs {
-		if inv.Observes == nil {
-			return false
-		}
-	}
-	return true
 }
 
 // porEligibility precomputes, per label and branch, whether the branch may
@@ -366,22 +358,37 @@ func crashersCoverAll(pids []int, n int) bool {
 }
 
 // prep is a successor's prepared store probe, cached across the C3
-// proviso check and the committed insertion.
+// proviso check and the committed insertion. perm is the index of the
+// canonical witnessing permutation when the exploration tracks
+// permutations (0 otherwise).
 type prep struct {
-	fp  uint64
-	key gcl.State
+	fp   uint64
+	key  gcl.State
+	perm int32
+}
+
+// prepareProbe computes the store probe for s; under permutation tracking
+// it additionally ranks the canonical witnessing permutation, sharing the
+// single canonicalization pass.
+func (e *explorer) prepareProbe(s gcl.State) (uint64, gcl.State, int32) {
+	if !e.trackPerms {
+		fp, key := e.store.Prepare(s)
+		return fp, key, 0
+	}
+	c, perm := e.p.CanonicalizeWithPerm(s)
+	return c.Fingerprint(), c, int32(e.p.PermIndexOf(perm))
 }
 
 // add registers a state, returning its index and whether it was new.
 func (e *explorer) add(s gcl.State, parent int32, byPid int32, label string) (int32, bool) {
-	fp, key := e.store.Prepare(s)
-	return e.addPrepared(fp, key, s, parent, byPid, label)
+	fp, key, perm := e.prepareProbe(s)
+	return e.addPrepared(fp, key, perm, s, parent, byPid, label)
 }
 
 // addPrepared is add with the store probe already computed — the reduced
 // expansion path prepares each ample candidate once in ampleOK and must
 // not pay a second canonicalization here.
-func (e *explorer) addPrepared(fp uint64, key gcl.State, s gcl.State, parent int32, byPid int32, label string) (int32, bool) {
+func (e *explorer) addPrepared(fp uint64, key gcl.State, perm int32, s gcl.State, parent int32, byPid int32, label string) (int32, bool) {
 	if idx, ok := e.store.Lookup(fp, key); ok {
 		return idx, false
 	}
@@ -391,12 +398,28 @@ func (e *explorer) addPrepared(fp uint64, key gcl.State, s gcl.State, parent int
 	e.parent = append(e.parent, parent)
 	e.parentBy = append(e.parentBy, byPid)
 	e.parentLb = append(e.parentLb, label)
+	if e.trackPerms {
+		e.canonPerm = append(e.canonPerm, perm)
+	}
 	if parent < 0 {
 		e.depth = append(e.depth, 0)
 	} else {
 		e.depth = append(e.depth, e.depth[parent]+1)
 	}
 	return idx, true
+}
+
+// edgePermIdx computes ρ, the permutation annotating a graph edge: the
+// concrete successor canonicalizes with witness π_t (index succPerm), the
+// stored representative of its orbit with witness π_j (canonPerm[to]), so
+// norm(succ) = Permute(norm(states[to]), ρ) with ρ = π_t⁻¹ ∘ π_j. Fresh
+// states ARE their own stored representative (ρ = identity).
+func (e *explorer) edgePermIdx(succPerm int32, to int32, fresh bool) int32 {
+	if !e.trackPerms || fresh {
+		return 0
+	}
+	return int32(e.p.ComposePermIndex(
+		e.p.InvPermIndex(int(succPerm)), int(e.canonPerm[to])))
 }
 
 // trace reconstructs the path from the initial state to states[idx].
@@ -598,8 +621,8 @@ func (e *explorer) chase(sc gcl.Succ) gcl.Succ {
 func (e *explorer) ampleOK(succs []gcl.Succ, d int32) bool {
 	e.prepBuf = e.prepBuf[:0]
 	for i := range succs {
-		fp, key := e.store.Prepare(succs[i].State)
-		e.prepBuf = append(e.prepBuf, prep{fp: fp, key: key})
+		fp, key, perm := e.prepareProbe(succs[i].State)
+		e.prepBuf = append(e.prepBuf, prep{fp: fp, key: key, perm: perm})
 		if idx, ok := e.store.Lookup(fp, key); ok && e.depth[idx] != d+1 {
 			return false
 		}
@@ -613,11 +636,12 @@ func (e *explorer) ampleOK(succs []gcl.Succ, d int32) bool {
 // Options.Workers selects between the sequential engine below and the
 // parallel engine; both produce identical results.
 func Check(p *gcl.Prog, opts Options) *Result {
+	plan := planFor(p, opts, SafetyAnalysis{Invariants: opts.Invariants}.Needs())
 	if opts.Workers != 0 {
-		return checkParallel(p, opts)
+		return checkParallel(p, opts, plan)
 	}
 	start := time.Now()
-	e := newExplorer(p, opts, false)
+	e := newExplorer(p, opts, false, plan)
 	res := &Result{Prog: p, Symmetry: e.symmetry, POR: e.por}
 
 	finish := func() *Result {
@@ -662,7 +686,7 @@ func Check(p *gcl.Prog, opts Options) *Result {
 			var fresh bool
 			if aPid >= 0 && i >= pLo && i < pLo+len(e.prepBuf) {
 				pr := &e.prepBuf[i-pLo]
-				idx, fresh = e.addPrepared(pr.fp, pr.key, sc.State, int32(head), int32(sc.Pid), sc.Label)
+				idx, fresh = e.addPrepared(pr.fp, pr.key, pr.perm, sc.State, int32(head), int32(sc.Pid), sc.Label)
 			} else {
 				idx, fresh = e.add(sc.State, int32(head), int32(sc.Pid), sc.Label)
 			}

@@ -32,6 +32,9 @@ type candidate struct {
 	state gcl.State
 	key   gcl.State
 	fp    uint64
+	// perm is the index of the state's canonical witnessing permutation
+	// when the exploration tracks permutations (quotient graphs).
+	perm  int32
 	pid   int32
 	label string
 	// seen is the state's index if it was already numbered when the worker
@@ -67,7 +70,7 @@ type pexplorer struct {
 	workers int
 }
 
-func newPExplorer(p *gcl.Prog, opts Options) *pexplorer {
+func newPExplorer(p *gcl.Prog, opts Options, plan Plan) *pexplorer {
 	w := opts.Workers
 	if w < 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -75,7 +78,7 @@ func newPExplorer(p *gcl.Prog, opts Options) *pexplorer {
 	if w < 1 {
 		w = 1
 	}
-	return &pexplorer{e: newExplorer(p, opts, true), workers: w}
+	return &pexplorer{e: newExplorer(p, opts, true, plan), workers: w}
 }
 
 // addNumbered gives the candidate's state a number if it is new, mirroring
@@ -95,6 +98,9 @@ func (pe *pexplorer) addNumbered(c *candidate, parent int32) (int32, bool) {
 	e.parent = append(e.parent, parent)
 	e.parentBy = append(e.parentBy, c.pid)
 	e.parentLb = append(e.parentLb, c.label)
+	if e.trackPerms {
+		e.canonPerm = append(e.canonPerm, c.perm)
+	}
 	if parent < 0 {
 		e.depth = append(e.depth, 0)
 	} else {
@@ -105,8 +111,8 @@ func (pe *pexplorer) addNumbered(c *candidate, parent int32) (int32, bool) {
 
 // addInit numbers the initial state (index 0).
 func (pe *pexplorer) addInit(init gcl.State) {
-	fp, key := pe.e.store.Prepare(init)
-	c := candidate{state: init, key: key, fp: fp, pid: -1, seen: -1}
+	fp, key, perm := pe.e.prepareProbe(init)
+	c := candidate{state: init, key: key, fp: fp, perm: perm, pid: -1, seen: -1}
 	pe.addNumbered(&c, -1)
 }
 
@@ -181,11 +187,12 @@ func (pe *pexplorer) expandState(idx int32, out *expansion, checkInv bool) {
 		if sc.Label != crashLabel {
 			out.progress = true
 		}
-		fp, key := e.store.Prepare(sc.State)
+		fp, key, perm := e.prepareProbe(sc.State)
 		c := candidate{
 			state: sc.State,
 			key:   key,
 			fp:    fp,
+			perm:  perm,
 			pid:   int32(sc.Pid),
 			label: sc.Label,
 			seen:  -1,
@@ -228,9 +235,9 @@ func (pe *pexplorer) ampleOKAtMerge(cands []candidate, d int32) bool {
 // counting, first-violation stop, deadlock check after a head's successors —
 // so results (including States/Transitions/Depth at an early stop) match the
 // sequential engine's.
-func checkParallel(p *gcl.Prog, opts Options) *Result {
+func checkParallel(p *gcl.Prog, opts Options, plan Plan) *Result {
 	start := time.Now()
-	pe := newPExplorer(p, opts)
+	pe := newPExplorer(p, opts, plan)
 	e := pe.e
 	res := &Result{Prog: p, Symmetry: e.symmetry, POR: e.por}
 
@@ -293,9 +300,9 @@ func checkParallel(p *gcl.Prog, opts Options) *Result {
 
 // buildGraphParallel is BuildGraph on the parallel engine; the merge pass
 // appends adjacency edges in the same order the sequential loop would.
-func buildGraphParallel(p *gcl.Prog, opts Options) (*Graph, error) {
+func buildGraphParallel(p *gcl.Prog, opts Options, plan Plan) (*Graph, error) {
 	start := time.Now()
-	pe := newPExplorer(p, opts)
+	pe := newPExplorer(p, opts, plan)
 	e := pe.e
 	res := &Result{Prog: p, Symmetry: e.symmetry}
 	g := &Graph{Summary: res, expl: e}
@@ -335,7 +342,8 @@ func buildGraphParallel(p *gcl.Prog, opts Options) (*Graph, error) {
 						res.Violation = &Violation{Invariant: c.violated, Trace: t}
 					}
 				}
-				g.Adj[head] = append(g.Adj[head], Edge{To: idx, Pid: int8(c.pid), Label: c.label})
+				g.Adj[head] = append(g.Adj[head], Edge{To: idx, Pid: int8(c.pid), Label: c.label,
+					Perm: e.edgePermIdx(c.perm, idx, fresh)})
 			}
 		}
 	}

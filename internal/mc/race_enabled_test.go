@@ -1,0 +1,5 @@
+//go:build race
+
+package mc
+
+func init() { raceEnabled = true }

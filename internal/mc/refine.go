@@ -87,8 +87,12 @@ func CheckBoundedRefinement(impl, spec *gcl.Prog, opts RefinementOptions) (*Refi
 		opts.MaxNodes = 2_000_000
 	}
 
+	// The pipeline declares refinement as pinning EVERY pid (observable
+	// events name concrete processes on both sides), so the plan never
+	// selects a reduction regardless of the requested options.
+	plan := planFor(impl, Options{}, RefinementAnalysis{}.Needs())
 	r := &refiner{impl: impl, spec: spec, opts: opts,
-		beliefIDs: map[string]int{}, memo: newStateStore(impl, false, false)}
+		beliefIDs: map[string]int{}, memo: newStateStore(impl, false, plan)}
 	res := &RefinementResult{}
 
 	initBelief := r.tauClosure([]gcl.State{spec.InitState()})
@@ -206,7 +210,7 @@ func (r *refiner) withinCeiling(s gcl.State) bool {
 // tauClosure expands a set of spec states with every state reachable by
 // internal (non-event) transitions, pruning above the ceiling.
 func (r *refiner) tauClosure(seed []gcl.State) []gcl.State {
-	seen := newStateStore(r.spec, false, false)
+	seen := newStateStore(r.spec, false, Plan{})
 	var out []gcl.State
 	var queue []gcl.State
 	push := func(s gcl.State) {
@@ -240,7 +244,7 @@ func (r *refiner) tauClosure(seed []gcl.State) []gcl.State {
 // by exactly one occurrence of event ev.
 func (r *refiner) move(belief []gcl.State, ev string) []gcl.State {
 	var landed []gcl.State
-	seen := newStateStore(r.spec, false, false)
+	seen := newStateStore(r.spec, false, Plan{})
 	for _, s := range belief {
 		for _, sc := range r.spec.AllSuccs(s, gcl.ModeUnbounded) {
 			got := eventOf(r.spec, sc.Pid, r.spec.PCLabel(s, sc.Pid), r.spec.PCLabel(sc.State, sc.Pid))

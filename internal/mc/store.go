@@ -16,7 +16,7 @@ package mc
 //     over 64 RWMutex-guarded shards selected by fingerprint, safe for the
 //     parallel engine's concurrent advisory lookups during expansion while
 //     the single-threaded merge pass remains the only writer.
-//   - symmetry-aware (either of the above with symmetry enabled): Prepare
+//   - symmetry-aware (either of the above with Plan.Symmetry): Prepare
 //     canonicalizes the state before probing, so all states of one
 //     process-permutation orbit collapse onto a single entry. The store
 //     retains the canonical key (and the witnessing permutation is
@@ -24,6 +24,11 @@ package mc
 //     expand the concrete, first-encountered representative, which is what
 //     keeps counterexample traces concrete and replayable — see
 //     docs/model-checking.md, "Symmetry reduction".
+//   - pinned-symmetry (Plan.Pinned): Prepare canonicalizes over the
+//     subgroup of permutations that fix the pinned pids, the keying the
+//     FCFS monitor product uses — the monitor distinguishes its (first,
+//     second) pair but is symmetric in everyone else. Extra key words (the
+//     monitor phase) are appended after the pinned-canonical state.
 
 import (
 	"sync"
@@ -48,14 +53,15 @@ type StateStore interface {
 	Insert(fp uint64, key gcl.State, val int32)
 }
 
-// newStateStore builds the store variant an exploration needs. symmetry
-// requires p.CanCanonicalize(); callers gate on that and fall back to the
-// full search otherwise.
-func newStateStore(p *gcl.Prog, sharded, symmetry bool) StateStore {
+// newStateStore builds the store variant an exploration plan needs.
+// Plan.Symmetry requires p.CanCanonicalize() and Plan.Pinned requires
+// p.CanTrackPerms(); planFor gates on those and falls back to the full
+// search otherwise.
+func newStateStore(p *gcl.Prog, sharded bool, plan Plan) StateStore {
 	if sharded {
-		return newShardedStore(p, symmetry)
+		return newShardedStore(p, plan)
 	}
-	return newSeqStore(p, symmetry)
+	return newSeqStore(p, plan)
 }
 
 // kv is one stored entry: the key vector (concrete or canonical) and its
@@ -72,15 +78,19 @@ type kv struct {
 // engine's candidates carry their keys from the expand phase across the
 // chunk barrier into the merge pass, so a pooled probe buffer (copying
 // only on Insert) would be overwritten while still referenced.
-func prepare(p *gcl.Prog, symmetry bool, s gcl.State, extra []int32) (uint64, gcl.State) {
-	if symmetry {
+func prepare(p *gcl.Prog, plan Plan, s gcl.State, extra []int32) (uint64, gcl.State) {
+	switch {
+	case plan.Symmetry:
 		if len(extra) > 0 {
 			panic("mc: symmetry-aware store cannot key on extra words")
 		}
 		c := p.Canonicalize(s)
 		return c.Fingerprint(), c
-	}
-	if len(extra) == 0 {
+	case plan.Pinned != nil:
+		c := p.CanonicalizePinned(s, plan.Pinned)
+		key := append(c, extra...)
+		return key.Fingerprint(), key
+	case len(extra) == 0:
 		return s.Fingerprint(), s
 	}
 	key := make(gcl.State, len(s)+len(extra))
@@ -112,17 +122,17 @@ func bucketInsert(bucket []kv, key gcl.State, val int32) []kv {
 
 // seqStore is the unsharded implementation: one map, no locks.
 type seqStore struct {
-	p        *gcl.Prog
-	symmetry bool
-	m        map[uint64][]kv
+	p    *gcl.Prog
+	plan Plan
+	m    map[uint64][]kv
 }
 
-func newSeqStore(p *gcl.Prog, symmetry bool) *seqStore {
-	return &seqStore{p: p, symmetry: symmetry, m: map[uint64][]kv{}}
+func newSeqStore(p *gcl.Prog, plan Plan) *seqStore {
+	return &seqStore{p: p, plan: plan, m: map[uint64][]kv{}}
 }
 
 func (st *seqStore) Prepare(s gcl.State, extra ...int32) (uint64, gcl.State) {
-	return prepare(st.p, st.symmetry, s, extra)
+	return prepare(st.p, st.plan, s, extra)
 }
 
 func (st *seqStore) Lookup(fp uint64, key gcl.State) (int32, bool) {
@@ -152,13 +162,13 @@ type storeShard struct {
 // shardedStore stripes the bucket maps over shardCount shards selected by
 // fingerprint.
 type shardedStore struct {
-	p        *gcl.Prog
-	symmetry bool
-	shards   [shardCount]storeShard
+	p      *gcl.Prog
+	plan   Plan
+	shards [shardCount]storeShard
 }
 
-func newShardedStore(p *gcl.Prog, symmetry bool) *shardedStore {
-	st := &shardedStore{p: p, symmetry: symmetry}
+func newShardedStore(p *gcl.Prog, plan Plan) *shardedStore {
+	st := &shardedStore{p: p, plan: plan}
 	for i := range st.shards {
 		st.shards[i].m = map[uint64][]kv{}
 	}
@@ -166,7 +176,7 @@ func newShardedStore(p *gcl.Prog, symmetry bool) *shardedStore {
 }
 
 func (st *shardedStore) Prepare(s gcl.State, extra ...int32) (uint64, gcl.State) {
-	return prepare(st.p, st.symmetry, s, extra)
+	return prepare(st.p, st.plan, s, extra)
 }
 
 func (st *shardedStore) Lookup(fp uint64, key gcl.State) (int32, bool) {

@@ -1,0 +1,37 @@
+package specs
+
+import "testing"
+
+// The mechanical liveness declarations match each spec's actual shape:
+// every registered algorithm carries the FCFS monitor tags and cs-enter,
+// and exactly the gated Bakery++ variants expose a starve-at label.
+func TestLivenessOf(t *testing.T) {
+	for _, name := range Names() {
+		p, err := Get(name, Config{N: 3, M: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := LivenessOf(p)
+		if !l.FCFS {
+			t.Errorf("%s: FCFS tags missing", name)
+		}
+		if !l.NoProgress {
+			t.Errorf("%s: cs-enter tag missing", name)
+		}
+		wantStarve := ""
+		if name == "bakerypp" {
+			wantStarve = "l1"
+		}
+		if l.StarveAt != wantStarve {
+			t.Errorf("%s: StarveAt = %q, want %q", name, l.StarveAt, wantStarve)
+		}
+	}
+	nogate := BakeryPP(Config{N: 3, M: 2, NoGate: true})
+	if got := LivenessOf(nogate).StarveAt; got != "" {
+		t.Errorf("nogate variant: StarveAt = %q, want none", got)
+	}
+	safe := BakeryPPSafe(2, 2)
+	if got := LivenessOf(safe).StarveAt; got != "l1" {
+		t.Errorf("safe variant: StarveAt = %q, want l1", got)
+	}
+}

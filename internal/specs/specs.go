@@ -83,6 +83,36 @@ func Symmetric(name string) bool {
 	return err == nil && p.Symmetry() == gcl.FullSymmetry
 }
 
+// Liveness declares which liveness-flavoured analyses a specification
+// supports, derived mechanically from its labels and branch tags — the
+// declaration the unified analysis pipeline (internal/mc) and the
+// experiment harness consult instead of hard-coding per-spec knowledge.
+type Liveness struct {
+	// StarveAt names the label a pinned slow process can starve at (the
+	// paper's Section 6.3 scenario pins Bakery++'s L1 gate); empty when
+	// the spec has no such gate label.
+	StarveAt string
+	// FCFS reports the spec carries the "try"/"doorway-done"/"cs-enter"
+	// tags mc.CheckFCFS's monitor automaton observes.
+	FCFS bool
+	// NoProgress reports cs entries are tagged, so the global no-progress
+	// question (mc.(*Graph).FindNoProgress) is well-posed.
+	NoProgress bool
+}
+
+// LivenessOf derives the liveness declaration of a built program.
+func LivenessOf(p *gcl.Prog) Liveness {
+	tags := p.BranchTags()
+	l := Liveness{
+		FCFS:       tags["try"] > 0 && tags["doorway-done"] > 0 && tags["cs-enter"] > 0,
+		NoProgress: tags["cs-enter"] > 0,
+	}
+	if p.HasLabel("l1") {
+		l.StarveAt = "l1"
+	}
+	return l
+}
+
 // Names returns the registered specification names, sorted.
 func Names() []string {
 	out := make([]string, 0, len(registry))
