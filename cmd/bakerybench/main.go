@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"bakerypp/internal/harness"
+	"bakerypp/internal/mc"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel model-checking goroutines (0 = sequential, -1 = GOMAXPROCS; FCFS/refinement checks stay sequential)")
 		symmetry = flag.Bool("symmetry", false, "process-symmetry reduction for the safety-check experiments (specs declaring full symmetry explore one state per orbit; verdicts unchanged)")
 		por      = flag.Bool("por", false, "ample-set partial-order reduction for the safety-check experiments (composes with -symmetry; verdicts unchanged)")
+		store    = flag.String("store", "", "visited-set tier for the store-aware experiments (E17) and -bench-json: exact|compact[64|128]|bitstate, with ,spill and ,shadow modifiers; empty = experiment defaults")
 
 		benchJSON = flag.String("bench-json", "", "run the model-checking benchmark grid and write it as JSON to this path (e.g. BENCH_mc.json), instead of the experiment suite")
 
@@ -42,6 +44,16 @@ func main() {
 	)
 	flag.Parse()
 
+	var storeOpts *mc.StoreOptions
+	if *store != "" {
+		so, err := mc.ParseStoreSpec(*store)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bakerybench:", err)
+			os.Exit(2)
+		}
+		storeOpts = &so
+	}
+
 	if *list {
 		for _, e := range harness.Experiments() {
 			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
@@ -49,7 +61,7 @@ func main() {
 		return
 	}
 	if *benchJSON != "" {
-		rep, err := harness.WriteMCBenchJSON(*benchJSON, harness.ExpConfig{MCWorkers: *workers})
+		rep, err := harness.WriteMCBenchJSON(*benchJSON, harness.ExpConfig{MCWorkers: *workers, Store: storeOpts})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bakerybench:", err)
 			os.Exit(1)
@@ -86,7 +98,7 @@ func main() {
 	for i := range ids {
 		ids[i] = strings.TrimSpace(ids[i])
 	}
-	cfg := harness.ExpConfig{MCWorkers: *workers, SweepWorkers: *sweepWorkers, Symmetry: *symmetry, POR: *por}
+	cfg := harness.ExpConfig{MCWorkers: *workers, SweepWorkers: *sweepWorkers, Symmetry: *symmetry, POR: *por, Store: storeOpts}
 	if err := harness.RunExperiments(os.Stdout, ids, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bakerybench:", err)
 		os.Exit(1)

@@ -9,6 +9,8 @@
 //	bakerymc -algo bakerypp -n 2 -m 2 -crash        # with crash-restart
 //	bakerymc -algo bakerypp -n 3 -m 2 -starve 2     # Section 6.3 livelock
 //	bakerymc -algo bakerypp -n 5 -m 2 -symmetry -por -workers -1  # composed reductions
+//	bakerymc -algo bakerypp -n 6 -m 2 -symmetry -por -store compact  # beyond-RAM, probabilistic
+//	bakerymc -algo bakerypp -n 4 -m 2 -store exact,spill             # exact with mmap spill
 package main
 
 import (
@@ -40,9 +42,18 @@ func main() {
 		trace     = flag.Bool("trace", false, "print the counterexample trace, if any")
 		starve    = flag.Int("starve", -1, "search for a Section 6.3 livelock pinning this pid at l1")
 		fcfs      = flag.String("fcfs", "", "check FCFS for a pid pair, e.g. -fcfs 0,1")
+		store     = flag.String("store", "exact", "visited-set tier: exact|compact[64|128]|bitstate, with ,spill and ,shadow modifiers (e.g. compact, exact,spill, compact,spill). Lossy modes print a probabilistic-verdict banner and are refused for -starve/-fcfs")
+		storeSeed = flag.Uint64("store-seed", 0, "hash seed for the lossy store modes (runs are deterministic per seed for any -workers)")
 		listing   = flag.Bool("listing", false, "print the algorithm's control-flow skeleton and exit")
 	)
 	flag.Parse()
+
+	storeOpts, err := mc.ParseStoreSpec(*store)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bakerymc: %v\n", err)
+		os.Exit(2)
+	}
+	storeOpts.Seed = *storeSeed
 
 	p, err := specs.Get(*algo, specs.Config{
 		N: *n, M: *m, Fine: *fine, NoGate: *noGate, EqCheck: *eqCheck, SplitReset: *split,
@@ -59,6 +70,7 @@ func main() {
 		Workers:    *workers,
 		Symmetry:   *symmetry,
 		POR:        *por,
+		Store:      storeOpts,
 	}
 	if *por && (*fcfs != "" || *starve >= 0) {
 		fmt.Fprintln(os.Stderr, "bakerymc: note: -por does not apply to -starve/-fcfs (cycle- and identity-sensitive properties need every interleaving; -symmetry composes)")
@@ -85,7 +97,11 @@ func main() {
 				first, second)
 			os.Exit(2)
 		}
-		res := mc.CheckFCFS(p, first, second, opts)
+		res, err := mc.CheckFCFS(p, first, second, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bakerymc: %v\n", err)
+			os.Exit(2)
+		}
 		fmt.Println(res.String())
 		if !res.Holds {
 			if *trace {
@@ -107,8 +123,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bakerymc: %s declares no gate label to starve at\n", p.Name)
 			os.Exit(2)
 		}
-		g, err := mc.BuildGraph(p, mc.Options{MaxStates: opts.MaxStates, Workers: opts.Workers, Symmetry: opts.Symmetry})
+		g, err := mc.BuildGraph(p, mc.Options{MaxStates: opts.MaxStates, Workers: opts.Workers, Symmetry: opts.Symmetry, Store: opts.Store})
 		if err != nil {
+			if opts.Store.Lossy() {
+				fmt.Fprintf(os.Stderr, "bakerymc: %v\n", err)
+				os.Exit(2)
+			}
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -158,6 +178,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bakerymc: note: -por fell back to the full search (crash transitions make no action safely independent)")
 	}
 	fmt.Println(res.String())
+	if banner := res.Store.Banner(); banner != "" {
+		fmt.Println(banner)
+		fmt.Printf("run fingerprint: %016x (stable per -store-seed for any -workers)\n", res.RunFingerprint())
+	}
 	if res.Violation != nil {
 		if *trace {
 			fmt.Printf("counterexample:\n%s", res.Violation.Trace.String())

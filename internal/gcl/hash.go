@@ -27,6 +27,39 @@ func (s State) Fingerprint() uint64 {
 	return h
 }
 
+// FingerprintSeeded returns a 64-bit FNV-1a hash of the state vector whose
+// offset basis is perturbed by seed, giving a family of independent-enough
+// hash functions for the lossy visited-set modes (internal/mc's compact and
+// bitstate stores): the 128-bit compact key pairs Fingerprint with a
+// fixed-seed second word, and per-run seeds let validation runs re-roll the
+// collision dice. Seed 0 is NOT Fingerprint (the mixing constant below
+// keeps even seed 0 independent of the unseeded hash).
+func (s State) FingerprintSeeded(seed uint64) uint64 {
+	// splitmix64 finalizer spreads the seed across the offset basis so
+	// related seeds (0, 1, 2, …) give unrelated hash functions.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	h := uint64(fnvOffset64) ^ z
+	for _, v := range s {
+		u := uint32(v)
+		h = (h ^ uint64(u&0xff)) * fnvPrime64
+		h = (h ^ uint64((u>>8)&0xff)) * fnvPrime64
+		h = (h ^ uint64((u>>16)&0xff)) * fnvPrime64
+		h = (h ^ uint64(u>>24)) * fnvPrime64
+	}
+	return h
+}
+
+// Fingerprint128 returns a 128-bit fingerprint: the plain Fingerprint as
+// the low word and a fixed-seed FingerprintSeeded as the high word. The
+// compact store's 128-bit mode keys on both words, pushing the birthday
+// bound far below any reachable state count.
+func (s State) Fingerprint128() (lo, hi uint64) {
+	return s.Fingerprint(), s.FingerprintSeeded(0x243f6a8885a308d3)
+}
+
 // Equal reports whether two states are word-for-word identical.
 func (s State) Equal(t State) bool {
 	if len(s) != len(t) {

@@ -43,12 +43,22 @@ type MCBenchRecord struct {
 	POR        bool `json:"por"`
 	PORApplied bool `json:"por_applied"`
 
+	// Store is the visited-set tier the run used ("exact", "compact",
+	// "bitstate", "exact,spill", ...); cells that measure a non-exact tier
+	// suffix Name with "/<store>".
+	Store string `json:"store"`
+
 	States       int     `json:"states"`
 	Transitions  int     `json:"transitions"`
 	Verdict      string  `json:"verdict"`
 	Complete     bool    `json:"complete"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	StatesPerSec float64 `json:"states_per_sec"`
+	// PeakRSSKB is the process's resident-set high-water mark (getrusage
+	// Maxrss) after the run, in KiB. Monotonic across a report's records —
+	// a run's true footprint is the delta against the preceding record —
+	// and 0 on platforms without getrusage.
+	PeakRSSKB int64 `json:"peak_rss_kb"`
 }
 
 // MCBenchReport is the JSON document bakerybench emits.
@@ -109,9 +119,12 @@ func mcBenchGrid() []mcBenchCell {
 
 // RunMCBench runs the benchmark grid — the safety-check cells plus the
 // liveness rows (starvation on full vs quotient graphs, FCFS on concrete
-// vs pinned-orbit product keys) the unified analysis pipeline added.
+// vs pinned-orbit product keys) the unified analysis pipeline added, plus
+// the store-mode rows (reduction modes × visited-set tiers with peak-RSS).
 // cfg.MCWorkers selects the engine; cfg.Symmetry is ignored (the grid
-// always measures both sides where the full search is feasible).
+// always measures both sides where the full search is feasible);
+// cfg.Store, when set, overrides the store of every safety cell instead of
+// appending the store grid.
 func RunMCBench(cfg ExpConfig) (*MCBenchReport, error) {
 	rep, err := runMCBench(cfg, mcBenchGrid())
 	if err != nil {
@@ -120,7 +133,96 @@ func RunMCBench(cfg ExpConfig) (*MCBenchReport, error) {
 	if err := appendLivenessBench(rep, cfg, livenessBenchCells()); err != nil {
 		return nil, err
 	}
+	if cfg.Store == nil {
+		if err := appendStoreBench(rep, cfg, storeBenchCells()); err != nil {
+			return nil, err
+		}
+	}
 	return rep, nil
+}
+
+// storeBenchCell is one store-mode row: a safety check of algo/cfg under
+// the given reduction mode and store spec.
+type storeBenchCell struct {
+	algo  string
+	cfg   specs.Config
+	mode  benchMode
+	store string
+}
+
+// storeBenchCells crosses reduction modes with the visited-set tiers on
+// the n=4 cell — big enough (1.6M full states) that the tiers' memory
+// trade-offs show, small enough that six extra rows stay cheap.
+func storeBenchCells() []storeBenchCell {
+	c := specs.Config{N: 4, M: 2}
+	symPor := benchMode{"symmetry+por", true, true}
+	none := benchMode{"none", false, false}
+	return []storeBenchCell{
+		{"bakerypp", c, symPor, "compact"},
+		{"bakerypp", c, symPor, "compact64"},
+		{"bakerypp", c, symPor, "bitstate"},
+		{"bakerypp", c, symPor, "exact,spill"},
+		{"bakerypp", c, symPor, "compact,spill"},
+		{"bakerypp", c, none, "compact"},
+		{"bakerypp", c, none, "exact,spill"},
+	}
+}
+
+// appendStoreBench measures the store tiers. Cells are a parameter so the
+// schema test can run a trimmed grid.
+func appendStoreBench(rep *MCBenchReport, cfg ExpConfig, cells []storeBenchCell) error {
+	for _, cell := range cells {
+		so, err := mc.ParseStoreSpec(cell.store)
+		if err != nil {
+			return err
+		}
+		p, err := specs.Get(cell.algo, cell.cfg)
+		if err != nil {
+			return err
+		}
+		res := mc.Check(p, mc.Options{
+			Invariants: safetyInvariants(),
+			Workers:    cfg.MCWorkers,
+			Symmetry:   cell.mode.sym,
+			POR:        cell.mode.por,
+			Store:      so,
+		})
+		rep.Records = append(rep.Records, benchRecord(cell.algo, cell.mode, cfg.MCWorkers, so.String(), res))
+	}
+	return nil
+}
+
+// benchRecord converts one safety-check result into a grid record.
+func benchRecord(algo string, mode benchMode, workers int, store string, res *mc.Result) MCBenchRecord {
+	secs := res.Elapsed.Seconds()
+	rate := 0.0
+	if secs > 0 {
+		rate = float64(res.States) / secs
+	}
+	name := fmt.Sprintf("%s-n%d-m%d/%s", algo, res.Prog.N, res.Prog.M, mode.name)
+	if store != "exact" {
+		name += "/" + store
+	}
+	return MCBenchRecord{
+		Name:         name,
+		Algo:         algo,
+		N:            res.Prog.N,
+		M:            int(res.Prog.M),
+		Workers:      workers,
+		Reduction:    mode.name,
+		Symmetry:     mode.sym,
+		Applied:      res.Symmetry,
+		POR:          mode.por,
+		PORApplied:   res.POR,
+		Store:        store,
+		States:       res.States,
+		Transitions:  res.Transitions,
+		Verdict:      verdict(res),
+		Complete:     res.Complete,
+		WallSeconds:  secs,
+		StatesPerSec: rate,
+		PeakRSSKB:    peakRSSKB(),
+	}
 }
 
 // livenessBenchCell is one starvation-analysis cell of the liveness grid.
@@ -155,9 +257,11 @@ func appendLivenessBench(rep *MCBenchReport, cfg ExpConfig, cells []livenessBenc
 			Analysis: mode, Workers: workers,
 			Reduction: map[bool]string{false: "none", true: "symmetry"}[sym],
 			Symmetry:  sym, Applied: applied,
+			Store:  "exact",
 			States: states, Transitions: transitions,
 			Verdict: verdict, Complete: complete,
 			WallSeconds: secs, StatesPerSec: rate,
+			PeakRSSKB: peakRSSKB(),
 		})
 	}
 	for _, c := range cells {
@@ -203,7 +307,10 @@ func appendLivenessBench(rep *MCBenchReport, cfg ExpConfig, cells []livenessBenc
 			return err
 		}
 		start := time.Now()
-		res := mc.CheckFCFS(p, 2, 0, mc.Options{Symmetry: sym})
+		res, err := mc.CheckFCFS(p, 2, 0, mc.Options{Symmetry: sym})
+		if err != nil {
+			return err
+		}
 		verdict := "holds"
 		if !res.Holds {
 			verdict = "VIOLATED"
@@ -224,6 +331,10 @@ func runMCBench(cfg ExpConfig, grid []mcBenchCell) (*MCBenchReport, error) {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 	}
+	store := mc.StoreOptions{}
+	if cfg.Store != nil {
+		store = *cfg.Store
+	}
 	for _, cell := range grid {
 		for _, mode := range benchModes(cell.fullToo) {
 			p, err := specs.Get(cell.algo, cell.cfg)
@@ -235,30 +346,9 @@ func runMCBench(cfg ExpConfig, grid []mcBenchCell) (*MCBenchReport, error) {
 				Workers:    cfg.MCWorkers,
 				Symmetry:   mode.sym,
 				POR:        mode.por,
+				Store:      store,
 			})
-			secs := res.Elapsed.Seconds()
-			rate := 0.0
-			if secs > 0 {
-				rate = float64(res.States) / secs
-			}
-			rep.Records = append(rep.Records, MCBenchRecord{
-				Name:         fmt.Sprintf("%s-n%d-m%d/%s", cell.algo, p.N, p.M, mode.name),
-				Algo:         cell.algo,
-				N:            p.N,
-				M:            int(p.M),
-				Workers:      cfg.MCWorkers,
-				Reduction:    mode.name,
-				Symmetry:     mode.sym,
-				Applied:      res.Symmetry,
-				POR:          mode.por,
-				PORApplied:   res.POR,
-				States:       res.States,
-				Transitions:  res.Transitions,
-				Verdict:      verdict(res),
-				Complete:     res.Complete,
-				WallSeconds:  secs,
-				StatesPerSec: rate,
-			})
+			rep.Records = append(rep.Records, benchRecord(cell.algo, mode, cfg.MCWorkers, store.String(), res))
 		}
 	}
 	return rep, nil

@@ -61,6 +61,9 @@ func TestWriteMCBenchJSON(t *testing.T) {
 			t.Errorf("%s: por requested (%v) but applied (%v)", r.Name, r.POR, r.PORApplied)
 		}
 		wantName := fmt.Sprintf("%s-n%d-m%d/%s", r.Algo, r.N, r.M, r.Reduction)
+		if r.Store != "exact" {
+			wantName += "/" + r.Store
+		}
 		if r.Name != wantName {
 			t.Errorf("record name %q does not encode its reduction mode (want %q)", r.Name, wantName)
 		}
@@ -114,8 +117,9 @@ func TestMCBenchJSONSchema(t *testing.T) {
 	want := []string{
 		"name", "algo", "n", "m", "workers",
 		"reduction", "symmetry", "symmetry_applied", "por", "por_applied",
+		"store",
 		"states", "transitions", "verdict", "complete",
-		"wall_seconds", "states_per_sec",
+		"wall_seconds", "states_per_sec", "peak_rss_kb",
 	}
 	validModes := map[string]bool{"none": true, "symmetry": true, "por": true, "symmetry+por": true}
 	seen := map[string]bool{}
@@ -137,6 +141,42 @@ func TestMCBenchJSONSchema(t *testing.T) {
 	for mode := range validModes {
 		if !seen[mode] {
 			t.Errorf("full-cell grid emitted no %q record", mode)
+		}
+	}
+}
+
+// TestStoreBenchRecords runs a trimmed store-mode grid (N=2, where the
+// full n=4 rows of storeBenchCells would be too slow for the unit suite)
+// and checks the rows the other tests never produce: non-exact records
+// suffix their name with the store spec, carry it in the store column,
+// and agree with the exact baseline's verdict.
+func TestStoreBenchRecords(t *testing.T) {
+	rep := &MCBenchReport{}
+	none := benchMode{"none", false, false}
+	c := specs.Config{N: 2, M: 2}
+	cells := []storeBenchCell{
+		{"bakerypp", c, none, "compact"},
+		{"bakerypp", c, none, "compact64"},
+		{"bakerypp", c, none, "bitstate"},
+		{"bakerypp", c, none, "exact,spill"},
+		{"bakerypp", c, none, "compact,spill"},
+	}
+	if err := appendStoreBench(rep, ExpConfig{}, cells); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != len(cells) {
+		t.Fatalf("got %d records, want %d", len(rep.Records), len(cells))
+	}
+	for i, r := range rep.Records {
+		if r.Store != cells[i].store {
+			t.Errorf("%s: store column %q, want %q", r.Name, r.Store, cells[i].store)
+		}
+		want := fmt.Sprintf("%s-n%d-m%d/none/%s", r.Algo, r.N, r.M, cells[i].store)
+		if r.Name != want {
+			t.Errorf("record name %q does not encode its store tier (want %q)", r.Name, want)
+		}
+		if r.Verdict != "verified" {
+			t.Errorf("%s: verdict %q, want \"verified\" (bakerypp n2m2 is safe under every tier)", r.Name, r.Verdict)
 		}
 	}
 }

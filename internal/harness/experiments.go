@@ -50,6 +50,14 @@ type ExpConfig struct {
 	// explore full. E15 compares all four reduction modes explicitly and
 	// ignores this knob.
 	POR bool
+	// Store overrides the visited-set tier for the store-aware surfaces:
+	// nil leaves every experiment on its recorded defaults (RunMCBench
+	// then appends the store-mode grid and E17 prints its full mode
+	// table), while a parsed mc.StoreOptions pins that single tier — the
+	// shape CI's memory-smoke uses to run one mode under GOMEMLIMIT.
+	// Exactness-needing experiments (graph, FCFS, refinement) ignore a
+	// lossy override rather than fail; mc.planFor would refuse it.
+	Store *mc.StoreOptions
 }
 
 // Experiment is one reproducible experiment from the per-experiment index
@@ -98,6 +106,8 @@ func Experiments() []Experiment {
 			"Scaling the Section 6.2 TLC-style verification further: ample-set partial-order reduction (the SPIN/TLC-family pairing) multiplies with the symmetry quotient while preserving every verdict, including the modbakery strawman's violation", runE15},
 		{"E16", "Liveness under reduction: starvation/no-progress/FCFS, full vs quotient",
 			"Section 6.3 livelock and the global-progress question at scales the full graph cannot reach: the unified analysis pipeline runs the cycle analyses orbit-aware on the quotient graph and the FCFS monitor on pinned-orbit keys, with verdict parity enforced and every quotient lasso replayed as a concrete execution", runE16},
+		{"E17", "Beyond-RAM state stores: exact / spill / compact / bitstate at a fixed spec",
+			"Scaling the Section 6.2 TLC-style verification past memory: hash compaction (TLC's fingerprint mode), bitstate hashing (SPIN's supertrace) and an mmap spill tier trade heap residency — and, for the lossy tiers, an explicitly bounded omission risk — for reach, with verdict parity against the exact baseline", runE17},
 	}
 }
 
@@ -426,7 +436,10 @@ func runE6(w io.Writer, _ ExpConfig) error {
 		{specs.Szymanski(2), [2]int{1, 0}, 0},
 	}
 	for _, c := range checks {
-		res := mc.CheckFCFS(c.p, c.fs[0], c.fs[1], mc.Options{MaxStates: c.bounds})
+		res, err := mc.CheckFCFS(c.p, c.fs[0], c.fs[1], mc.Options{MaxStates: c.bounds})
+		if err != nil {
+			return err
+		}
 		v := "holds"
 		switch {
 		case !res.Holds:
@@ -887,12 +900,18 @@ func runE16(w io.Writer, cfg ExpConfig) error {
 		if err != nil {
 			return err
 		}
-		full := mc.CheckFCFS(pf, c.first, c.second, mc.Options{})
+		full, err := mc.CheckFCFS(pf, c.first, c.second, mc.Options{})
+		if err != nil {
+			return err
+		}
 		pq, err := mk()
 		if err != nil {
 			return err
 		}
-		red := mc.CheckFCFS(pq, c.first, c.second, mc.Options{Symmetry: true})
+		red, err := mc.CheckFCFS(pq, c.first, c.second, mc.Options{Symmetry: true})
+		if err != nil {
+			return err
+		}
 		if full.Holds != red.Holds {
 			return fmt.Errorf("E16: FCFS(%d,%d) verdicts diverge for %s: full=%v reduced=%v",
 				c.first, c.second, c.algo, full.Holds, red.Holds)
@@ -909,6 +928,55 @@ func runE16(w io.Writer, cfg ExpConfig) error {
 	fmt.Fprintln(w, tb)
 	fmt.Fprintf(w, "table fingerprint: %s (identical for any -workers and GOMAXPROCS)\n", tb.Fingerprint())
 	fmt.Fprintln(w, "Until this pipeline, -symmetry was ignored for -starve/-fcfs and these properties capped out near N=4; the quotient side now carries them (the bakerypp N=4 row's full graph alone exceeds 1.5M states, and N=5 M=2 completes orbit-aware while its full graph exhausts the state bound). Quotient cycle verdicts are backed by concrete replayed lassos — every step re-derived by execution — and the no-progress rows pin both directions: the gated spec shows no global livelock on either side, the gateless ablation's reset livelock survives the reduction.")
+	return nil
+}
+
+func runE17(w io.Writer, cfg ExpConfig) error {
+	tb := stats.NewTable("Visited-set tiers on the unreduced Bakery++ N=4 M=2 space (1.57M states)",
+		"store", "states", "transitions", "verdict", "expected omissions", "confidence", "peak RSS (MiB)")
+	// Tiers run smallest footprint first: peak RSS (getrusage Maxrss) is a
+	// process-wide high-water mark, so each row's column is legible as
+	// "the high water after this tier" only when footprints ascend — the
+	// exact in-heap tier, the largest, goes last.
+	stores := []string{"bitstate", "compact64", "compact", "compact,spill", "exact,spill", "exact"}
+	if cfg.Store != nil {
+		// A pinned tier runs alone: the shape the CI memory smoke uses to
+		// drive one mode under GOMEMLIMIT without paying for the others.
+		stores = []string{cfg.Store.String()}
+	}
+	c := specs.Config{N: 4, M: 2}
+	var exact, lossyRef *mc.Result
+	for _, spec := range stores {
+		so, err := mc.ParseStoreSpec(spec)
+		if err != nil {
+			return err
+		}
+		p, err := specs.Get("bakerypp", c)
+		if err != nil {
+			return err
+		}
+		res := mc.Check(p, mc.Options{
+			Invariants: safetyInvariants(),
+			Workers:    cfg.MCWorkers,
+			Store:      so,
+		})
+		expected, confidence := "0 (exact)", "1"
+		if res.Store != nil && res.Store.Lossy {
+			expected = fmt.Sprintf("<= %.3g", res.Store.ExpectedOmissions)
+			confidence = fmt.Sprintf(">= %.9f", res.Store.Confidence)
+			if lossyRef == nil {
+				lossyRef = res
+			}
+		} else if spec == "exact" {
+			exact = res
+		}
+		tb.AddRow(spec, res.States, res.Transitions, verdict(res), expected, confidence, peakRSSKB()/1024)
+	}
+	fmt.Fprintln(w, tb)
+	if exact != nil && lossyRef != nil && verdict(exact) != verdict(lossyRef) {
+		return fmt.Errorf("E17: lossy tier verdict %q diverges from exact %q", verdict(lossyRef), verdict(exact))
+	}
+	fmt.Fprintln(w, "The exact tiers agree state-for-state; the lossy tiers reach the same verdict while holding fingerprints (compact) or bits (bitstate) instead of state vectors, with the omission risk they accept printed next to the verdict — see docs/model-checking.md, \"State stores and memory\". Bitstate explores the same space but stores no values, so runs that need POR or traces must step up a tier. Peak RSS is a process high-water mark: each row shows the maximum over all tiers run so far, which is why the table ascends to the exact tier instead of resetting per row.")
 	return nil
 }
 

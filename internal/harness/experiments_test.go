@@ -8,8 +8,8 @@ import (
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 16 {
-		t.Fatalf("got %d experiments, want 16", len(exps))
+	if len(exps) != 17 {
+		t.Fatalf("got %d experiments, want 17", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -22,7 +22,7 @@ func TestExperimentRegistry(t *testing.T) {
 		seen[e.ID] = true
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 16 || ids[0] != "E1" {
+	if len(ids) != 17 || ids[0] != "E1" {
 		t.Errorf("ExperimentIDs = %v", ids)
 	}
 }

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package harness
+
+// peakRSSKB is unavailable without getrusage; records carry 0.
+func peakRSSKB() int64 { return 0 }

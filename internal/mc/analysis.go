@@ -25,7 +25,11 @@ package mc
 // engine execute the same plan and stay byte-identical for any Workers
 // setting.
 
-import "bakerypp/internal/gcl"
+import (
+	"fmt"
+
+	"bakerypp/internal/gcl"
+)
 
 // Needs declares what an analysis requires of the exploration engine.
 type Needs struct {
@@ -45,6 +49,13 @@ type Needs struct {
 	// (refinement relates concrete pids on both sides); no symmetry
 	// reduction is sound then.
 	AllPids bool
+	// Exact requires the visited set to never misreport a fresh state as
+	// seen. Graph consumers address states by index and lift cycles through
+	// them, the FCFS monitor and refinement memoization prune whole search
+	// subtrees on membership answers — one silent omission corrupts those
+	// structurally, not just probabilistically, so planFor refuses lossy
+	// stores outright for such analyses.
+	Exact bool
 	// Observations collects the declared read sets of the predicates the
 	// analysis evaluates; a nil entry means "may read anything" and
 	// disables POR, exactly like Invariant.Observes.
@@ -78,7 +89,7 @@ type GraphAnalysis struct{ Invariants []Invariant }
 
 func (GraphAnalysis) Name() string { return "graph" }
 func (a GraphAnalysis) Needs() Needs {
-	return Needs{Edges: true, Depth: true, Cycles: true,
+	return Needs{Edges: true, Depth: true, Cycles: true, Exact: true,
 		Observations: observationsOf(a.Invariants)}
 }
 
@@ -89,7 +100,7 @@ type FCFSAnalysis struct{ First, Second int }
 
 func (FCFSAnalysis) Name() string { return "fcfs" }
 func (a FCFSAnalysis) Needs() Needs {
-	return Needs{PinnedPids: []int{a.First, a.Second},
+	return Needs{PinnedPids: []int{a.First, a.Second}, Exact: true,
 		Observations: []*Observation{nil}} // tag visibility: beyond Observation's vocabulary
 }
 
@@ -100,7 +111,7 @@ type RefinementAnalysis struct{}
 
 func (RefinementAnalysis) Name() string { return "refinement" }
 func (RefinementAnalysis) Needs() Needs {
-	return Needs{AllPids: true, Observations: []*Observation{nil}}
+	return Needs{AllPids: true, Exact: true, Observations: []*Observation{nil}}
 }
 
 // Plan is the reduction selection the pipeline made for one analysis run.
@@ -117,12 +128,25 @@ type Plan struct {
 	// the concrete successor to the stored representative of its orbit,
 	// enabling the quotient-product cycle analyses.
 	TrackPerms bool
+	// Store is the normalized visited-set configuration (storeopts.go).
+	Store StoreOptions
 }
 
 // planFor selects the strongest sound reduction for an analysis on p under
-// the requested options. It is deterministic and engine-independent.
-func planFor(p *gcl.Prog, opts Options, needs Needs) Plan {
+// the requested options, and refuses store/analysis combinations that are
+// unsound. It is deterministic and engine-independent.
+func planFor(p *gcl.Prog, opts Options, a Analysis) (Plan, error) {
+	needs := a.Needs()
 	var pl Plan
+	st, err := opts.Store.normalized()
+	if err != nil {
+		return pl, err
+	}
+	if st.Lossy() && needs.Exact {
+		return pl, fmt.Errorf("mc: the %s analysis needs an exact visited set; store mode %q is unsound for it (use \"exact\" or \"exact,spill\")",
+			a.Name(), st.String())
+	}
+	pl.Store = st
 	crashSymOK := !opts.Crash || crashersCoverAll(crashersOf(p, opts), p.N)
 	if opts.Symmetry && !needs.AllPids && crashSymOK {
 		switch {
@@ -150,17 +174,22 @@ func planFor(p *gcl.Prog, opts Options, needs Needs) Plan {
 	// action of any process is ever safe to single out; cycle-sensitive
 	// analyses need every interleaving; a nil observation could watch
 	// anything; a pinned or fully-pinned property may distinguish the
-	// very interleavings POR merges.
-	pl.POR = opts.POR && !opts.Crash && !needs.Cycles && !needs.AllPids &&
-		len(needs.PinnedPids) == 0 && observationsKnown(needs.Observations)
-	return pl
+	// very interleavings POR merges. The bitstate store stores no values,
+	// so the ample proviso's stored-depth lookups are impossible — POR is
+	// silently dropped there (the store is already probabilistic; the
+	// compact store keeps values and keeps POR).
+	pl.POR = opts.POR && st.hasValues() && !opts.Crash && !needs.Cycles &&
+		!needs.AllPids && len(needs.PinnedPids) == 0 &&
+		observationsKnown(needs.Observations)
+	return pl, nil
 }
 
 // PlanFor exposes the pipeline's reduction choice, mainly so tests and
 // tools can assert what the engine will do for a given analysis without
-// running it.
-func PlanFor(p *gcl.Prog, opts Options, a Analysis) Plan {
-	return planFor(p, opts, a.Needs())
+// running it. The error reports store/analysis combinations the pipeline
+// refuses as unsound.
+func PlanFor(p *gcl.Prog, opts Options, a Analysis) (Plan, error) {
+	return planFor(p, opts, a)
 }
 
 // observationsOf collects the invariants' declared read sets.

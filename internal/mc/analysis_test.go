@@ -13,13 +13,21 @@ import (
 func TestPlanForReductionChoices(t *testing.T) {
 	p := specs.BakeryPP(specs.Config{N: 3, M: 2})
 	opts := Options{Invariants: []Invariant{Mutex(), NoOverflow()}, Symmetry: true, POR: true}
+	mustPlan := func(pr *gcl.Prog, o Options, a Analysis) Plan {
+		t.Helper()
+		pl, err := PlanFor(pr, o, a)
+		if err != nil {
+			t.Fatalf("PlanFor(%s): %v", a.Name(), err)
+		}
+		return pl
+	}
 
-	safety := PlanFor(p, opts, SafetyAnalysis{Invariants: opts.Invariants})
+	safety := mustPlan(p, opts, SafetyAnalysis{Invariants: opts.Invariants})
 	if !safety.Symmetry || !safety.POR || safety.Pinned != nil || safety.TrackPerms {
 		t.Errorf("safety plan = %+v, want full symmetry + POR", safety)
 	}
 
-	graph := PlanFor(p, opts, GraphAnalysis{Invariants: opts.Invariants})
+	graph := mustPlan(p, opts, GraphAnalysis{Invariants: opts.Invariants})
 	if !graph.Symmetry || !graph.TrackPerms {
 		t.Errorf("graph plan = %+v, want permutation-tracked symmetry", graph)
 	}
@@ -31,7 +39,7 @@ func TestPlanForReductionChoices(t *testing.T) {
 		t.Errorf("graph needs = %+v, want edges+depth+cycles", gNeeds)
 	}
 
-	fcfs := PlanFor(p, opts, FCFSAnalysis{First: 2, Second: 0})
+	fcfs := mustPlan(p, opts, FCFSAnalysis{First: 2, Second: 0})
 	if fcfs.Symmetry || fcfs.POR || fcfs.TrackPerms {
 		t.Errorf("fcfs plan = %+v, want pinned-orbit dedup only", fcfs)
 	}
@@ -39,7 +47,7 @@ func TestPlanForReductionChoices(t *testing.T) {
 		t.Errorf("fcfs pinned = %v, want [2 0]", fcfs.Pinned)
 	}
 
-	refine := PlanFor(p, opts, RefinementAnalysis{})
+	refine := mustPlan(p, opts, RefinementAnalysis{})
 	if refine.Symmetry || refine.POR || refine.TrackPerms || refine.Pinned != nil {
 		t.Errorf("refinement plan = %+v, want no reduction", refine)
 	}
@@ -48,19 +56,19 @@ func TestPlanForReductionChoices(t *testing.T) {
 	crashOpts := opts
 	crashOpts.Crash = true
 	crashOpts.CrashPids = []int{0}
-	if pl := PlanFor(p, crashOpts, SafetyAnalysis{Invariants: opts.Invariants}); pl.Symmetry || pl.POR {
+	if pl := mustPlan(p, crashOpts, SafetyAnalysis{Invariants: opts.Invariants}); pl.Symmetry || pl.POR {
 		t.Errorf("subset-crash plan = %+v, want no reduction", pl)
 	}
 
 	// An invariant without a declared read set blocks POR but not symmetry.
 	blind := Options{Invariants: []Invariant{{Name: "opaque", Holds: func(pr *gcl.Prog, s gcl.State) bool { return true }}}, Symmetry: true, POR: true}
-	if pl := PlanFor(p, blind, SafetyAnalysis{Invariants: blind.Invariants}); pl.POR || !pl.Symmetry {
+	if pl := mustPlan(p, blind, SafetyAnalysis{Invariants: blind.Invariants}); pl.POR || !pl.Symmetry {
 		t.Errorf("undeclared-observation plan = %+v, want symmetry without POR", pl)
 	}
 
 	// Declared-asymmetric specs fall back entirely.
 	bw := specs.BlackWhite(3)
-	if pl := PlanFor(bw, opts, GraphAnalysis{Invariants: opts.Invariants}); pl.Symmetry || pl.TrackPerms {
+	if pl := mustPlan(bw, opts, GraphAnalysis{Invariants: opts.Invariants}); pl.Symmetry || pl.TrackPerms {
 		t.Errorf("asymmetric-spec graph plan = %+v, want full search", pl)
 	}
 }

@@ -186,7 +186,7 @@ func BenchmarkFindNoProgressN4M2(b *testing.B) {
 
 func BenchmarkCheckFCFS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if res := CheckFCFS(specs.BakeryPP(specs.Config{N: 2, M: 2}), 0, 1, Options{}); !res.Holds {
+		if res := mustFCFS(specs.BakeryPP(specs.Config{N: 2, M: 2}), 0, 1, Options{}); !res.Holds {
 			b.Fatal("violated")
 		}
 	}

@@ -72,8 +72,11 @@ func (r *FCFSResult) String() string {
 // (FCFSAnalysis in analysis.go). Dedup is again representative-only:
 // stored product nodes are concrete states discovered from their concrete
 // parents, so a violation witness is a real execution. Other Options
-// fields (Workers, POR, Crash) do not apply to the monitor product.
-func CheckFCFS(p *gcl.Prog, first, second int, opts Options) *FCFSResult {
+// fields (Workers, POR, Crash) do not apply to the monitor product. A
+// lossy Options.Store is refused with an error: the monitor prunes whole
+// product subtrees on membership answers, so one fingerprint collision
+// could silently mask a violation (exact,spill is fine).
+func CheckFCFS(p *gcl.Prog, first, second int, opts Options) (*FCFSResult, error) {
 	if first == second || first < 0 || second < 0 || first >= p.N || second >= p.N {
 		panic(fmt.Sprintf("mc: bad FCFS pair (%d, %d) for N=%d", first, second, p.N))
 	}
@@ -87,7 +90,10 @@ func CheckFCFS(p *gcl.Prog, first, second int, opts Options) *FCFSResult {
 	if maxStates == 0 {
 		maxStates = DefaultMaxStates
 	}
-	plan := planFor(p, opts, FCFSAnalysis{First: first, Second: second}.Needs())
+	plan, err := planFor(p, opts, FCFSAnalysis{First: first, Second: second})
+	if err != nil {
+		return nil, err
+	}
 	res := &FCFSResult{Prog: p, First: first, Second: second, Holds: true,
 		Symmetry: plan.Pinned != nil}
 
@@ -104,7 +110,7 @@ func CheckFCFS(p *gcl.Prog, first, second int, opts Options) *FCFSResult {
 	// out — but the plan may select pinned-orbit keying, which collapses
 	// states related by permutations of the remaining pids.
 	nodes := []node{{st: p.InitState(), phase: 0, parent: -1, byPid: -1}}
-	seen := newStateStore(p, false, plan)
+	seen := newStateStore(p, false, plan, nil)
 	fp0, key0 := seen.Prepare(nodes[0].st, 0)
 	seen.Insert(fp0, key0, 0)
 
@@ -128,7 +134,7 @@ func CheckFCFS(p *gcl.Prog, first, second int, opts Options) *FCFSResult {
 		if len(nodes) >= maxStates {
 			res.Complete = false
 			res.States = len(nodes)
-			return res
+			return res, nil
 		}
 		nd := nodes[head]
 		for _, sc := range p.AllSuccs(nd.st, gcl.ModeUnbounded) {
@@ -147,7 +153,7 @@ func CheckFCFS(p *gcl.Prog, first, second int, opts Options) *FCFSResult {
 				res.States = len(nodes)
 				sc := sc
 				res.Witness = buildTrace(head, &sc)
-				return res
+				return res, nil
 			}
 			fp, key := seen.Prepare(sc.State, int32(phase))
 			if _, dup := seen.Lookup(fp, key); dup {
@@ -162,5 +168,5 @@ func CheckFCFS(p *gcl.Prog, first, second int, opts Options) *FCFSResult {
 	}
 	res.Complete = true
 	res.States = len(nodes)
-	return res
+	return res, nil
 }

@@ -4,8 +4,20 @@ import (
 	"strings"
 	"testing"
 
+	"bakerypp/internal/gcl"
 	"bakerypp/internal/specs"
 )
+
+// mustFCFS is CheckFCFS for tests exercising valid store configurations
+// (the only error source); the refusal path has its own tests in
+// storegate_test.go.
+func mustFCFS(p *gcl.Prog, first, second int, opts Options) *FCFSResult {
+	res, err := CheckFCFS(p, first, second, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
 
 // E6, model half: FCFS holds for the bakery family as a checked property of
 // ALL executions, not just sampled ones.
@@ -16,19 +28,19 @@ func TestFCFSBakeryFamily(t *testing.T) {
 		mk   func() *FCFSResult
 	}{
 		{"bakerypp-2", 2, func() *FCFSResult {
-			return CheckFCFS(specs.BakeryPP(specs.Config{N: 2, M: 2}), 0, 1, Options{})
+			return mustFCFS(specs.BakeryPP(specs.Config{N: 2, M: 2}), 0, 1, Options{})
 		}},
 		{"bakerypp-2-rev", 2, func() *FCFSResult {
-			return CheckFCFS(specs.BakeryPP(specs.Config{N: 2, M: 2}), 1, 0, Options{})
+			return mustFCFS(specs.BakeryPP(specs.Config{N: 2, M: 2}), 1, 0, Options{})
 		}},
 		{"bakerypp-3", 3, func() *FCFSResult {
-			return CheckFCFS(specs.BakeryPP(specs.Config{N: 3, M: 2}), 2, 0, Options{})
+			return mustFCFS(specs.BakeryPP(specs.Config{N: 3, M: 2}), 2, 0, Options{})
 		}},
 		{"blackwhite-2", 2, func() *FCFSResult {
-			return CheckFCFS(specs.BlackWhite(2), 0, 1, Options{})
+			return mustFCFS(specs.BlackWhite(2), 0, 1, Options{})
 		}},
 		{"blackwhite-2-rev", 2, func() *FCFSResult {
-			return CheckFCFS(specs.BlackWhite(2), 1, 0, Options{})
+			return mustFCFS(specs.BlackWhite(2), 1, 0, Options{})
 		}},
 	}
 	for _, tc := range progs {
@@ -46,7 +58,7 @@ func TestFCFSBakeryFamily(t *testing.T) {
 // Classic Bakery's state space is infinite; FCFS is checked up to a state
 // bound (bounded evidence, like the mutex check).
 func TestFCFSBakeryBounded(t *testing.T) {
-	res := CheckFCFS(specs.Bakery(specs.Config{N: 2, M: 1 << 14}), 0, 1, Options{MaxStates: 60000})
+	res := mustFCFS(specs.Bakery(specs.Config{N: 2, M: 1 << 14}), 0, 1, Options{MaxStates: 60000})
 	if !res.Holds {
 		t.Fatalf("bakery FCFS violated:\n%s", res.Witness.String())
 	}
@@ -59,7 +71,7 @@ func TestFCFSBakeryBounded(t *testing.T) {
 // published its intent can be overtaken by a later arrival. The checker
 // finds a shortest witnessing interleaving.
 func TestFCFSPetersonViolated(t *testing.T) {
-	res := CheckFCFS(specs.Peterson(3), 0, 1, Options{})
+	res := mustFCFS(specs.Peterson(3), 0, 1, Options{})
 	if res.Holds {
 		t.Fatal("peterson filter reported FCFS; it is not")
 	}
@@ -73,13 +85,13 @@ func TestFCFSPetersonViolated(t *testing.T) {
 // only up to intra-batch id reordering: with the lower-id process arriving
 // second, the checker finds the reorder; and the favourable direction holds.
 func TestFCFSSzymanskiBatchOrder(t *testing.T) {
-	rev := CheckFCFS(specs.Szymanski(2), 1, 0, Options{})
+	rev := mustFCFS(specs.Szymanski(2), 1, 0, Options{})
 	if rev.Holds {
 		t.Error("szymanski (first=1, second=0): expected id-order overtake")
 	} else {
 		t.Logf("id-order overtake witness: %d steps", rev.Witness.Len())
 	}
-	fwd := CheckFCFS(specs.Szymanski(2), 0, 1, Options{})
+	fwd := mustFCFS(specs.Szymanski(2), 0, 1, Options{})
 	if !fwd.Holds {
 		t.Errorf("szymanski (first=0, second=1): unexpected violation:\n%s", fwd.Witness.String())
 	}
@@ -103,11 +115,11 @@ func TestFCFSValidation(t *testing.T) {
 }
 
 func TestFCFSResultString(t *testing.T) {
-	res := CheckFCFS(specs.BakeryPP(specs.Config{N: 2, M: 2}), 0, 1, Options{})
+	res := mustFCFS(specs.BakeryPP(specs.Config{N: 2, M: 2}), 0, 1, Options{})
 	if !strings.Contains(res.String(), "FCFS holds") {
 		t.Errorf("String = %q", res.String())
 	}
-	bad := CheckFCFS(specs.Peterson(3), 0, 1, Options{})
+	bad := mustFCFS(specs.Peterson(3), 0, 1, Options{})
 	if !strings.Contains(bad.String(), "VIOLATED") {
 		t.Errorf("String = %q", bad.String())
 	}

@@ -43,10 +43,10 @@ type Graph struct {
 }
 
 // NumStates returns the number of reachable states.
-func (g *Graph) NumStates() int { return len(g.expl.states) }
+func (g *Graph) NumStates() int { return g.expl.numStates() }
 
 // State returns the state at a graph index.
-func (g *Graph) State(i int) gcl.State { return g.expl.states[i] }
+func (g *Graph) State(i int) gcl.State { return g.expl.stateAt(int32(i)) }
 
 // BuildGraph explores the complete reachable state space of p and returns
 // its transition graph. Unlike Check it does not stop at invariant
@@ -62,7 +62,10 @@ func (g *Graph) State(i int) gcl.State { return g.expl.states[i] }
 // encountered orbit, with permutation-annotated edges the cycle analyses
 // lift concrete pid identities through (quotient.go).
 func BuildGraph(p *gcl.Prog, opts Options) (*Graph, error) {
-	plan := planFor(p, opts, GraphAnalysis{Invariants: opts.Invariants}.Needs())
+	plan, err := planFor(p, opts, GraphAnalysis{Invariants: opts.Invariants})
+	if err != nil {
+		return nil, err
+	}
 	if opts.Workers != 0 {
 		return buildGraphParallel(p, opts, plan)
 	}
@@ -79,12 +82,12 @@ func BuildGraph(p *gcl.Prog, opts Options) (*Graph, error) {
 		res.Violation = &Violation{Invariant: name, Trace: t}
 	}
 
-	for head := 0; head < len(e.states); head++ {
-		if len(e.states) > e.opts.MaxStates {
+	for head := 0; head < e.numStates(); head++ {
+		if e.numStates() > e.opts.MaxStates {
 			return nil, fmt.Errorf("mc: %s: state bound %d exceeded while building graph",
 				p.Name, e.opts.MaxStates)
 		}
-		s := e.states[head]
+		s := e.stateAt(int32(head))
 		res.Depth = int(e.depth[head])
 		succs, _, _, _ := e.successors(s)
 		for _, sc := range succs {
@@ -102,7 +105,8 @@ func BuildGraph(p *gcl.Prog, opts Options) (*Graph, error) {
 				Perm: e.edgePermIdx(perm, idx, fresh)})
 		}
 	}
-	res.States = len(e.states)
+	res.States = e.numStates()
+	res.Store = e.storeReport()
 	res.Complete = true
 	res.Elapsed = time.Since(start)
 	return g, nil
@@ -248,7 +252,7 @@ func (g *Graph) FindStarvation(pred func(p *gcl.Prog, s gcl.State) bool, mustMov
 	n := len(g.Adj)
 	ok := make([]bool, n)
 	for i := 0; i < n; i++ {
-		ok[i] = pred(g.expl.p, g.expl.states[i])
+		ok[i] = pred(g.expl.p, g.expl.stateAt(int32(i)))
 	}
 	// Build the subgraph induced by pred and run SCC over it by masking
 	// edges whose endpoints fall outside.
@@ -414,21 +418,22 @@ func (g *Graph) tagOf(from int, e Edge) string {
 		return ""
 	}
 	p := g.expl.p
-	s := g.expl.states[from]
+	s := g.expl.stateAt(int32(from))
 	// Under symmetry reduction the stored target is the orbit
 	// representative, so successors must be compared through the store's
 	// canonical keys; the target's key is hoisted out of the loop.
 	var fpTo uint64
 	var keyTo gcl.State
 	if g.expl.symmetry {
-		fpTo, keyTo = g.expl.store.Prepare(g.expl.states[e.To])
+		fpTo, keyTo = g.expl.store.Prepare(g.expl.stateAt(e.To))
 	}
+	toState := g.expl.stateAt(e.To)
 	for _, sc := range p.Succs(s, int(e.Pid), g.expl.opts.Mode, nil) {
 		if sc.Label != e.Label {
 			continue
 		}
 		if !g.expl.symmetry {
-			if sc.State.Equal(g.expl.states[e.To]) {
+			if sc.State.Equal(toState) {
 				return sc.Tag
 			}
 			continue

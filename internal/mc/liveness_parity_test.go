@@ -236,8 +236,8 @@ func TestLivenessVerdictParityFullVsQuotient(t *testing.T) {
 			// FCFS for two pid pairs.
 			if live.FCFS {
 				for _, pair := range [][2]int{{0, 1}, {p.N - 1, 0}} {
-					ff := CheckFCFS(mk(), pair[0], pair[1], Options{})
-					qf := CheckFCFS(mk(), pair[0], pair[1], Options{Symmetry: true})
+					ff := mustFCFS(mk(), pair[0], pair[1], Options{})
+					qf := mustFCFS(mk(), pair[0], pair[1], Options{Symmetry: true})
 					if ff.Holds != qf.Holds {
 						t.Errorf("FCFS(%d,%d) verdicts diverge: full=%v reduced=%v",
 							pair[0], pair[1], ff.Holds, qf.Holds)
@@ -260,8 +260,8 @@ func TestLivenessVerdictParityFullVsQuotient(t *testing.T) {
 // pinned reduction reaches at least as deep.
 func TestLivenessParityBakeryBoundedFCFS(t *testing.T) {
 	mk := func() *gcl.Prog { return specs.Bakery(specs.Config{N: 3, M: 1 << 14}) }
-	ff := CheckFCFS(mk(), 0, 1, Options{MaxStates: 40000})
-	qf := CheckFCFS(mk(), 0, 1, Options{MaxStates: 40000, Symmetry: true})
+	ff := mustFCFS(mk(), 0, 1, Options{MaxStates: 40000})
+	qf := mustFCFS(mk(), 0, 1, Options{MaxStates: 40000, Symmetry: true})
 	if !ff.Holds || !qf.Holds {
 		t.Fatalf("bounded bakery FCFS: full=%v reduced=%v, want both to hold", ff.Holds, qf.Holds)
 	}

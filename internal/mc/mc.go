@@ -160,6 +160,15 @@ type Options struct {
 	// reduction does not preserve (analysis.go declares this per entry
 	// point; symmetry still applies there).
 	POR bool
+	// Store selects the visited-set tier (storeopts.go): the zero value is
+	// the historical exact in-heap store; StoreCompact/StoreBitstate trade
+	// exactness for memory (probabilistic verdicts, Result.Store reports
+	// the omission bound), Spill moves state vectors into an mmap-backed
+	// arena so the working set can exceed RAM. planFor refuses lossy modes
+	// for analyses needing exactness; Check panics on malformed options
+	// (commands pre-validate via ParseStoreSpec). Deterministic per Seed
+	// for any Workers count.
+	Store StoreOptions
 }
 
 // DefaultMaxStates bounds exploration when Options.MaxStates is zero.
@@ -167,6 +176,11 @@ type Options struct {
 // the default M=4) completes with headroom; a run stopping at the bound
 // holds roughly a gigabyte of states and store entries.
 const DefaultMaxStates = 4_000_000
+
+// BeyondRAMMaxStates is the default bound when a lossy or spill store is
+// selected and Options.MaxStates is zero: those modes exist precisely to
+// push past the in-heap ceiling, so the default ceiling moves with them.
+const BeyondRAMMaxStates = 64_000_000
 
 // Step is one transition of a trace: process Pid executed the action at
 // Label (or the pseudo-label "CRASH"), producing State.
@@ -220,8 +234,51 @@ type Result struct {
 	// POR reports that ample-set partial-order reduction was actually
 	// applied (requested, no crash transitions, all invariants declare
 	// their observations).
-	POR     bool
+	POR bool
+	// Store reports the visited-set tier the run used; nil for the default
+	// exact in-heap store. Lossy runs carry the expected-omission bound and
+	// must surface Store.Banner() next to the verdict.
+	Store   *StoreReport
 	Elapsed time.Duration
+}
+
+// RunFingerprint digests the run's deterministic outcome — state,
+// transition and depth counts, verdict class, store mode/seed/entry count —
+// into one value that is stable per seed for ANY Workers setting. The CI
+// determinism smoke compares it between a single-core and a fully parallel
+// run of the same lossy exploration.
+func (r *Result) RunFingerprint() uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(uint64(r.States))
+	mix(uint64(r.Transitions))
+	mix(uint64(r.Depth))
+	var verdict uint64
+	if r.Violation != nil {
+		verdict |= 1
+	}
+	if r.Deadlock != nil {
+		verdict |= 2
+	}
+	if r.Complete {
+		verdict |= 4
+	}
+	mix(verdict)
+	if r.Store != nil {
+		mix(r.Store.Seed)
+		mix(uint64(r.Store.Entries))
+		for _, c := range []byte(r.Store.Mode) {
+			h ^= uint64(c)
+			h *= 1099511628211
+		}
+	}
+	return h
 }
 
 // String renders a one-line verification summary.
@@ -282,12 +339,23 @@ type explorer struct {
 	// chaseCap bounds local-chain compression so a cycle of local actions
 	// (a local spin) cannot chase forever.
 	chaseCap int
-	states   []gcl.State
-	parent   []int32
-	parentBy []int32 // pid of the action producing this state; -1 for init
-	parentLb []string
-	depth    []int32
-	crashers []int
+	// State-vector residency (stateAt/appendState/releaseState). With the
+	// default stores every numbered state's vector sits in states. Under
+	// Spill the vectors live in the mmap arena ar instead, offs holding one
+	// offset per state, and states stays empty. Under a lossy store without
+	// spill, vectors are kept only until their state is expanded (release
+	// true) — the visited set holds fingerprints, the frontier holds the
+	// only live vectors, and traces are gone (traceable false).
+	ar        *arena
+	offs      []int64
+	release   bool
+	traceable bool
+	states    []gcl.State
+	parent    []int32
+	parentBy  []int32 // pid of the action producing this state; -1 for init
+	parentLb  []string
+	depth     []int32
+	crashers  []int
 }
 
 // newExplorer builds the engine state for one exploration executing the
@@ -298,8 +366,20 @@ type explorer struct {
 func newExplorer(p *gcl.Prog, opts Options, sharded bool, plan Plan) *explorer {
 	if opts.MaxStates == 0 {
 		opts.MaxStates = DefaultMaxStates
+		if plan.Store.Lossy() || plan.Store.Spill {
+			opts.MaxStates = BeyondRAMMaxStates
+		}
 	}
 	e := &explorer{p: p, opts: opts, plan: plan}
+	e.traceable = !plan.Store.Lossy() || plan.Store.Spill
+	e.release = plan.Store.Lossy() && !plan.Store.Spill
+	if plan.Store.Spill {
+		ar, err := newArena(plan.Store.SpillDir)
+		if err != nil {
+			panic(err)
+		}
+		e.ar = ar
+	}
 	e.crashers = crashersOf(p, opts)
 	e.symmetry = plan.Symmetry
 	e.trackPerms = plan.TrackPerms
@@ -315,8 +395,62 @@ func newExplorer(p *gcl.Prog, opts Options, sharded bool, plan Plan) *explorer {
 		}
 		e.chaseCap = p.N*len(p.Labels()) + 8
 	}
-	e.store = newStateStore(p, sharded, plan)
+	e.store = newStateStore(p, sharded, plan, e.ar)
 	return e
+}
+
+// numStates is the count of numbered states, independent of where their
+// vectors live.
+func (e *explorer) numStates() int {
+	if e.ar != nil {
+		return len(e.offs)
+	}
+	return len(e.states)
+}
+
+// stateAt returns state i's vector: the in-heap slice, or a fresh decode
+// from the spill arena. Under a lossy non-spill store the vector is only
+// valid until releaseState(i) runs (after i's expansion).
+func (e *explorer) stateAt(i int32) gcl.State {
+	if e.ar != nil {
+		return e.ar.state(e.offs[i])
+	}
+	return e.states[i]
+}
+
+// appendState numbers a fresh state and stores its vector per the
+// residency mode; returns the new index.
+func (e *explorer) appendState(s gcl.State) int32 {
+	if e.ar != nil {
+		off, err := e.ar.append(s)
+		if err != nil {
+			panic(err) // disk exhaustion mid-exploration: nothing sound to do
+		}
+		e.offs = append(e.offs, off)
+		return int32(len(e.offs) - 1)
+	}
+	e.states = append(e.states, s)
+	return int32(len(e.states) - 1)
+}
+
+// releaseState drops state i's vector once it has been expanded — the
+// lossy non-spill memory win: only the frontier holds vectors.
+func (e *explorer) releaseState(i int) {
+	if e.release {
+		e.states[i] = nil
+	}
+}
+
+// storeReport extracts the store tier's accounting, stamping engine-side
+// traceability; nil for the plain exact in-heap stores.
+func (e *explorer) storeReport() *StoreReport {
+	sr, ok := e.store.(StoreReporter)
+	if !ok {
+		return nil
+	}
+	rep := sr.Report()
+	rep.Traceable = e.traceable
+	return &rep
 }
 
 // porEligibility precomputes, per label and branch, whether the branch may
@@ -392,12 +526,13 @@ func (e *explorer) addPrepared(fp uint64, key gcl.State, perm int32, s gcl.State
 	if idx, ok := e.store.Lookup(fp, key); ok {
 		return idx, false
 	}
-	idx := int32(len(e.states))
+	idx := e.appendState(s)
 	e.store.Insert(fp, key, idx)
-	e.states = append(e.states, s)
-	e.parent = append(e.parent, parent)
-	e.parentBy = append(e.parentBy, byPid)
-	e.parentLb = append(e.parentLb, label)
+	if e.traceable {
+		e.parent = append(e.parent, parent)
+		e.parentBy = append(e.parentBy, byPid)
+		e.parentLb = append(e.parentLb, label)
+	}
 	if e.trackPerms {
 		e.canonPerm = append(e.canonPerm, perm)
 	}
@@ -427,22 +562,27 @@ func (e *explorer) edgePermIdx(succPerm int32, to int32, fresh bool) int32 {
 // edgeSteps re-derives the concrete intermediate transitions, so traces
 // are always step-by-step real executions.
 func (e *explorer) trace(idx int32) Trace {
+	if !e.traceable {
+		// Lossy non-spill runs freed the ancestor vectors; the verdict
+		// stands, the witness path does not (the banner says how to get it).
+		return Trace{Prog: e.p, Init: e.p.InitState()}
+	}
 	var rev []int32
 	for i := idx; i >= 0; i = e.parent[i] {
 		rev = append(rev, i)
 	}
-	t := Trace{Prog: e.p, Init: e.states[rev[len(rev)-1]]}
+	t := Trace{Prog: e.p, Init: e.stateAt(rev[len(rev)-1])}
 	for k := len(rev) - 2; k >= 0; k-- {
 		i := rev[k]
 		if e.por {
 			t.Steps = append(t.Steps,
-				e.edgeSteps(e.states[e.parent[i]], e.states[i], int(e.parentBy[i]), e.parentLb[i])...)
+				e.edgeSteps(e.stateAt(e.parent[i]), e.stateAt(i), int(e.parentBy[i]), e.parentLb[i])...)
 			continue
 		}
 		t.Steps = append(t.Steps, Step{
 			Pid:   int(e.parentBy[i]),
 			Label: e.parentLb[i],
-			State: e.states[i],
+			State: e.stateAt(i),
 		})
 	}
 	return t
@@ -636,7 +776,13 @@ func (e *explorer) ampleOK(succs []gcl.Succ, d int32) bool {
 // Options.Workers selects between the sequential engine below and the
 // parallel engine; both produce identical results.
 func Check(p *gcl.Prog, opts Options) *Result {
-	plan := planFor(p, opts, SafetyAnalysis{Invariants: opts.Invariants}.Needs())
+	plan, err := planFor(p, opts, SafetyAnalysis{Invariants: opts.Invariants})
+	if err != nil {
+		// Safety never needs exactness, so only malformed StoreOptions land
+		// here — a programming error (commands pre-validate via
+		// ParseStoreSpec).
+		panic(err)
+	}
 	if opts.Workers != 0 {
 		return checkParallel(p, opts, plan)
 	}
@@ -645,7 +791,8 @@ func Check(p *gcl.Prog, opts Options) *Result {
 	res := &Result{Prog: p, Symmetry: e.symmetry, POR: e.por}
 
 	finish := func() *Result {
-		res.States = len(e.states)
+		res.States = e.numStates()
+		res.Store = e.storeReport()
 		res.Elapsed = time.Since(start)
 		return res
 	}
@@ -658,11 +805,11 @@ func Check(p *gcl.Prog, opts Options) *Result {
 		return finish()
 	}
 
-	for head := 0; head < len(e.states); head++ {
-		if len(e.states) >= e.opts.MaxStates {
+	for head := 0; head < e.numStates(); head++ {
+		if e.numStates() >= e.opts.MaxStates {
 			return finish()
 		}
-		s := e.states[head]
+		s := e.stateAt(int32(head))
 		res.Depth = int(e.depth[head])
 		succs, aPid, aLo, aHi := e.successors(s)
 		progress := false
@@ -704,6 +851,7 @@ func Check(p *gcl.Prog, opts Options) *Result {
 			res.Deadlock = &t
 			return finish()
 		}
+		e.releaseState(head)
 	}
 	res.Complete = true
 	return finish()

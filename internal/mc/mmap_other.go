@@ -1,0 +1,15 @@
+//go:build !unix
+
+package mc
+
+// Heap-backed fallback for platforms without mmap: the spill tier still
+// works (and the store-conformance suite still covers it) but the
+// beyond-RAM property degrades to ordinary allocations.
+
+import "os"
+
+func mapChunk(_ *os.File, _ int64, size int) ([]byte, error) {
+	return make([]byte, size), nil
+}
+
+func unmapChunk(_ []byte) {}

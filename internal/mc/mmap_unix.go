@@ -1,0 +1,25 @@
+//go:build unix
+
+package mc
+
+// mmap plumbing for the spill arena on unix: chunks are MAP_SHARED file
+// mappings, so dirty pages are the kernel's to write back and evict —
+// exactly the beyond-RAM behaviour the tier exists for.
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapChunk extends f to cover [off, off+size) and maps that range.
+func mapChunk(f *os.File, off int64, size int) ([]byte, error) {
+	if err := f.Truncate(off + int64(size)); err != nil {
+		return nil, err
+	}
+	return syscall.Mmap(int(f.Fd()), off, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func unmapChunk(b []byte) {
+	_ = syscall.Munmap(b)
+}

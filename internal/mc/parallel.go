@@ -88,25 +88,7 @@ func (pe *pexplorer) addNumbered(c *candidate, parent int32) (int32, bool) {
 	if c.seen >= 0 {
 		return c.seen, false
 	}
-	e := pe.e
-	if idx, ok := e.store.Lookup(c.fp, c.key); ok {
-		return idx, false
-	}
-	idx := int32(len(e.states))
-	e.store.Insert(c.fp, c.key, idx)
-	e.states = append(e.states, c.state)
-	e.parent = append(e.parent, parent)
-	e.parentBy = append(e.parentBy, c.pid)
-	e.parentLb = append(e.parentLb, c.label)
-	if e.trackPerms {
-		e.canonPerm = append(e.canonPerm, c.perm)
-	}
-	if parent < 0 {
-		e.depth = append(e.depth, 0)
-	} else {
-		e.depth = append(e.depth, e.depth[parent]+1)
-	}
-	return idx, true
+	return pe.e.addPrepared(c.fp, c.key, c.perm, c.state, parent, c.pid, c.label)
 }
 
 // addInit numbers the initial state (index 0).
@@ -180,7 +162,7 @@ func (pe *pexplorer) expandRange(lo, hi int32, checkInv bool) []expansion {
 // its private result slot.
 func (pe *pexplorer) expandState(idx int32, out *expansion, checkInv bool) {
 	e := pe.e
-	succs, aPid, aLo, aHi := e.successors(e.states[idx])
+	succs, aPid, aLo, aHi := e.successors(e.stateAt(idx))
 	out.aPid, out.aLo, out.aHi = int32(aPid), int32(aLo), int32(aHi)
 	out.cands = make([]candidate, 0, len(succs))
 	for _, sc := range succs {
@@ -242,7 +224,8 @@ func checkParallel(p *gcl.Prog, opts Options, plan Plan) *Result {
 	res := &Result{Prog: p, Symmetry: e.symmetry, POR: e.por}
 
 	finish := func() *Result {
-		res.States = len(e.states)
+		res.States = e.numStates()
+		res.Store = e.storeReport()
 		res.Elapsed = time.Since(start)
 		return res
 	}
@@ -256,8 +239,8 @@ func checkParallel(p *gcl.Prog, opts Options, plan Plan) *Result {
 	}
 
 	checkInv := len(opts.Invariants) > 0
-	for merged := 0; merged < len(e.states); {
-		lo, hi := int32(merged), int32(len(e.states))
+	for merged := 0; merged < e.numStates(); {
+		lo, hi := int32(merged), int32(e.numStates())
 		if hi > lo+maxChunk {
 			hi = lo + maxChunk
 		}
@@ -265,7 +248,7 @@ func checkParallel(p *gcl.Prog, opts Options, plan Plan) *Result {
 		exps := pe.expandRange(lo, hi, checkInv)
 		for i := range exps {
 			head := lo + int32(i)
-			if len(e.states) >= e.opts.MaxStates {
+			if e.numStates() >= e.opts.MaxStates {
 				return finish()
 			}
 			res.Depth = int(e.depth[head])
@@ -292,6 +275,10 @@ func checkParallel(p *gcl.Prog, opts Options, plan Plan) *Result {
 				res.Deadlock = &t
 				return finish()
 			}
+			// Safe here: workers are quiescent between expandRange calls, and
+			// the next chunk only reads states not yet merged when this head
+			// was expanded.
+			e.releaseState(int(head))
 		}
 	}
 	res.Complete = true
@@ -316,8 +303,8 @@ func buildGraphParallel(p *gcl.Prog, opts Options, plan Plan) (*Graph, error) {
 	}
 
 	checkInv := len(opts.Invariants) > 0
-	for merged := 0; merged < len(e.states); {
-		lo, hi := int32(merged), int32(len(e.states))
+	for merged := 0; merged < e.numStates(); {
+		lo, hi := int32(merged), int32(e.numStates())
 		if hi > lo+maxChunk {
 			hi = lo + maxChunk
 		}
@@ -325,7 +312,7 @@ func buildGraphParallel(p *gcl.Prog, opts Options, plan Plan) (*Graph, error) {
 		exps := pe.expandRange(lo, hi, checkInv)
 		for i := range exps {
 			head := lo + int32(i)
-			if len(e.states) > e.opts.MaxStates {
+			if e.numStates() > e.opts.MaxStates {
 				return nil, fmt.Errorf("mc: %s: state bound %d exceeded while building graph",
 					p.Name, e.opts.MaxStates)
 			}
@@ -347,7 +334,8 @@ func buildGraphParallel(p *gcl.Prog, opts Options, plan Plan) (*Graph, error) {
 			}
 		}
 	}
-	res.States = len(e.states)
+	res.States = e.numStates()
+	res.Store = e.storeReport()
 	res.Complete = true
 	res.Elapsed = time.Since(start)
 	return g, nil

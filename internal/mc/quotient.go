@@ -159,7 +159,7 @@ func (pr *product) normOf(rep int32) gcl.State {
 		return pr.extra[rep-pr.nPrimary]
 	}
 	if pr.norms[rep] == nil {
-		pr.norms[rep] = pr.p.NormalizeCursors(pr.g.expl.states[rep])
+		pr.norms[rep] = pr.p.NormalizeCursors(pr.g.expl.stateAt(rep))
 	}
 	return pr.norms[rep]
 }
@@ -302,10 +302,10 @@ func (g *Graph) buildProduct() *product {
 	pr := &product{
 		g: g, p: p,
 		nPerms:    int32(p.NumPerms()),
-		nPrimary:  int32(len(g.expl.states)),
-		idx:       make(map[uint64]int32, 4*len(g.expl.states)),
+		nPrimary:  int32(g.expl.numStates()),
+		idx:       make(map[uint64]int32, 4*g.expl.numStates()),
 		extraBuck: map[uint64][]kv{},
-		norms:     make([]gcl.State, len(g.expl.states)),
+		norms:     make([]gcl.State, g.expl.numStates()),
 		viewBuf:   make(gcl.State, p.StateLen()),
 		wantBuf:   make(gcl.State, p.StateLen()),
 	}
@@ -677,7 +677,7 @@ func (g *Graph) findFairCycle(pr *product, ok []bool, edgeOK func(v, ei int32) b
 		if !ok2 {
 			continue
 		}
-		entrySteps, _, start, ok3 := pr.replaySteps(g.expl.states[0], pr.pathFromRoot(ent))
+		entrySteps, _, start, ok3 := pr.replaySteps(g.expl.stateAt(0), pr.pathFromRoot(ent))
 		if !ok3 {
 			continue
 		}
@@ -688,7 +688,7 @@ func (g *Graph) findFairCycle(pr *product, ok []bool, edgeOK func(v, ei int32) b
 		if !coversMustMove(cycleSteps, mustMove, p.N) || !verify(start, cycleSteps, tags) {
 			continue
 		}
-		return Trace{Prog: p, Init: g.expl.states[0], Steps: entrySteps},
+		return Trace{Prog: p, Init: g.expl.stateAt(0), Steps: entrySteps},
 			cycleSteps, len(comp), mv, pr.uniqStates(comp), len(entrySteps), true
 	}
 	return Trace{}, nil, 0, nil, nil, 0, false

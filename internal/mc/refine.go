@@ -49,6 +49,10 @@ type RefinementOptions struct {
 	Ceiling int64
 	// MaxNodes bounds the search's memoised node count (default 2e6).
 	MaxNodes int
+	// Store configures the memo's visited-set tier. Lossy modes are refused
+	// (a false "already memoized" hit would prune an unexplored behaviour
+	// and could mask a counterexample); exact,spill is accepted.
+	Store StoreOptions
 }
 
 // RefinementResult reports the outcome.
@@ -89,10 +93,14 @@ func CheckBoundedRefinement(impl, spec *gcl.Prog, opts RefinementOptions) (*Refi
 
 	// The pipeline declares refinement as pinning EVERY pid (observable
 	// events name concrete processes on both sides), so the plan never
-	// selects a reduction regardless of the requested options.
-	plan := planFor(impl, Options{}, RefinementAnalysis{}.Needs())
+	// selects a reduction regardless of the requested options — and refuses
+	// a lossy memo store outright.
+	plan, err := planFor(impl, Options{Store: opts.Store}, RefinementAnalysis{})
+	if err != nil {
+		return nil, err
+	}
 	r := &refiner{impl: impl, spec: spec, opts: opts,
-		beliefIDs: map[string]int{}, memo: newStateStore(impl, false, plan)}
+		beliefIDs: map[string]int{}, memo: newStateStore(impl, false, plan, nil)}
 	res := &RefinementResult{}
 
 	initBelief := r.tauClosure([]gcl.State{spec.InitState()})
@@ -210,7 +218,7 @@ func (r *refiner) withinCeiling(s gcl.State) bool {
 // tauClosure expands a set of spec states with every state reachable by
 // internal (non-event) transitions, pruning above the ceiling.
 func (r *refiner) tauClosure(seed []gcl.State) []gcl.State {
-	seen := newStateStore(r.spec, false, Plan{})
+	seen := newStateStore(r.spec, false, Plan{}, nil)
 	var out []gcl.State
 	var queue []gcl.State
 	push := func(s gcl.State) {
@@ -244,7 +252,7 @@ func (r *refiner) tauClosure(seed []gcl.State) []gcl.State {
 // by exactly one occurrence of event ev.
 func (r *refiner) move(belief []gcl.State, ev string) []gcl.State {
 	var landed []gcl.State
-	seen := newStateStore(r.spec, false, Plan{})
+	seen := newStateStore(r.spec, false, Plan{}, nil)
 	for _, s := range belief {
 		for _, sc := range r.spec.AllSuccs(s, gcl.ModeUnbounded) {
 			got := eventOf(r.spec, sc.Pid, r.spec.PCLabel(s, sc.Pid), r.spec.PCLabel(sc.State, sc.Pid))

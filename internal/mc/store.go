@@ -31,7 +31,9 @@ package mc
 //     monitor phase) are appended after the pinned-canonical state.
 
 import (
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"bakerypp/internal/gcl"
 )
@@ -56,8 +58,27 @@ type StateStore interface {
 // newStateStore builds the store variant an exploration plan needs.
 // Plan.Symmetry requires p.CanCanonicalize() and Plan.Pinned requires
 // p.CanTrackPerms(); planFor gates on those and falls back to the full
-// search otherwise.
-func newStateStore(p *gcl.Prog, sharded bool, plan Plan) StateStore {
+// search otherwise. Plan.Store selects the representation tier: exact
+// in-heap (the two historical variants below), exact with arena-spilled
+// keys (spill.go), hash-compaction, or bitstate (both below); planFor has
+// already refused lossy tiers for analyses that need exactness. ar is the
+// engine's spill arena for key sharing (nil when the caller has none —
+// the monitor and memo searches — in which case a spill store makes its
+// own).
+func newStateStore(p *gcl.Prog, sharded bool, plan Plan, ar *arena) StateStore {
+	switch plan.Store.Mode {
+	case StoreCompact:
+		return newCompactStore(p, plan)
+	case StoreBitstate:
+		return newBitstateStore(p, plan)
+	}
+	if plan.Store.Spill {
+		st, err := newSpillStore(p, plan, ar)
+		if err != nil {
+			panic(err) // arena creation: disk/temp-dir failure
+		}
+		return st
+	}
 	if sharded {
 		return newShardedStore(p, plan)
 	}
@@ -193,4 +214,245 @@ func (st *shardedStore) Insert(fp uint64, key gcl.State, val int32) {
 	sh.mu.Lock()
 	sh.m[fp] = bucketInsert(sh.m[fp], key, val)
 	sh.mu.Unlock()
+}
+
+// hiSeedBase seeds the compact store's second fingerprint word; xor-ing the
+// run seed in re-rolls both words together. Matches gcl.Fingerprint128's
+// high-word seed so a seed-0 wide key IS the state's Fingerprint128.
+const hiSeedBase = 0x243f6a8885a308d3
+
+// centry is one compact-store entry: the second fingerprint word (0 in
+// 64-bit mode) and the value. The key vector itself is gone — that is the
+// compression.
+type centry struct {
+	hi  uint64
+	val int32
+}
+
+// compactShard is one stripe of the compact store.
+type compactShard struct {
+	mu sync.RWMutex
+	m  map[uint64][]centry
+}
+
+// compactStore is hash compaction (TLC's default trust-the-fingerprint
+// scheme, SPIN -DHC): states are represented by a 64- or 128-bit
+// fingerprint only. A fingerprint collision makes a fresh state look
+// visited — a false HIT, silently omitting the state — so verdicts are
+// probabilistic; Report bounds the expected omissions with the birthday
+// estimate. False MISSES cannot happen: an inserted key always probes back
+// to the same fingerprint (the fuzz target FuzzCompactStoreNoFalseMiss
+// pins this). Concurrent-safe via striped RWMutexes, so it serves either
+// engine.
+type compactStore struct {
+	p       *gcl.Prog
+	plan    Plan
+	wide    bool // 128-bit keys
+	seed    uint64
+	shadow  StateStore // exact cross-check when Plan.Store.Shadow
+	diverge atomic.Int64
+	entries atomic.Int64
+	shards  [shardCount]compactShard
+}
+
+func newCompactStore(p *gcl.Prog, plan Plan) *compactStore {
+	st := &compactStore{p: p, plan: plan,
+		wide: plan.Store.CompactBits == 128, seed: plan.Store.Seed}
+	for i := range st.shards {
+		st.shards[i].m = map[uint64][]centry{}
+	}
+	if plan.Store.Shadow {
+		st.shadow = newShardedStore(p, plan)
+	}
+	return st
+}
+
+func (st *compactStore) Prepare(s gcl.State, extra ...int32) (uint64, gcl.State) {
+	return prepare(st.p, st.plan, s, extra)
+}
+
+// slots derives the store key words from the prepared probe: the low word
+// is the standard fingerprint (reused from Prepare) unless a seed re-rolls
+// it, the high word the independent second hash in 128-bit mode.
+func (st *compactStore) slots(fp uint64, key gcl.State) (lo, hi uint64) {
+	lo = fp
+	if st.seed != 0 {
+		lo = key.FingerprintSeeded(st.seed)
+	}
+	if st.wide {
+		hi = key.FingerprintSeeded(hiSeedBase ^ st.seed)
+	}
+	return lo, hi
+}
+
+func (st *compactStore) Lookup(fp uint64, key gcl.State) (int32, bool) {
+	lo, hi := st.slots(fp, key)
+	sh := &st.shards[lo&(shardCount-1)]
+	sh.mu.RLock()
+	val, ok := int32(-1), false
+	for _, e := range sh.m[lo] {
+		if e.hi == hi {
+			val, ok = e.val, true
+			break
+		}
+	}
+	sh.mu.RUnlock()
+	if st.shadow != nil {
+		sval, sok := st.shadow.Lookup(fp, key)
+		if sok != ok || (ok && sval != val) {
+			st.diverge.Add(1)
+		}
+	}
+	return val, ok
+}
+
+func (st *compactStore) Insert(fp uint64, key gcl.State, val int32) {
+	lo, hi := st.slots(fp, key)
+	sh := &st.shards[lo&(shardCount-1)]
+	sh.mu.Lock()
+	bucket := sh.m[lo]
+	replaced := false
+	for i := range bucket {
+		if bucket[i].hi == hi {
+			bucket[i].val = val
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		sh.m[lo] = append(bucket, centry{hi: hi, val: val})
+		st.entries.Add(1)
+	}
+	sh.mu.Unlock()
+	if st.shadow != nil {
+		st.shadow.Insert(fp, key, val)
+	}
+}
+
+func (st *compactStore) Report() StoreReport {
+	k := float64(st.entries.Load())
+	bits := 64
+	mode := "compact64"
+	if st.wide {
+		bits, mode = 128, "compact"
+	}
+	// Birthday bound: expected colliding pairs ≈ k(k-1)/2^(bits+1); each
+	// collision omits at least the later state, so this bounds expected
+	// omissions from fingerprint aliasing.
+	expected := math.Ldexp(k*(k-1), -(bits + 1))
+	return StoreReport{
+		Mode:              mode,
+		Lossy:             true,
+		Seed:              st.seed,
+		Entries:           st.entries.Load(),
+		ExpectedOmissions: expected,
+		Confidence:        confidenceFrom(expected),
+		ShadowDivergences: st.diverge.Load(),
+	}
+}
+
+// bitstateStore is SPIN's supertrace/bitstate hashing: a fixed array of
+// 2^log2 bits, k bits per state by double hashing. It stores no values
+// (Lookup reports membership with val -1), so the planner disables POR
+// alongside (the proviso needs stored depths) and every value-carrying
+// analysis refuses it. Omission risk is far higher than compact mode —
+// this is the frontier-probing tier; Report converts the final fill ratio
+// into an expected-omission bound and a coverage confidence, which the
+// verdict banner reports instead of claiming exhaustiveness. Lock-free:
+// bit sets use CAS, probes use atomic loads, so it is concurrent-safe for
+// any engine phase discipline.
+type bitstateStore struct {
+	p       *gcl.Prog
+	plan    Plan
+	seed    uint64
+	k       int
+	mask    uint64
+	words   []uint64
+	bitsSet atomic.Int64
+	probes  atomic.Int64
+	entries atomic.Int64
+}
+
+func newBitstateStore(p *gcl.Prog, plan Plan) *bitstateStore {
+	bits := uint64(1) << plan.Store.BitstateLog2
+	return &bitstateStore{p: p, plan: plan, seed: plan.Store.Seed,
+		k: plan.Store.BitstateHashes, mask: bits - 1, words: make([]uint64, bits/64)}
+}
+
+func (st *bitstateStore) Prepare(s gcl.State, extra ...int32) (uint64, gcl.State) {
+	return prepare(st.p, st.plan, s, extra)
+}
+
+// indices yields the k bit positions for a probe via double hashing:
+// h1 + i*h2 over the array, h2 forced odd so the stride walks the whole
+// power-of-two table.
+func (st *bitstateStore) indices(fp uint64, key gcl.State, visit func(word, bit uint64) bool) {
+	h1 := fp
+	if st.seed != 0 {
+		h1 = key.FingerprintSeeded(st.seed)
+	}
+	h2 := key.FingerprintSeeded(hiSeedBase^st.seed) | 1
+	for i := 0; i < st.k; i++ {
+		idx := (h1 + uint64(i)*h2) & st.mask
+		if !visit(idx>>6, uint64(1)<<(idx&63)) {
+			return
+		}
+	}
+}
+
+func (st *bitstateStore) Lookup(fp uint64, key gcl.State) (int32, bool) {
+	st.probes.Add(1)
+	all := true
+	st.indices(fp, key, func(word, bit uint64) bool {
+		if atomic.LoadUint64(&st.words[word])&bit == 0 {
+			all = false
+			return false
+		}
+		return true
+	})
+	if !all {
+		return -1, false
+	}
+	return -1, true
+}
+
+func (st *bitstateStore) Insert(fp uint64, key gcl.State, _ int32) {
+	fresh := int64(0)
+	st.indices(fp, key, func(word, bit uint64) bool {
+		for {
+			old := atomic.LoadUint64(&st.words[word])
+			if old&bit != 0 {
+				return true
+			}
+			if atomic.CompareAndSwapUint64(&st.words[word], old, old|bit) {
+				fresh++
+				return true
+			}
+		}
+	})
+	if fresh > 0 {
+		st.bitsSet.Add(fresh)
+	}
+	st.entries.Add(1)
+}
+
+func (st *bitstateStore) Report() StoreReport {
+	bits := int64(st.mask + 1)
+	set := st.bitsSet.Load()
+	fill := float64(set) / float64(bits)
+	// Each Lookup false-positives with probability ≤ fill^k at the FINAL
+	// fill ratio (fill only grows), so probes × fill^k upper-bounds the
+	// expected number of fresh states wrongly treated as visited.
+	expected := float64(st.probes.Load()) * math.Pow(fill, float64(st.k))
+	return StoreReport{
+		Mode:              "bitstate",
+		Lossy:             true,
+		Seed:              st.seed,
+		Entries:           st.entries.Load(),
+		ExpectedOmissions: expected,
+		Confidence:        confidenceFrom(expected),
+		BitsSet:           set,
+		Bits:              bits,
+		Hashes:            st.k,
+	}
 }

@@ -1,0 +1,440 @@
+package mc
+
+// The store-conformance suite: every StateStore implementation behind
+// newStateStore — seq, sharded, symmetry-keyed, pinned-keyed, spill,
+// compact (both widths, with and without shadow), bitstate — is pushed
+// through one shared contract (insert/lookup idempotence, value
+// stability, concurrent-insert safety under -race) and, at the engine
+// level, through a verdict-parity matrix against the exact store on
+// every registered specification. The companion fuzz targets live in
+// storefuzz_test.go, the lossy-refusal tests in storegate_test.go.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"bakerypp/internal/gcl"
+	"bakerypp/internal/specs"
+)
+
+// storeVariant is one conformance row: how to build the store and which
+// optional contract clauses apply to it.
+type storeVariant struct {
+	name    string
+	sharded bool
+	plan    Plan
+	// values: Lookup returns the inserted value (false for bitstate,
+	// which answers membership only).
+	values bool
+	// extras: Prepare accepts extra key words (false for the full-orbit
+	// symmetry store, which panics on them by contract).
+	extras bool
+	// concurrent: Insert may race with Insert/Lookup (false only for the
+	// seq store, the one implementation without internal locking).
+	concurrent bool
+}
+
+// mustStore parses a -store spec into normalized StoreOptions.
+func mustStore(t *testing.T, spec string) StoreOptions {
+	t.Helper()
+	so, err := ParseStoreSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return so
+}
+
+func storeVariants(t *testing.T) []storeVariant {
+	t.Helper()
+	exact := mustStore(t, "exact")
+	return []storeVariant{
+		{"seq", false, Plan{Store: exact}, true, true, false},
+		{"sharded", true, Plan{Store: exact}, true, true, true},
+		// The orbit-keyed plans ride the sharded representation here — that
+		// is the pairing the parallel engine builds; their seq pairing is
+		// the same bucket code the "seq" row already covers.
+		{"symmetry", true, Plan{Symmetry: true, Store: exact}, true, false, true},
+		{"pinned", true, Plan{Pinned: []int{0, 1}, Store: exact}, true, true, true},
+		{"spill", false, Plan{Store: mustStore(t, "exact,spill")}, true, true, true},
+		{"compact", false, Plan{Store: mustStore(t, "compact")}, true, true, true},
+		{"compact64", false, Plan{Store: mustStore(t, "compact64")}, true, true, true},
+		{"compact-shadow", false, Plan{Store: mustStore(t, "compact,shadow")}, true, true, true},
+		{"bitstate", false, Plan{Store: mustStore(t, "bitstate")}, false, true, true},
+	}
+}
+
+// conformanceProg is the shared key source: big enough that reachable
+// states number in the thousands, symmetric so the orbit-keyed variants
+// build.
+func conformanceProg() *gcl.Prog {
+	return specs.BakeryPP(specs.Config{N: 3, M: 2})
+}
+
+// reachableStates collects up to limit distinct reachable states of p by
+// breadth-first search — real, well-formed key material for every store
+// variant (the canonicalizing stores reject arbitrary word vectors).
+func reachableStates(p *gcl.Prog, limit int) []gcl.State {
+	key := func(s gcl.State) string { return fmt.Sprint([]int32(s)) }
+	init := p.InitState()
+	out := []gcl.State{init}
+	seen := map[string]bool{key(init): true}
+	for i := 0; i < len(out) && len(out) < limit; i++ {
+		for pid := 0; pid < p.N; pid++ {
+			for _, sc := range p.Succs(out[i], pid, gcl.ModeUnbounded, nil) {
+				k := key(sc.State)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				out = append(out, sc.State)
+				if len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// dedupeByKey filters states down to one representative per prepared
+// key, under st's own keying. The symmetry-aware variants merge whole
+// orbits onto one key by design, so contract clauses about per-key value
+// stability must not feed them two orbit-mates and expect two entries.
+func dedupeByKey(st StateStore, states []gcl.State) []gcl.State {
+	seen := map[string]bool{}
+	out := make([]gcl.State, 0, len(states))
+	for _, s := range states {
+		_, key := st.Prepare(s)
+		k := fmt.Sprint([]int32(key))
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+// TestStoreConformanceContract runs the single-threaded contract clauses
+// against every variant: a fresh store misses, Prepare is a pure function
+// of the state, insert→lookup round-trips, re-insert is idempotent,
+// value replacement sticks, and extra key words open a separate key
+// space. Lossy stores must satisfy all of it too — their failure mode is
+// false HITS across distinct states (covered probabilistically by the
+// parity matrix and the fuzz targets), never a false miss of an inserted
+// key.
+func TestStoreConformanceContract(t *testing.T) {
+	p := conformanceProg()
+	allStates := reachableStates(p, 512)
+	if len(allStates) < 512 {
+		t.Fatalf("key source too small: %d reachable states", len(allStates))
+	}
+	for _, v := range storeVariants(t) {
+		t.Run(v.name, func(t *testing.T) {
+			st := newStateStore(p, v.sharded, v.plan, nil)
+			states := dedupeByKey(st, allStates)
+			// Empty store: every probe misses.
+			for _, s := range states[:32] {
+				fp, key := st.Prepare(s)
+				if _, ok := st.Lookup(fp, key); ok {
+					t.Fatalf("empty store reported a hit for %v", s)
+				}
+			}
+			// Prepare is deterministic: same state, same probe.
+			fp0, key0 := st.Prepare(states[0])
+			fp1, key1 := st.Prepare(states[0])
+			if fp0 != fp1 || !key0.Equal(key1) {
+				t.Fatal("Prepare is not a pure function of the state")
+			}
+			// Insert → lookup, for every state, with per-state values.
+			for i, s := range states {
+				fp, key := st.Prepare(s)
+				st.Insert(fp, key, int32(i))
+			}
+			for i, s := range states {
+				fp, key := st.Prepare(s)
+				val, ok := st.Lookup(fp, key)
+				if !ok {
+					t.Fatalf("state %d missing after insert (false miss)", i)
+				}
+				if v.values && val != int32(i) {
+					t.Fatalf("state %d: value %d, want %d (values must be stable across later inserts)", i, val, i)
+				}
+			}
+			// Re-insert with the same value is idempotent.
+			fp, key := st.Prepare(states[7])
+			st.Insert(fp, key, 7)
+			if val, ok := st.Lookup(fp, key); !ok || (v.values && val != 7) {
+				t.Fatalf("re-insert broke the entry: (%d, %v)", val, ok)
+			}
+			// Insert replaces the previous value (interface contract).
+			if v.values {
+				st.Insert(fp, key, 9001)
+				if val, _ := st.Lookup(fp, key); val != 9001 {
+					t.Fatalf("replacement value not visible: got %d", val)
+				}
+				st.Insert(fp, key, 7) // restore
+			}
+			// Extra key words address a disjoint key space.
+			if v.extras {
+				fpX, keyX := st.Prepare(states[7], 42)
+				if fpX == fp && keyX.Equal(key) {
+					t.Fatal("extra-word probe equals the bare probe")
+				}
+				if _, ok := st.Lookup(fpX, keyX); ok {
+					t.Fatal("extra-word key hit before its own insert")
+				}
+				st.Insert(fpX, keyX, 1042)
+				if val, ok := st.Lookup(fpX, keyX); !ok || (v.values && val != 1042) {
+					t.Fatalf("extra-word entry lost: (%d, %v)", val, ok)
+				}
+				if val, ok := st.Lookup(fp, key); !ok || (v.values && val != 7) {
+					t.Fatalf("bare entry disturbed by extra-word insert: (%d, %v)", val, ok)
+				}
+			}
+		})
+	}
+}
+
+// TestStoreConformanceOrbitKeying pins the symmetry variants' defining
+// property on top of the shared contract: orbit-mates prepare to one key
+// (full symmetry), while the pinned variant keeps the pinned pids
+// distinct and only merges the rest.
+func TestStoreConformanceOrbitKeying(t *testing.T) {
+	p := conformanceProg()
+	base := p.InitState()
+	a := p.Clone(base)
+	p.SetShared(a, "number", 1, 2) // process 1 holds ticket 2
+	b := p.Clone(base)
+	p.SetShared(b, "number", 2, 2) // orbit-mate: process 2 holds it
+
+	sym := newStateStore(p, false, Plan{Symmetry: true, Store: StoreOptions{}}, nil)
+	fpA, keyA := sym.Prepare(a)
+	fpB, keyB := sym.Prepare(b)
+	if fpA != fpB || !keyA.Equal(keyB) {
+		t.Fatal("full-symmetry store must merge orbit-mates onto one key")
+	}
+
+	// Pinning 1 and 2 keeps them apart: swapping their roles is no longer
+	// in the subgroup the pinned store canonicalizes over.
+	pinned := newStateStore(p, false, Plan{Pinned: []int{1, 2}, Store: StoreOptions{}}, nil)
+	fpA, keyA = pinned.Prepare(a)
+	fpB, keyB = pinned.Prepare(b)
+	if fpA == fpB && keyA.Equal(keyB) {
+		t.Fatal("pinned store merged states that differ on a pinned pid")
+	}
+}
+
+// TestStoreConformanceConcurrent drives every lock-bearing variant with
+// racing inserts and lookups under -race: disjoint writers must all land,
+// contending writers of the same key must collapse to one entry, and
+// readers racing the writers must never see a torn value (only "absent"
+// or an inserted value). The seq store is exempt by contract — the
+// sequential engine is its only client.
+func TestStoreConformanceConcurrent(t *testing.T) {
+	p := conformanceProg()
+	allStates := reachableStates(p, 1024)
+	const writers = 8
+	for _, v := range storeVariants(t) {
+		if !v.concurrent {
+			continue
+		}
+		t.Run(v.name, func(t *testing.T) {
+			st := newStateStore(p, v.sharded, v.plan, nil)
+			states := dedupeByKey(st, allStates)
+			// Phase 1: disjoint slices, racing inserts plus racing reads.
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < len(states); i += writers {
+						fp, key := st.Prepare(states[i])
+						st.Insert(fp, key, int32(i))
+						if val, ok := st.Lookup(fp, key); !ok || (v.values && val != int32(i)) {
+							t.Errorf("writer %d: own insert of state %d not visible: (%d, %v)", w, i, val, ok)
+							return
+						}
+					}
+				}(w)
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := range states {
+						fp, key := st.Prepare(states[i])
+						if val, ok := st.Lookup(fp, key); ok && v.values && val != int32(i) {
+							t.Errorf("reader %d: state %d present with foreign value %d", w, i, val)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			// Phase 2: all writers contend on the same keys and values;
+			// the store must end up exactly as a single writer would leave
+			// it.
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i, s := range states[:128] {
+						fp, key := st.Prepare(s)
+						st.Insert(fp, key, int32(i))
+					}
+				}()
+			}
+			wg.Wait()
+			for i, s := range states {
+				fp, key := st.Prepare(s)
+				val, ok := st.Lookup(fp, key)
+				if !ok {
+					t.Fatalf("state %d lost after concurrent phase", i)
+				}
+				if v.values && val != int32(i) {
+					t.Fatalf("state %d: value %d after contending same-value inserts, want %d", i, val, i)
+				}
+			}
+		})
+	}
+}
+
+// TestStoreVerdictParityMatrix is the engine-level conformance clause:
+// on every registered specification, at sizes up to N=4, every store
+// tier must reach the exact store's verdict. The exact spill tier must
+// match the exact baseline state-for-state (same search, different
+// residency); the lossy tiers must agree on the verdict and carry an
+// honest StoreReport; the shadow run must catch zero divergences (a
+// divergence at these sizes would be a real fingerprint collision —
+// expected never in ~1e30 runs).
+func TestStoreVerdictParityMatrix(t *testing.T) {
+	cells := []struct {
+		n, m     int
+		sym, por bool
+	}{
+		{2, 2, false, false},
+		{3, 2, false, false},
+		{4, 2, true, true}, // reductions keep the N=4 row affordable
+	}
+	modes := []string{"exact,spill", "compact", "compact64", "compact,shadow", "bitstate", "compact,spill"}
+	// Every run of a cell gets the same explicit state budget: the lossy
+	// tiers' larger DEFAULT budget (BeyondRAMMaxStates) would otherwise
+	// let them finish a search the exact baseline truncated, which reads
+	// as a verdict divergence but is only a budget difference.
+	const matrixBudget = 1_000_000
+	for _, name := range specs.Names() {
+		for _, cell := range cells {
+			if name == "blackwhite" && cell.n == 4 {
+				// Black-White is the declared-asymmetric control: the
+				// reductions barely bite and its N=4 space costs ~45s per
+				// store mode — its keying is covered by the N<=3 rows.
+				continue
+			}
+			p, err := specs.Get(name, specs.Config{N: cell.n, M: cell.m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := Check(p, Options{
+				Invariants: []Invariant{Mutex(), NoOverflow()},
+				Symmetry:   cell.sym, POR: cell.por,
+				MaxStates: matrixBudget,
+			})
+			for _, mode := range modes {
+				t.Run(fmt.Sprintf("%s-n%d-m%d/%s", name, cell.n, cell.m, mode), func(t *testing.T) {
+					pr, err := specs.Get(name, specs.Config{N: cell.n, M: cell.m})
+					if err != nil {
+						t.Fatal(err)
+					}
+					res := Check(pr, Options{
+						Invariants: []Invariant{Mutex(), NoOverflow()},
+						Symmetry:   cell.sym, POR: cell.por,
+						MaxStates: matrixBudget,
+						Store:     mustStore(t, mode),
+					})
+					if got, want := verdictClass(res), verdictClass(base); got != want {
+						t.Fatalf("verdict %q diverges from exact baseline %q", got, want)
+					}
+					if res.Store == nil {
+						t.Fatal("non-default store left Result.Store nil")
+					}
+					so := mustStore(t, mode)
+					if res.Store.Lossy != so.Lossy() {
+						t.Fatalf("StoreReport.Lossy = %v for mode %s", res.Store.Lossy, mode)
+					}
+					if mode == "exact,spill" {
+						if res.States != base.States || res.Transitions != base.Transitions || res.Depth != base.Depth {
+							t.Fatalf("spill run (%d states, %d transitions, depth %d) is not byte-identical to exact (%d, %d, %d)",
+								res.States, res.Transitions, res.Depth, base.States, base.Transitions, base.Depth)
+						}
+					}
+					if so.Shadow && res.Store.ShadowDivergences != 0 {
+						t.Fatalf("shadow caught %d divergences — a real 128-bit collision at %d states is not credible; suspect the compact keying",
+							res.Store.ShadowDivergences, res.States)
+					}
+					if res.Store.Lossy {
+						if res.Store.Entries <= 0 {
+							t.Fatal("lossy StoreReport carries no entry count")
+						}
+						if res.Store.Confidence <= 0 || res.Store.Confidence > 1 {
+							t.Fatalf("confidence %v outside (0,1]", res.Store.Confidence)
+						}
+						if res.Store.Banner() == "" {
+							t.Fatal("lossy run renders no probabilistic-verdict banner")
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestStoreEngineDeterminism pins the determinism half of the store
+// contract at the engine level: exact tiers are byte-identical for any
+// Workers value, and lossy tiers have a per-seed-stable RunFingerprint
+// across engines (the property the CI determinism smoke re-checks on the
+// bigger headline configuration).
+func TestStoreEngineDeterminism(t *testing.T) {
+	for _, mode := range []string{"exact,spill", "compact", "compact64", "bitstate"} {
+		for _, seed := range []uint64{0, 0xfeed} {
+			so := mustStore(t, mode)
+			so.Seed = seed
+			opts := func(workers int) Options {
+				return Options{
+					Invariants: []Invariant{Mutex(), NoOverflow()},
+					Workers:    workers,
+					Store:      so,
+				}
+			}
+			seq := Check(specs.BakeryPP(specs.Config{N: 3, M: 2}), opts(0))
+			par := Check(specs.BakeryPP(specs.Config{N: 3, M: 2}), opts(-1))
+			if !so.Lossy() {
+				if seq.States != par.States || seq.Transitions != par.Transitions || seq.Depth != par.Depth {
+					t.Fatalf("%s: engines diverge: seq (%d,%d,%d) vs par (%d,%d,%d)", mode,
+						seq.States, seq.Transitions, seq.Depth, par.States, par.Transitions, par.Depth)
+				}
+			}
+			if seq.RunFingerprint() != par.RunFingerprint() {
+				t.Fatalf("%s seed %d: run fingerprint %016x (sequential) != %016x (parallel)",
+					mode, seed, seq.RunFingerprint(), par.RunFingerprint())
+			}
+		}
+	}
+}
+
+// verdictClass folds a Result into the comparable verdict string the
+// parity matrix checks (mirrors the harness's verdict column).
+func verdictClass(r *Result) string {
+	switch {
+	case r.Violation != nil:
+		return "VIOLATION:" + r.Violation.Invariant
+	case r.Deadlock != nil:
+		return "DEADLOCK"
+	case !r.Complete:
+		return "incomplete"
+	default:
+		return "verified"
+	}
+}
