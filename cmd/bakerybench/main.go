@@ -1,18 +1,25 @@
-// Command bakerybench runs the repository's experiment suite (E1–E15; see
+// Command bakerybench runs the repository's experiment suite (E1–E18; see
 // docs/experiments.md for the catalogue) and prints the tables recorded in
-// EXPERIMENTS.md, or — with -sweep — the deterministic contention sweep on
-// its full default grid.
+// EXPERIMENTS.md, or — with -sweep or -des — a deterministic contention
+// sweep on a default grid.
 //
 //	bakerybench               # run every experiment
 //	bakerybench -run E2,E9    # selected experiments
 //	bakerybench -list         # list experiments
 //	bakerybench -sweep        # 48-cell scenario grid in virtual time
 //	bakerybench -sweep -sweep-workers 4 -sweep-seed 7
+//	bakerybench -des                          # discrete-event sweep (12 cells)
+//	bakerybench -des -latency jitter:2,5      # with a latency model
+//	bakerybench -des -record sweep.deslog     # record the event log
 //
-// The sweep executes every scenario cell on a deterministic cooperative
-// scheduler (virtual time), so its aggregated table — including the
-// printed fingerprint — is identical on any machine, at any GOMAXPROCS,
-// and for any -sweep-workers value.
+// Both sweeps execute every scenario cell deterministically in virtual
+// time, so their aggregated tables — including the printed fingerprints —
+// are identical on any machine, at any GOMAXPROCS, and for any
+// -sweep-workers value. The -des mode runs each cell as a single-threaded
+// discrete-event loop (no goroutine herd) with latency-model-priced
+// actions, reporting acquire-latency percentiles, wait histograms and
+// reset timing; a -record'ed log replays byte-identically with
+// cmd/bakeryreplay.
 package main
 
 import (
@@ -37,10 +44,14 @@ func main() {
 		benchJSON = flag.String("bench-json", "", "run the model-checking benchmark grid and write it as JSON to this path (e.g. BENCH_mc.json), instead of the experiment suite")
 
 		sweep        = flag.Bool("sweep", false, "run the deterministic contention sweep instead of the experiment suite")
-		sweepWorkers = flag.Int("sweep-workers", 1, "sweep worker pool size (cells in parallel; the table is identical for any value)")
+		sweepWorkers = flag.Int("sweep-workers", 1, "sweep worker pool size (cells in parallel, -1 = GOMAXPROCS; the table is identical for any value)")
 		sweepSeed    = flag.Int64("sweep-seed", 1, "base schedule seed for the sweep (two seeds run per cell: seed and seed+1)")
 		sweepIters   = flag.Int("sweep-iters", 0, "critical sections per participant per cell run (0 = grid default)")
 		sweepCSV     = flag.Bool("sweep-csv", false, "emit the sweep table as CSV")
+
+		desMode = flag.Bool("des", false, "run the discrete-event contention sweep instead of the experiment suite (three seeds per cell: seed, seed+1, seed+2)")
+		latency = flag.String("latency", "unit", "latency model for -des: unit, fixed:<d>, jitter:<base>,<spread>, classes:<c>=<dist>;...")
+		record  = flag.String("record", "", "with -des: write the sweep's event log to this file (replay with bakeryreplay)")
 	)
 	flag.Parse()
 
@@ -71,6 +82,45 @@ func main() {
 				r.Name, r.States, r.StatesPerSec, r.WallSeconds, r.Verdict)
 		}
 		fmt.Printf("wrote %d records to %s\n", len(rep.Records), *benchJSON)
+		return
+	}
+	if *desMode {
+		cfg := harness.DefaultDESSweep()
+		cfg.Workers = *sweepWorkers
+		cfg.Latency = *latency
+		cfg.Seeds = []int64{*sweepSeed, *sweepSeed + 1, *sweepSeed + 2}
+		if *sweepIters > 0 {
+			cfg.Iters = *sweepIters
+		}
+		var logFile *os.File
+		if *record != "" {
+			f, err := os.Create(*record)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bakerybench:", err)
+				os.Exit(1)
+			}
+			logFile = f
+			cfg.Record = f
+		}
+		res, err := harness.RunDESSweep(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bakerybench:", err)
+			os.Exit(1)
+		}
+		tb := res.Table()
+		if *sweepCSV {
+			fmt.Print(tb.CSV())
+		} else {
+			fmt.Println(tb)
+		}
+		fmt.Printf("cells: %d  fingerprint: %s\n", len(res.Cells), tb.Fingerprint())
+		if logFile != nil {
+			if err := logFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "bakerybench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("recorded event log: %s\n", *record)
+		}
 		return
 	}
 	if *sweep {

@@ -103,6 +103,10 @@ func main() {
 	if *series && len(st.TicketSeries) > 0 {
 		fmt.Printf("ticket series:     %s\n", stats.Sparkline(st.TicketSeries, 72))
 	}
+	// The run identity: every scheduler (including random and biased)
+	// draws from the repository-pinned seeded source, so the same flags
+	// reproduce this value on any machine, GOMAXPROCS, and Go release.
+	fmt.Printf("run fingerprint:   %s\n", st.Fingerprint())
 	if st.MutexViolations > 0 {
 		os.Exit(1)
 	}

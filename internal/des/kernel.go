@@ -1,0 +1,112 @@
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Kernel is the discrete-event core: a monotonic virtual clock plus a
+// pending-event queue ordered by (time, pid, seq). The tie-break is the
+// determinism contract — two events scheduled for the same instant
+// always execute in (pid, insertion) order, so a run's event sequence is
+// a pure function of the schedule calls, never of map iteration or
+// goroutine timing. A Kernel is single-threaded by design: one cell of a
+// sweep owns one Kernel, and cell-level parallelism happens above it.
+type Kernel struct {
+	now      int64
+	seq      uint64
+	queue    eventHeap
+	executed int64
+}
+
+type event struct {
+	time int64
+	pid  int
+	seq  uint64
+	fn   func()
+}
+
+// NewKernel returns an empty kernel at virtual time 0.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() int64 { return k.now }
+
+// Executed returns how many events have run so far.
+func (k *Kernel) Executed() int64 { return k.executed }
+
+// Pending returns the number of scheduled-but-unexecuted events.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// At schedules fn to run for pid after delay ticks of virtual time.
+// delay must be >= 0; the clock never moves backwards.
+func (k *Kernel) At(pid int, delay int64, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %d for pid %d (virtual time is monotonic)", delay, pid))
+	}
+	k.seq++
+	heap.Push(&k.queue, event{time: k.now + delay, pid: pid, seq: k.seq, fn: fn})
+}
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports false when the queue is empty.
+func (k *Kernel) Step() bool {
+	if len(k.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&k.queue).(event)
+	k.now = ev.time
+	k.executed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or maxEvents have run in
+// this call (maxEvents <= 0 means no bound). It returns the number of
+// events executed by this call.
+func (k *Kernel) Run(maxEvents int64) int64 {
+	var n int64
+	for maxEvents <= 0 || n < maxEvents {
+		if !k.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// advance moves the clock forward by d ticks directly, without an event.
+// Sim uses it to charge grant costs in its single-server loop.
+func (k *Kernel) advance(d int64) {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative clock advance %d", d))
+	}
+	k.now += d
+}
+
+// eventHeap is a min-heap on (time, pid, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	if h[i].pid != h[j].pid {
+		return h[i].pid < h[j].pid
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,86 @@
+package des
+
+import (
+	"testing"
+)
+
+// TestKernelOrdering pins the tie-break contract: events execute in
+// (time, pid, seq) order regardless of insertion order.
+func TestKernelOrdering(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	mark := func(id int) func() { return func() { got = append(got, id) } }
+	// Inserted deliberately out of order: same-time events must sort
+	// by pid, same (time, pid) by insertion sequence.
+	k.At(3, 5, mark(0)) // t=5 pid=3
+	k.At(1, 5, mark(1)) // t=5 pid=1
+	k.At(1, 5, mark(2)) // t=5 pid=1, later seq
+	k.At(0, 9, mark(3)) // t=9 pid=0
+	k.At(2, 1, mark(4)) // t=1 pid=2
+	if n := k.Run(0); n != 5 {
+		t.Fatalf("Run executed %d events, want 5", n)
+	}
+	want := []int{4, 1, 2, 0, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 9 {
+		t.Fatalf("clock ended at %d, want 9", k.Now())
+	}
+	if k.Executed() != 5 {
+		t.Fatalf("Executed() = %d, want 5", k.Executed())
+	}
+}
+
+// TestKernelClockMonotonic checks the clock advances to each event's
+// timestamp and that events scheduled from handlers land relative to
+// the current time.
+func TestKernelClockMonotonic(t *testing.T) {
+	k := NewKernel()
+	var stamps []int64
+	var chain func()
+	chain = func() {
+		stamps = append(stamps, k.Now())
+		if len(stamps) < 4 {
+			k.At(0, 3, chain)
+		}
+	}
+	k.At(0, 3, chain)
+	k.Run(0)
+	want := []int64{3, 6, 9, 12}
+	for i := range want {
+		if stamps[i] != want[i] {
+			t.Fatalf("stamps %v, want %v", stamps, want)
+		}
+	}
+}
+
+// TestKernelRunBound checks the maxEvents bound pauses, not drops.
+func TestKernelRunBound(t *testing.T) {
+	k := NewKernel()
+	ran := 0
+	for i := 0; i < 10; i++ {
+		k.At(0, int64(i), func() { ran++ })
+	}
+	if n := k.Run(4); n != 4 || ran != 4 {
+		t.Fatalf("bounded run executed %d/%d, want 4/4", n, ran)
+	}
+	if k.Pending() != 6 {
+		t.Fatalf("Pending() = %d after bounded run, want 6", k.Pending())
+	}
+	if n := k.Run(0); n != 6 || ran != 10 {
+		t.Fatalf("drain executed %d (total %d), want 6 (10)", n, ran)
+	}
+}
+
+// TestKernelNegativeDelayPanics pins the monotonic-time contract.
+func TestKernelNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling at a negative delay did not panic")
+		}
+	}()
+	NewKernel().At(0, -1, func() {})
+}

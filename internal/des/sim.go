@@ -1,0 +1,167 @@
+package des
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Sim is the timed generalisation of the PR 2 cooperative Sequencer: it
+// runs N participant goroutines so that exactly one executes at any
+// moment, every context switch happens at an explicit preemption point,
+// and the next participant is chosen by a seeded random source — but
+// each grant now advances a virtual clock by a latency-model cost
+// instead of a fixed single step.
+//
+// The model is a single server (one CPU): granting a participant charges
+// the cost of the action it was parked on — Start for its arrival,
+// Preempt/Wait for yields, Spin(work) for an elapsed busy stretch — and
+// a participant that yields rejoins the runnable pool immediately, so it
+// may be granted twice in a row, exactly as under the Sequencer. With
+// the Unit model every grant costs one tick and the grant sequence is
+// bit-identical to preempt.Sequencer for the same (n, seed); that
+// equivalence is pinned by a test against a frozen copy of the PR 2
+// loop. preempt.Sequencer is now a thin adapter over this type.
+//
+// A Sim is single-shot: Run may be called exactly once, after all Go
+// calls; a second Run panics.
+type Sim struct {
+	n     int
+	model Model
+	rng   *rand.Rand
+	k     *Kernel
+	grant []chan struct{}
+	event chan simEvent
+	// pending[pid] holds the (class, work) of the action pid parked
+	// on, charged to the clock when pid is next granted.
+	pending []pendingAction
+	spawned int
+	ran     bool
+}
+
+type pendingAction struct {
+	class Class
+	work  int64
+}
+
+type simEvent struct {
+	pid   int
+	class Class
+	work  int64
+	done  bool
+}
+
+// NewSim returns a Sim for n participants with the given schedule seed
+// and latency model. A nil model means Unit().
+func NewSim(n int, seed int64, model Model) *Sim {
+	if n < 1 {
+		panic("des: need at least one participant")
+	}
+	if model == nil {
+		model = Unit()
+	}
+	s := &Sim{
+		n:       n,
+		model:   model,
+		rng:     rand.New(rand.NewSource(seed)),
+		k:       NewKernel(),
+		grant:   make([]chan struct{}, n),
+		event:   make(chan simEvent),
+		pending: make([]pendingAction, n),
+	}
+	for i := range s.grant {
+		s.grant[i] = make(chan struct{})
+	}
+	return s
+}
+
+// Go spawns fn as participant pid's goroutine. fn does not start
+// executing until Run grants it for the first time; that first grant is
+// charged as a Start action.
+func (s *Sim) Go(pid int, fn func()) {
+	if pid < 0 || pid >= s.n {
+		panic("des: participant out of range")
+	}
+	s.spawned++
+	go func() {
+		s.event <- simEvent{pid: pid, class: Start}
+		<-s.grant[pid]
+		fn()
+		s.event <- simEvent{pid: pid, done: true}
+	}()
+}
+
+// Preempt implements preempt.Preemptor: the running participant offers a
+// context switch and blocks until the scheduler grants it again. The
+// regrant is charged as a Preempt action.
+func (s *Sim) Preempt(pid int) { s.yield(pid, Preempt, 0) }
+
+// Wait implements preempt.Preemptor: a blocked spin-wait iteration. The
+// regrant is charged as a Wait action.
+func (s *Sim) Wait(pid int) { s.yield(pid, Wait, 0) }
+
+// Elapse reports that the running participant performed work units of
+// busy computation, yielding the server; the regrant is charged as a
+// single Spin(work) action. Workloads that know their stretch sizes call
+// this instead of bare Preempt so latency models can price computation.
+func (s *Sim) Elapse(pid int, work int64) { s.yield(pid, Spin, work) }
+
+func (s *Sim) yield(pid int, class Class, work int64) {
+	s.event <- simEvent{pid: pid, class: class, work: work}
+	<-s.grant[pid]
+}
+
+// Now returns the current virtual time. It may be called only by the
+// participant currently holding the grant (or before Run / after Run
+// returns); the grant channel handoff orders the accesses.
+func (s *Sim) Now() int64 { return s.k.Now() }
+
+// Model returns the latency model the Sim charges grants with.
+func (s *Sim) Model() Model { return s.model }
+
+// Run drives the spawned participants to completion and returns the
+// final virtual time. It must be called exactly once, after all Go
+// calls: a Sim's rng and clock are consumed by the run, so reuse would
+// silently produce a schedule unrelated to the seed. A second Run
+// panics.
+func (s *Sim) Run() int64 {
+	if s.ran {
+		panic("des: Sim.Run called twice — a Sim (and the preempt.Sequencer built on it) is single-shot; create a fresh one per run")
+	}
+	s.ran = true
+	alive := s.spawned
+	runnable := make([]int, 0, alive)
+	// Every spawned participant parks once before its first
+	// instruction. They arrive in Go-scheduler order, which must not
+	// leak into the schedule: sort, so the runnable set starts in pid
+	// order and every later mutation is driven by the seeded rng
+	// alone.
+	for len(runnable) < alive {
+		ev := <-s.event
+		s.pending[ev.pid] = pendingAction{class: ev.class, work: ev.work}
+		runnable = append(runnable, ev.pid)
+	}
+	sort.Ints(runnable)
+	for alive > 0 {
+		i := s.rng.Intn(len(runnable))
+		pid := runnable[i]
+		runnable[i] = runnable[len(runnable)-1]
+		runnable = runnable[:len(runnable)-1]
+		p := s.pending[pid]
+		s.k.advance(s.model.Cost(p.class, pid, p.work))
+		s.grant[pid] <- struct{}{}
+		ev := <-s.event
+		if ev.done {
+			alive--
+		} else {
+			s.pending[ev.pid] = pendingAction{class: ev.class, work: ev.work}
+			runnable = append(runnable, ev.pid)
+		}
+	}
+	return s.k.Now()
+}
+
+// String identifies the Sim in panics and logs.
+func (s *Sim) String() string {
+	return fmt.Sprintf("des.Sim(n=%d, model=%s)", s.n, s.model.Name())
+}

@@ -1,0 +1,128 @@
+package des
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// runSim drives a canonical workload — each participant loops iters
+// times over a Preempt, a Wait every third iteration, and an Elapse —
+// and returns the grant trace plus the final virtual time.
+func runSim(n int, seed int64, iters int, model Model) (string, int64) {
+	s := NewSim(n, seed, model)
+	var trace []string
+	for pid := 0; pid < n; pid++ {
+		pid := pid
+		s.Go(pid, func() {
+			for i := 0; i < iters; i++ {
+				trace = append(trace, fmt.Sprintf("%d@%d", pid, s.Now()))
+				s.Preempt(pid)
+				if i%3 == 0 {
+					s.Wait(pid)
+				}
+				s.Elapse(pid, int64(i%4))
+			}
+		})
+	}
+	total := s.Run()
+	return strings.Join(trace, " "), total
+}
+
+// TestSimDeterministic: same (n, seed, model) must reproduce the exact
+// grant trace and final time; a different seed must diverge.
+func TestSimDeterministic(t *testing.T) {
+	a, ta := runSim(4, 42, 6, Unit())
+	b, tb := runSim(4, 42, 6, Unit())
+	if a != b || ta != tb {
+		t.Fatalf("same seed diverged:\n%s (t=%d)\n%s (t=%d)", a, ta, b, tb)
+	}
+	c, _ := runSim(4, 43, 6, Unit())
+	if a == c {
+		t.Fatal("different seeds produced the identical trace")
+	}
+}
+
+// TestSimGOMAXPROCSIndependent: the schedule is a function of the seed
+// alone, not of available parallelism.
+func TestSimGOMAXPROCSIndependent(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	a, ta := runSim(3, 7, 5, Jitter(2, 4, 7))
+	runtime.GOMAXPROCS(prev)
+	b, tb := runSim(3, 7, 5, Jitter(2, 4, 7))
+	if a != b || ta != tb {
+		t.Fatalf("schedule depends on GOMAXPROCS:\n%s (t=%d)\n%s (t=%d)", a, ta, b, tb)
+	}
+}
+
+// TestSimUnitMatchesStepCount: under the unit model with no sized
+// stretches, virtual time is exactly the grant count — the Sequencer's
+// one-step-per-grant clock.
+func TestSimUnitMatchesStepCount(t *testing.T) {
+	s := NewSim(1, 1, Unit())
+	var stamps []int64
+	s.Go(0, func() {
+		stamps = append(stamps, s.Now())
+		s.Preempt(0)
+		stamps = append(stamps, s.Now())
+		s.Preempt(0)
+		stamps = append(stamps, s.Now())
+	})
+	total := s.Run()
+	if want := []int64{1, 2, 3}; stamps[0] != want[0] || stamps[1] != want[1] || stamps[2] != want[2] {
+		t.Fatalf("unit-model stamps %v, want %v", stamps, want)
+	}
+	if total != 3 {
+		t.Fatalf("total virtual time %d, want 3 (one per grant)", total)
+	}
+}
+
+// TestSimLatencyScalesClock: a fixed:5 model must advance the clock
+// five ticks per grant, and Elapse must charge its work size.
+func TestSimLatencyScalesClock(t *testing.T) {
+	s := NewSim(1, 1, Fixed(5))
+	var afterSpin int64
+	s.Go(0, func() {
+		s.Elapse(0, 10) // regrant charges Spin(10) => 5*10
+		afterSpin = s.Now()
+	})
+	total := s.Run()
+	// Start grant: 5. Spin(10) regrant: 50. Total 55.
+	if afterSpin != 55 || total != 55 {
+		t.Fatalf("clock after Elapse(10) = %d, total = %d; want 55, 55", afterSpin, total)
+	}
+}
+
+// TestSimSecondRunPanics pins the single-shot contract with its
+// user-facing message.
+func TestSimSecondRunPanics(t *testing.T) {
+	s := NewSim(1, 1, nil)
+	s.Go(0, func() {})
+	s.Run()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("second Run did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "single-shot") {
+			t.Fatalf("second Run panicked with %v, want a message explaining the single-shot contract", r)
+		}
+	}()
+	s.Run()
+}
+
+// TestSimValidation pins the constructor and Go argument checks.
+func TestSimValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("NewSim(0)", func() { NewSim(0, 1, nil) })
+	mustPanic("Go(-1)", func() { NewSim(2, 1, nil).Go(-1, func() {}) })
+	mustPanic("Go(n)", func() { NewSim(2, 1, nil).Go(2, func() {}) })
+}

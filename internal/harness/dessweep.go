@@ -1,0 +1,718 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"bakerypp/internal/des"
+	"bakerypp/internal/gcl"
+	"bakerypp/internal/preempt"
+	"bakerypp/internal/specs"
+	"bakerypp/internal/stats"
+)
+
+// This file is the discrete-event execution mode of the scenario sweep:
+// instead of spawning a goroutine herd per cell (runSweepCellOnce), each
+// cell runs as a single-threaded event loop on a des.Kernel over the
+// cell's gcl specification program. Virtual time comes from a latency
+// model, so cells report acquire-latency percentiles (p50/p95/p99),
+// per-lock wait histograms and overflow/reset timing next to the classic
+// counters — and because a run is a pure function of (grid coordinates,
+// seed, latency spec), the table fingerprint is identical for any worker
+// count and GOMAXPROCS. Runs can be recorded as des event logs and
+// replayed (cmd/bakeryreplay) to a byte-identical table: the aggregation
+// below consumes only the des.Rec stream, whether it comes from a live
+// kernel or from a file.
+
+// DESLockSpec names one lock on the DES sweep's lock axis: a registered
+// gcl specification plus the register mode to run it under. Wrap runs
+// the spec on wrapping b-bit registers (gcl.ModeWrap) — the regime where
+// classic Bakery malfunctions observably.
+type DESLockSpec struct {
+	Name string
+	Algo string
+	Wrap bool
+}
+
+// DESPattern is one arrival/hold pattern of the DES sweep. PoissonMean
+// selects the open-loop arrival model: after each critical section the
+// process re-arrives after a seeded exponential interarrival gap with
+// this mean (in virtual-time units); zero means closed-loop sustained
+// re-arrival after one unit. Hold is the critical-section length in
+// units, priced by the latency model's Hold class.
+type DESPattern struct {
+	Name        string
+	PoissonMean int64
+	Hold        int64
+}
+
+// DESSweepConfig describes a DES sweep grid and how to execute it.
+type DESSweepConfig struct {
+	Locks    []DESLockSpec
+	Patterns []DESPattern
+	Points   []GridPoint
+	// Iters is the number of critical sections per process per run.
+	Iters int
+	// Seeds lists the schedule seeds; each cell executes once per seed
+	// and the aggregated row merges the runs.
+	Seeds []int64
+	// Workers sizes the cell worker pool: 0 runs sequentially,
+	// negative uses GOMAXPROCS. The result is identical for any value.
+	Workers int
+	// Latency is the latency-model spec (des.ParseModel); "" = unit.
+	Latency string
+	// MaxEvents bounds a single run's event count (0 = a generous
+	// default); hitting the bound truncates deterministically.
+	MaxEvents int64
+	// Record, when non-nil, receives the full event log of the sweep
+	// (des log grammar) after all cells complete, in canonical cell
+	// order — so the recorded bytes are identical for any Workers.
+	Record io.Writer
+}
+
+func (c *DESSweepConfig) cells() int {
+	return len(c.Locks) * len(c.Patterns) * len(c.Points)
+}
+
+// DESCellResult is the aggregated outcome of one DES grid cell across
+// its seeds.
+type DESCellResult struct {
+	Lock    string
+	Pattern string
+	N       int
+	M       int64
+	Runs    int
+	// Ops counts critical sections entered; Events counts executed
+	// actions; Time sums the runs' final virtual clocks — the
+	// latency-model-denominated clock all rates below use.
+	Ops    int64
+	Events int64
+	Time   int64
+	// Violations counts entries into a >=2-in-cs condition (nonzero
+	// only for broken locks, e.g. bakery on wrapping registers);
+	// MaxConcurrency is the peak cs occupancy.
+	Violations     int64
+	MaxConcurrency int
+	// Resets and Overflows count "reset"-tagged actions (Bakery++'s
+	// overflow recovery) and overflowing stores.
+	Resets    int64
+	Overflows int64
+	// Stuck counts runs that ended with some process blocked forever
+	// (a deadlock under the cell's register mode).
+	Stuck int64
+	// Acquire is the distribution of virtual time from a "try" action
+	// to the matching "cs-enter"; Wait is the distribution of blocked
+	// spans (a process parked on a false guard until its wake action);
+	// ResetGap is the distribution of virtual time between consecutive
+	// resets (the first gap measured from run start).
+	Acquire  *stats.Histogram
+	Wait     *stats.Histogram
+	ResetGap *stats.Histogram
+}
+
+// OpsPerKTime is throughput in the virtual clock: critical sections per
+// thousand time units.
+func (c *DESCellResult) OpsPerKTime() float64 {
+	if c.Time == 0 {
+		return 0
+	}
+	return 1000 * float64(c.Ops) / float64(c.Time)
+}
+
+// DESSweepResult is the outcome of a DES sweep, one DESCellResult per
+// grid cell in canonical (lock-major, then pattern, then point) order.
+type DESSweepResult struct {
+	Latency string
+	Cells   []DESCellResult
+}
+
+// Table renders the aggregated DES sweep as a stats.Table; same
+// SweepConfig (same seeds) ⇒ byte-identical output, regardless of
+// Workers, and a replayed recording reproduces it byte for byte.
+func (r *DESSweepResult) Table() *stats.Table {
+	return desTable(r.Cells, r.Latency)
+}
+
+func desTable(cells []DESCellResult, latency string) *stats.Table {
+	tb := stats.NewTable(
+		fmt.Sprintf("Discrete-event contention sweep (latency=%s)", latency),
+		"lock", "pattern", "N", "M", "runs", "ops", "events", "time",
+		"ops/ktime", "violations", "maxconc", "resets", "overflows", "stuck",
+		"acq p50", "acq p95", "acq p99", "wait p50", "wait p99", "reset-gap p50")
+	for i := range cells {
+		c := &cells[i]
+		tb.AddRow(c.Lock, c.Pattern, c.N, c.M, c.Runs, c.Ops, c.Events,
+			c.Time, c.OpsPerKTime(), c.Violations, c.MaxConcurrency,
+			c.Resets, c.Overflows, c.Stuck,
+			c.Acquire.Quantile(0.5), c.Acquire.Quantile(0.95), c.Acquire.Quantile(0.99),
+			c.Wait.Quantile(0.5), c.Wait.Quantile(0.99),
+			c.ResetGap.Quantile(0.5))
+	}
+	return tb
+}
+
+// desDefaultMaxEvents bounds one run when the config does not: far above
+// anything the shipped grids produce, so it only catches runaway specs.
+const desDefaultMaxEvents = 4_000_000
+
+// RunDESSweep executes the grid in discrete-event mode and returns the
+// merged results.
+func RunDESSweep(cfg DESSweepConfig) (*DESSweepResult, error) {
+	if cfg.cells() == 0 {
+		return nil, fmt.Errorf("harness: DES sweep grid is empty (locks=%d patterns=%d points=%d)",
+			len(cfg.Locks), len(cfg.Patterns), len(cfg.Points))
+	}
+	if cfg.Iters < 1 {
+		return nil, fmt.Errorf("harness: DES sweep Iters must be >= 1")
+	}
+	if len(cfg.Seeds) == 0 {
+		return nil, fmt.Errorf("harness: DES sweep needs at least one seed")
+	}
+	for _, pt := range cfg.Points {
+		if pt.N < 1 || pt.N > 64 || pt.M < 1 {
+			return nil, fmt.Errorf("harness: bad DES grid point N=%d M=%d", pt.N, pt.M)
+		}
+	}
+	latency := cfg.Latency
+	if latency == "" {
+		latency = "unit"
+	}
+	if _, err := des.ParseModel(latency, 0); err != nil {
+		return nil, err
+	}
+	maxEvents := cfg.MaxEvents
+	if maxEvents <= 0 {
+		maxEvents = desDefaultMaxEvents
+	}
+
+	type cellKey struct {
+		lock    DESLockSpec
+		pattern DESPattern
+		point   GridPoint
+	}
+	keys := make([]cellKey, 0, cfg.cells())
+	for _, l := range cfg.Locks {
+		for _, p := range cfg.Patterns {
+			for _, pt := range cfg.Points {
+				keys = append(keys, cellKey{l, p, pt})
+			}
+		}
+	}
+
+	results := make([]DESCellResult, len(keys))
+	// recorded[cell][run] buffers event streams when recording; kept
+	// per cell so the log can be written in canonical order afterwards
+	// regardless of which worker finished when.
+	var recorded [][][]des.Rec
+	if cfg.Record != nil {
+		recorded = make([][][]des.Rec, len(keys))
+	}
+	errs := make([]error, len(keys))
+	workers := cfg.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				k := keys[idx]
+				cell := DESCellResult{
+					Lock: k.lock.Name, Pattern: k.pattern.Name,
+					N: k.point.N, M: k.point.M,
+					Acquire: stats.NewHistogram(), Wait: stats.NewHistogram(),
+					ResetGap: stats.NewHistogram(),
+				}
+				for _, seed := range cfg.Seeds {
+					schedSeed := seed*1000003 + int64(idx)
+					model, err := des.ParseModel(latency, schedSeed)
+					if err != nil {
+						errs[idx] = err
+						break
+					}
+					acc := newDESAccum(k.point.N)
+					emit := acc.Add
+					if recorded != nil {
+						var buf []des.Rec
+						emit = func(r des.Rec) {
+							buf = append(buf, r)
+							acc.Add(r)
+						}
+						err = runDESCellOnce(k.lock, k.pattern, k.point, model, schedSeed, cfg.Iters, maxEvents, emit)
+						recorded[idx] = append(recorded[idx], buf)
+					} else {
+						err = runDESCellOnce(k.lock, k.pattern, k.point, model, schedSeed, cfg.Iters, maxEvents, emit)
+					}
+					if err != nil {
+						errs[idx] = err
+						break
+					}
+					acc.finish(&cell)
+				}
+				results[idx] = cell
+			}
+		}()
+	}
+	for idx := range keys {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &DESSweepResult{Latency: latency, Cells: results}
+
+	if cfg.Record != nil {
+		w := des.NewLogWriter(cfg.Record)
+		w.Meta(desLogHeader{
+			V: des.LogVersion, Kind: "des-sweep", Latency: latency,
+			Iters: cfg.Iters, Seeds: cfg.Seeds,
+		})
+		for idx, k := range keys {
+			w.Meta(desLogCell{
+				Cell: idx, Lock: k.lock.Name, Algo: k.lock.Algo, Wrap: k.lock.Wrap,
+				Pattern: k.pattern.Name, N: k.point.N, M: k.point.M,
+			})
+			for run, recs := range recorded[idx] {
+				w.Meta(desLogRun{Run: cfg.Seeds[run]})
+				for _, r := range recs {
+					w.Event(r)
+				}
+			}
+		}
+		w.Meta(desLogTrailer{Fingerprint: res.Table().Fingerprint()})
+		if err := w.Flush(); err != nil {
+			return nil, fmt.Errorf("harness: writing DES event log: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// runDESCellOnce plays one run of one cell as an event loop on a fresh
+// kernel, emitting every executed action (and every block instant) to
+// emit. The run is single-threaded and consumes one seeded stream in
+// kernel event order, so the emitted stream is a pure function of
+// (lock, pattern, point, model, schedSeed, iters).
+func runDESCellOnce(lock DESLockSpec, pat DESPattern, pt GridPoint, model des.Model, schedSeed int64, iters int, maxEvents int64, emit func(des.Rec)) error {
+	prog, err := specs.Get(lock.Algo, specs.Config{N: pt.N, M: int(pt.M)})
+	if err != nil {
+		return err
+	}
+	mode := gcl.ModeUnbounded
+	if lock.Wrap {
+		mode = gcl.ModeWrap
+	}
+	n := pt.N
+	k := des.NewKernel()
+	rng := preempt.Seed64(schedSeed, 0xDE5)
+	draw := func() uint64 {
+		rng = preempt.Xorshift64(rng)
+		return rng
+	}
+	// Exponential interarrival via inverse transform on a 53-bit
+	// uniform (the open-loop Poisson arrival model); closed-loop
+	// patterns re-arrive after one unit.
+	arrival := func() int64 {
+		if pat.PoissonMean <= 0 {
+			return 1
+		}
+		u := float64(draw()>>11+1) / (1 << 53)
+		gap := int64(math.Round(-math.Log(u) * float64(pat.PoissonMean)))
+		if gap < 1 {
+			gap = 1
+		}
+		return gap
+	}
+
+	state := prog.InitState()
+	done := make([]bool, n)
+	blocked := make([]bool, n)
+	entries := make([]int, n)
+	pendingClass := make([]des.Class, n)
+	var succs []gcl.Succ
+
+	var exec func(pid int)
+	schedule := func(pid int, class des.Class, units int64) {
+		pendingClass[pid] = class
+		k.At(pid, model.Cost(class, pid, units), func() { exec(pid) })
+	}
+	// wake re-schedules, in pid order, every parked process whose guard
+	// became true; called after every state change so blocked spans end
+	// at the earliest enabling action, deterministically.
+	wake := func() {
+		for pid := 0; pid < n; pid++ {
+			if blocked[pid] && !done[pid] && prog.Enabled(state, pid) {
+				blocked[pid] = false
+				schedule(pid, des.Wait, 0)
+			}
+		}
+	}
+	exec = func(pid int) {
+		if done[pid] {
+			return
+		}
+		succs = prog.Succs(state, pid, mode, succs[:0])
+		if len(succs) == 0 {
+			// Disabled between scheduling and execution (another
+			// event at an earlier instant flipped the guard): park.
+			blocked[pid] = true
+			emit(des.Rec{T: k.Now(), Pid: pid, Class: des.Block})
+			return
+		}
+		sc := succs[0]
+		if len(succs) > 1 {
+			sc = succs[int(draw()%uint64(len(succs)))]
+		}
+		state = sc.State
+		emit(des.Rec{T: k.Now(), Pid: pid, Class: pendingClass[pid], Tag: sc.Tag, Overflow: sc.Overflow})
+		if sc.Tag == "cs-enter" {
+			entries[pid]++
+		}
+		label := prog.PCLabel(state, pid)
+		switch {
+		case label == "ncs" && entries[pid] >= iters:
+			// Retired: this process competes no more. Its shared
+			// state is fully released (the exit protocol ran on the
+			// way back to ncs), so it cannot block anyone.
+			done[pid] = true
+		case !prog.Enabled(state, pid):
+			blocked[pid] = true
+			emit(des.Rec{T: k.Now(), Pid: pid, Class: des.Block})
+		case label == "cs":
+			schedule(pid, des.Hold, pat.Hold)
+		case label == "ncs":
+			schedule(pid, des.Think, arrival())
+		default:
+			schedule(pid, des.Step, 0)
+		}
+		wake()
+	}
+
+	for pid := 0; pid < n; pid++ {
+		schedule(pid, des.Start, 0)
+	}
+	for k.Executed() < maxEvents && k.Step() {
+	}
+	return nil
+}
+
+// desAccum folds a des.Rec stream into per-run statistics and merges
+// each finished run into a DESCellResult. It is the single aggregation
+// path for both live runs and replayed recordings — which is what makes
+// a replay byte-identical by construction.
+type desAccum struct {
+	n         int
+	ops       int64
+	events    int64
+	endTime   int64
+	violate   int64
+	maxConc   int
+	resets    int64
+	overflows int64
+	inCS      int
+	lastReset int64
+	tryAt     []int64
+	blockAt   []int64
+	acquire   *stats.Histogram
+	wait      *stats.Histogram
+	resetGap  *stats.Histogram
+}
+
+func newDESAccum(n int) *desAccum {
+	a := &desAccum{
+		n:        n,
+		tryAt:    make([]int64, n),
+		blockAt:  make([]int64, n),
+		acquire:  stats.NewHistogram(),
+		wait:     stats.NewHistogram(),
+		resetGap: stats.NewHistogram(),
+	}
+	for i := 0; i < n; i++ {
+		a.tryAt[i] = -1
+		a.blockAt[i] = -1
+	}
+	return a
+}
+
+// Add consumes one event record.
+func (a *desAccum) Add(r des.Rec) {
+	if r.Pid < 0 || r.Pid >= a.n {
+		return
+	}
+	if r.T > a.endTime {
+		a.endTime = r.T
+	}
+	if r.Class == des.Block {
+		if a.blockAt[r.Pid] < 0 {
+			a.blockAt[r.Pid] = r.T
+		}
+		return
+	}
+	a.events++
+	if bt := a.blockAt[r.Pid]; bt >= 0 {
+		a.wait.Record(r.T - bt)
+		a.blockAt[r.Pid] = -1
+	}
+	if r.Overflow {
+		a.overflows++
+	}
+	switch r.Tag {
+	case "try":
+		a.tryAt[r.Pid] = r.T
+	case "cs-enter":
+		a.ops++
+		if t := a.tryAt[r.Pid]; t >= 0 {
+			a.acquire.Record(r.T - t)
+			a.tryAt[r.Pid] = -1
+		}
+		a.inCS++
+		if a.inCS > a.maxConc {
+			a.maxConc = a.inCS
+		}
+		if a.inCS == 2 {
+			a.violate++
+		}
+	case "cs-exit":
+		if a.inCS > 0 {
+			a.inCS--
+		}
+	case "reset":
+		a.resets++
+		a.resetGap.Record(r.T - a.lastReset)
+		a.lastReset = r.T
+	}
+}
+
+// finish merges the run into cell and resets nothing: an accumulator is
+// single-run; callers create a fresh one per run.
+func (a *desAccum) finish(cell *DESCellResult) {
+	cell.Runs++
+	cell.Ops += a.ops
+	cell.Events += a.events
+	cell.Time += a.endTime
+	cell.Violations += a.violate
+	if a.maxConc > cell.MaxConcurrency {
+		cell.MaxConcurrency = a.maxConc
+	}
+	cell.Resets += a.resets
+	cell.Overflows += a.overflows
+	for pid := 0; pid < a.n; pid++ {
+		if a.blockAt[pid] >= 0 {
+			cell.Stuck++
+			break
+		}
+	}
+	cell.Acquire.Merge(a.acquire)
+	cell.Wait.Merge(a.wait)
+	cell.ResetGap.Merge(a.resetGap)
+}
+
+// Log line shapes. Field order is the byte-stability contract: these
+// structs are what LogWriter.Meta marshals, so reordering fields changes
+// recorded bytes — bump des.LogVersion if that ever becomes necessary.
+type desLogHeader struct {
+	V       int     `json:"v"`
+	Kind    string  `json:"kind"`
+	Latency string  `json:"latency"`
+	Iters   int     `json:"iters"`
+	Seeds   []int64 `json:"seeds"`
+}
+
+type desLogCell struct {
+	Cell    int    `json:"cell"`
+	Lock    string `json:"lock"`
+	Algo    string `json:"algo"`
+	Wrap    bool   `json:"wrap"`
+	Pattern string `json:"pattern"`
+	N       int    `json:"n"`
+	M       int64  `json:"m"`
+}
+
+type desLogRun struct {
+	Run int64 `json:"run"`
+}
+
+type desLogTrailer struct {
+	Fingerprint string `json:"fingerprint"`
+}
+
+// DESReplay is the outcome of replaying a recorded DES sweep log.
+type DESReplay struct {
+	Table *stats.Table
+	// Fingerprint is the replayed table's fingerprint; Recorded is the
+	// one stored in the log's trailer. They match iff the replay is
+	// bit-identical to the original run.
+	Fingerprint string
+	Recorded    string
+}
+
+// OK reports whether the replayed table is bit-identical to the recorded
+// run.
+func (r *DESReplay) OK() bool { return r.Fingerprint == r.Recorded }
+
+// ReplayDESLog rebuilds the sweep table of a recorded DES sweep from its
+// event log alone — no simulation, just the shared accumulator over the
+// recorded streams — and returns it with both fingerprints.
+func ReplayDESLog(rd io.Reader) (*DESReplay, error) {
+	r := des.NewLogReader(rd)
+
+	line, err := r.Next()
+	if err != nil {
+		return nil, fmt.Errorf("harness: DES log is empty: %w", err)
+	}
+	var hdr desLogHeader
+	if line.IsEvent || json.Unmarshal(line.Raw, &hdr) != nil || hdr.Kind != "des-sweep" {
+		return nil, fmt.Errorf("harness: not a DES sweep log (header %s)", line.Raw)
+	}
+	if hdr.V != des.LogVersion {
+		return nil, fmt.Errorf("harness: DES log version %d, this build reads %d", hdr.V, des.LogVersion)
+	}
+
+	var (
+		cells    []DESCellResult
+		cur      *DESCellResult
+		acc      *desAccum
+		trailer  desLogTrailer
+		sawTrail bool
+	)
+	closeRun := func() {
+		if acc != nil && cur != nil {
+			acc.finish(cur)
+			acc = nil
+		}
+	}
+	for {
+		line, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if line.IsEvent {
+			if acc == nil {
+				return nil, fmt.Errorf("harness: DES log has an event before any run marker")
+			}
+			acc.Add(line.Event)
+			continue
+		}
+		// Metadata: cell marker, run marker, or trailer — identified
+		// by their distinguishing keys.
+		var probe map[string]json.RawMessage
+		if err := json.Unmarshal(line.Raw, &probe); err != nil {
+			return nil, err
+		}
+		switch {
+		case probe["cell"] != nil:
+			closeRun()
+			var c desLogCell
+			if err := json.Unmarshal(line.Raw, &c); err != nil {
+				return nil, err
+			}
+			cells = append(cells, DESCellResult{
+				Lock: c.Lock, Pattern: c.Pattern, N: c.N, M: c.M,
+				Acquire: stats.NewHistogram(), Wait: stats.NewHistogram(),
+				ResetGap: stats.NewHistogram(),
+			})
+			cur = &cells[len(cells)-1]
+		case probe["run"] != nil:
+			closeRun()
+			if cur == nil {
+				return nil, fmt.Errorf("harness: DES log has a run marker before any cell marker")
+			}
+			acc = newDESAccum(cur.N)
+		case probe["fingerprint"] != nil:
+			closeRun()
+			if err := json.Unmarshal(line.Raw, &trailer); err != nil {
+				return nil, err
+			}
+			sawTrail = true
+		default:
+			return nil, fmt.Errorf("harness: unrecognised DES log metadata %s", line.Raw)
+		}
+	}
+	closeRun()
+	if !sawTrail {
+		return nil, fmt.Errorf("harness: DES log has no fingerprint trailer (truncated recording?)")
+	}
+	tb := desTable(cells, hdr.Latency)
+	return &DESReplay{Table: tb, Fingerprint: tb.Fingerprint(), Recorded: trailer.Fingerprint}, nil
+}
+
+// DefaultDESLocks returns the standard DES lock axis: Bakery++ (ideal
+// registers — its reset protocol is the bound), classic Bakery on ideal
+// registers, and classic Bakery on wrapping registers sized to the grid
+// capacity (the paper's malfunction regime).
+func DefaultDESLocks() []DESLockSpec {
+	return []DESLockSpec{
+		{Name: "bakery++", Algo: "bakerypp"},
+		{Name: "bakery", Algo: "bakery"},
+		{Name: "bakery-wrap", Algo: "bakery", Wrap: true},
+	}
+}
+
+// DESPoisson builds the open-loop pattern spec for a mean interarrival
+// gap, named canonically so grids and logs round-trip.
+func DESPoisson(mean, hold int64) DESPattern {
+	return DESPattern{Name: "poisson:" + strconv.FormatInt(mean, 10), PoissonMean: mean, Hold: hold}
+}
+
+// DefaultDESPatterns returns the standard arrival axis: closed-loop
+// sustained contention and one open-loop Poisson arrival stream — the
+// seed of the lock-service scenario layer.
+func DefaultDESPatterns() []DESPattern {
+	return []DESPattern{
+		{Name: "sustained", Hold: 6},
+		DESPoisson(80, 6),
+	}
+}
+
+// DefaultDESSweep returns the grid cmd/bakerybench's -des mode runs:
+// 3 locks × 2 arrival patterns × 2 (N, M) points = 12 cells, three
+// seeds each.
+func DefaultDESSweep() DESSweepConfig {
+	return DESSweepConfig{
+		Locks:    DefaultDESLocks(),
+		Patterns: DefaultDESPatterns(),
+		Points:   []GridPoint{{N: 2, M: 7}, {N: 4, M: 7}},
+		Iters:    150,
+		Seeds:    []int64{1, 2, 3},
+	}
+}
+
+// SelectDESLocks returns the DES lock specs with the given names, in the
+// given order; a missing name panics rather than shrinking the grid.
+func SelectDESLocks(list []DESLockSpec, names ...string) []DESLockSpec {
+	out := make([]DESLockSpec, 0, len(names))
+	for _, name := range names {
+		found := false
+		for _, s := range list {
+			if s.Name == name {
+				out = append(out, s)
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("harness: no DES sweep lock named %q", name))
+		}
+	}
+	return out
+}

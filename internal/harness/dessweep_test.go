@@ -1,0 +1,240 @@
+package harness
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+
+	"bakerypp/internal/specs"
+)
+
+// trimmedDESSweep is the fast grid the unit tests run: the full default
+// axes with fewer iterations.
+func trimmedDESSweep() DESSweepConfig {
+	cfg := DefaultDESSweep()
+	cfg.Iters = 40
+	return cfg
+}
+
+// TestDESSweepDeterministicAcrossWorkers pins the DES half of the sweep
+// determinism contract: the aggregated table — and the recorded event
+// log — are byte-identical whether cells run sequentially or on a full
+// worker pool.
+func TestDESSweepDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) (string, []byte) {
+		cfg := trimmedDESSweep()
+		cfg.Workers = workers
+		var buf bytes.Buffer
+		cfg.Record = &buf
+		res, err := RunDESSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Table().Fingerprint(), buf.Bytes()
+	}
+	fp1, log1 := run(1)
+	fp8, log8 := run(8)
+	if fp1 != fp8 {
+		t.Errorf("table fingerprint differs across worker counts: %s vs %s", fp1, fp8)
+	}
+	if !bytes.Equal(log1, log8) {
+		t.Error("recorded event log differs across worker counts")
+	}
+}
+
+// TestDESSweepGOMAXPROCSIndependent: a DES cell is a single-threaded
+// event loop, so the table must not depend on available parallelism.
+func TestDESSweepGOMAXPROCSIndependent(t *testing.T) {
+	run := func(procs int) string {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		cfg := trimmedDESSweep()
+		cfg.Workers = 4
+		res, err := RunDESSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Table().Fingerprint()
+	}
+	if a, b := run(1), run(runtime.NumCPU()); a != b {
+		t.Errorf("DES sweep fingerprint differs across GOMAXPROCS: %s vs %s", a, b)
+	}
+}
+
+// TestDESRecordReplayAllSpecs is the round-trip pin from the issue:
+// record a small DES run of every registered specification and replay
+// it to a bit-identical table fingerprint.
+func TestDESRecordReplayAllSpecs(t *testing.T) {
+	for _, name := range specs.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := DESSweepConfig{
+				Locks:    []DESLockSpec{{Name: name, Algo: name}},
+				Patterns: []DESPattern{{Name: "sustained", Hold: 3}, DESPoisson(30, 3)},
+				Points:   []GridPoint{{N: 3, M: 4}},
+				Iters:    12,
+				Seeds:    []int64{1, 2},
+				Latency:  "jitter:1,3",
+			}
+			var buf bytes.Buffer
+			cfg.Record = &buf
+			res, err := RunDESSweep(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range res.Cells {
+				if c.Events == 0 {
+					t.Errorf("%s/%s: recorded run executed no events", c.Lock, c.Pattern)
+				}
+				if c.Ops == 0 {
+					t.Errorf("%s/%s: no critical sections entered", c.Lock, c.Pattern)
+				}
+			}
+			rep, err := ReplayDESLog(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.OK() {
+				t.Fatalf("replay fingerprint %s != recorded %s", rep.Fingerprint, rep.Recorded)
+			}
+			if rep.Table.String() != res.Table().String() {
+				t.Fatal("replayed table bytes differ from the live table")
+			}
+		})
+	}
+}
+
+// TestDESSweepLatencyModels: each latency model must run, stay
+// deterministic (same seed twice ⇒ same fingerprint), and actually
+// shape time — a fixed:3 clock runs slower than unit for the same
+// grid.
+func TestDESSweepLatencyModels(t *testing.T) {
+	run := func(latency string) *DESSweepResult {
+		cfg := DESSweepConfig{
+			Locks:    DefaultDESLocks()[:1],
+			Patterns: []DESPattern{{Name: "sustained", Hold: 4}},
+			Points:   []GridPoint{{N: 3, M: 7}},
+			Iters:    30,
+			Seeds:    []int64{5},
+			Latency:  latency,
+		}
+		res, err := RunDESSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, latency := range []string{"unit", "fixed:3", "jitter:2,4", "classes:step=2;hold=exp(9);think=uniform(1,5)"} {
+		a, b := run(latency), run(latency)
+		if a.Table().Fingerprint() != b.Table().Fingerprint() {
+			t.Errorf("latency %q: same seeds produced different fingerprints", latency)
+		}
+	}
+	if unit, fixed := run("unit"), run("fixed:3"); fixed.Cells[0].Time <= unit.Cells[0].Time {
+		t.Errorf("fixed:3 time %d not above unit time %d — the model does not price actions",
+			fixed.Cells[0].Time, unit.Cells[0].Time)
+	}
+}
+
+// TestDESOpenLoopArrivals: the Poisson pattern is open-loop — processes
+// idle between attempts — so for the same grid it must stretch virtual
+// time well beyond the closed-loop sustained pattern while performing
+// the same number of operations.
+func TestDESOpenLoopArrivals(t *testing.T) {
+	cfg := DESSweepConfig{
+		Locks:    DefaultDESLocks()[:1],
+		Patterns: []DESPattern{{Name: "sustained", Hold: 4}, DESPoisson(100, 4)},
+		Points:   []GridPoint{{N: 2, M: 7}},
+		Iters:    50,
+		Seeds:    []int64{3},
+	}
+	res, err := RunDESSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sustained, poisson := res.Cells[0], res.Cells[1]
+	if sustained.Ops != poisson.Ops {
+		t.Fatalf("patterns disagree on ops: %d vs %d", sustained.Ops, poisson.Ops)
+	}
+	if poisson.Time < 2*sustained.Time {
+		t.Errorf("open-loop time %d not well above closed-loop %d — interarrival gaps are not being drawn",
+			poisson.Time, sustained.Time)
+	}
+	if poisson.Acquire.Quantile(0.99) > sustained.Acquire.Quantile(0.99) {
+		t.Errorf("open-loop acq p99 (%d) above sustained (%d) — low-load arrivals should rarely queue",
+			poisson.Acquire.Quantile(0.99), sustained.Acquire.Quantile(0.99))
+	}
+}
+
+// TestDESWrapShowsViolations: the bakery-wrap axis must exhibit mutual
+// exclusion violations under sustained contention at small capacity —
+// the observable malfunction the wrap mode exists to demonstrate —
+// while bakery++ stays clean on the same grid.
+func TestDESWrapShowsViolations(t *testing.T) {
+	cfg := DESSweepConfig{
+		Locks:    SelectDESLocks(DefaultDESLocks(), "bakery++", "bakery-wrap"),
+		Patterns: []DESPattern{{Name: "sustained", Hold: 6}},
+		Points:   []GridPoint{{N: 4, M: 7}},
+		Iters:    150,
+		Seeds:    []int64{1, 2, 3},
+	}
+	res, err := RunDESSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpp, wrap := res.Cells[0], res.Cells[1]
+	if bpp.Violations != 0 || bpp.MaxConcurrency > 1 {
+		t.Errorf("bakery++ violated mutual exclusion: violations=%d maxconc=%d", bpp.Violations, bpp.MaxConcurrency)
+	}
+	if wrap.Violations == 0 || wrap.MaxConcurrency < 2 {
+		t.Errorf("bakery on wrapping registers showed no malfunction: violations=%d maxconc=%d",
+			wrap.Violations, wrap.MaxConcurrency)
+	}
+}
+
+// TestDESSweepValidation: bad configs fail loudly.
+func TestDESSweepValidation(t *testing.T) {
+	if _, err := RunDESSweep(DESSweepConfig{}); err == nil {
+		t.Error("empty grid did not error")
+	}
+	cfg := trimmedDESSweep()
+	cfg.Latency = "warp:9"
+	if _, err := RunDESSweep(cfg); err == nil {
+		t.Error("unknown latency model did not error")
+	}
+	cfg = trimmedDESSweep()
+	cfg.Seeds = nil
+	if _, err := RunDESSweep(cfg); err == nil {
+		t.Error("no seeds did not error")
+	}
+}
+
+// TestReplayRejectsTamper: replaying a log whose events were altered
+// must either fail to parse or report a fingerprint mismatch — never
+// silently agree.
+func TestReplayRejectsTamper(t *testing.T) {
+	cfg := DESSweepConfig{
+		Locks:    DefaultDESLocks()[:1],
+		Patterns: []DESPattern{{Name: "sustained", Hold: 3}},
+		Points:   []GridPoint{{N: 2, M: 4}},
+		Iters:    10,
+		Seeds:    []int64{1},
+	}
+	var buf bytes.Buffer
+	cfg.Record = &buf
+	if _, err := RunDESSweep(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Drop one event line from the middle of the log.
+	lines := strings.SplitAfter(buf.String(), "\n")
+	for i, l := range lines {
+		if strings.HasPrefix(l, "[") && strings.Contains(l, "\"cs-enter\"") {
+			lines = append(lines[:i], lines[i+1:]...)
+			break
+		}
+	}
+	rep, err := ReplayDESLog(strings.NewReader(strings.Join(lines, "")))
+	if err == nil && rep.OK() {
+		t.Fatal("tampered log replayed to a matching fingerprint")
+	}
+}

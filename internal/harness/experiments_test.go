@@ -8,8 +8,8 @@ import (
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 17 {
-		t.Fatalf("got %d experiments, want 17", len(exps))
+	if len(exps) != 18 {
+		t.Fatalf("got %d experiments, want 18", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -22,7 +22,7 @@ func TestExperimentRegistry(t *testing.T) {
 		seen[e.ID] = true
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 17 || ids[0] != "E1" {
+	if len(ids) != 18 || ids[0] != "E1" {
 		t.Errorf("ExperimentIDs = %v", ids)
 	}
 }
@@ -38,7 +38,7 @@ func TestRunExperimentsUnknownID(t *testing.T) {
 // its table. The heavy runtime experiments (E3, E4, E5) are covered by the
 // benchmarks and by TestRunRuntimeExperiments below.
 func TestRunCheapExperiments(t *testing.T) {
-	for _, id := range []string{"E1", "E2", "E6", "E7", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"} {
+	for _, id := range []string{"E1", "E2", "E6", "E7", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E18"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 
 	"bakerypp/internal/algorithms"
@@ -56,8 +57,9 @@ type SweepConfig struct {
 	// the aggregated row merges the runs (counters summed, histograms
 	// merged).
 	Seeds []int64
-	// Workers sizes the sweep worker pool executing cells in parallel;
-	// values below 1 run sequentially. The result is identical either way.
+	// Workers sizes the sweep worker pool executing cells in parallel:
+	// 0 runs sequentially, negative uses GOMAXPROCS. The result is
+	// identical for any value.
 	Workers int
 	// PreemptRate is the virtual preemption density inside think/hold
 	// spins (mean gap 1/rate); zero selects workload.DefaultPreemptRate.
@@ -168,6 +170,9 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 
 	results := make([]CellResult, len(keys))
 	workers := cfg.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers < 1 {
 		workers = 1
 	}

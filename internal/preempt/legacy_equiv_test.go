@@ -1,0 +1,158 @@
+package preempt
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// legacySequencer is a frozen copy of the PR 2 Sequencer implementation,
+// kept verbatim as the oracle for the adapter equivalence test: the
+// des.Sim-backed Sequencer must reproduce this loop's grant order and
+// step counts exactly, for every (n, seed). Do not "fix" or modernise
+// this type — its whole value is that it does not change.
+type legacySequencer struct {
+	n       int
+	rng     *rand.Rand
+	grant   []chan struct{}
+	event   chan legacyEvent
+	steps   int64
+	spawned int
+}
+
+type legacyEvent struct {
+	pid  int
+	done bool
+}
+
+func newLegacySequencer(n int, seed int64) *legacySequencer {
+	s := &legacySequencer{
+		n:     n,
+		rng:   rand.New(rand.NewSource(seed)),
+		grant: make([]chan struct{}, n),
+		event: make(chan legacyEvent),
+	}
+	for i := range s.grant {
+		s.grant[i] = make(chan struct{})
+	}
+	return s
+}
+
+func (s *legacySequencer) Go(pid int, fn func()) {
+	s.spawned++
+	go func() {
+		s.event <- legacyEvent{pid: pid}
+		<-s.grant[pid]
+		fn()
+		s.event <- legacyEvent{pid: pid, done: true}
+	}()
+}
+
+func (s *legacySequencer) Preempt(pid int) {
+	s.event <- legacyEvent{pid: pid}
+	<-s.grant[pid]
+}
+
+func (s *legacySequencer) Wait(pid int) { s.Preempt(pid) }
+
+func (s *legacySequencer) Now() int64 { return s.steps }
+
+func (s *legacySequencer) Run() int64 {
+	alive := s.spawned
+	runnable := make([]int, 0, alive)
+	for len(runnable) < alive {
+		ev := <-s.event
+		runnable = append(runnable, ev.pid)
+	}
+	sort.Ints(runnable)
+	for alive > 0 {
+		i := s.rng.Intn(len(runnable))
+		pid := runnable[i]
+		runnable[i] = runnable[len(runnable)-1]
+		runnable = runnable[:len(runnable)-1]
+		s.steps++
+		s.grant[pid] <- struct{}{}
+		ev := <-s.event
+		if ev.done {
+			alive--
+		} else {
+			runnable = append(runnable, ev.pid)
+		}
+	}
+	return s.steps
+}
+
+// seqLike is the surface both the oracle and the adapter expose.
+type seqLike interface {
+	Go(pid int, fn func())
+	Preempt(pid int)
+	Wait(pid int)
+	Now() int64
+	Run() int64
+}
+
+// granTrace runs the canonical contended workload — iters loop
+// iterations per pid, a Preempt each, a Wait every third — and returns
+// the full "pid@step" grant trace plus the step total.
+func grantTrace(s seqLike, n, iters int) (string, int64) {
+	var trace []string
+	for pid := 0; pid < n; pid++ {
+		pid := pid
+		s.Go(pid, func() {
+			for k := 0; k < iters; k++ {
+				trace = append(trace, fmt.Sprintf("%d@%d", pid, s.Now()))
+				s.Preempt(pid)
+				if k%3 == 0 {
+					s.Wait(pid)
+				}
+			}
+		})
+	}
+	total := s.Run()
+	return strings.Join(trace, " "), total
+}
+
+// TestSequencerMatchesLegacy is the refactor's pin: over a grid of
+// (n, seed), the des.Sim-backed Sequencer (unit latency) reproduces the
+// frozen PR 2 loop's schedule exactly — same grant order, same virtual
+// timestamps at every observation point, same step total. Any schedule
+// drift here would silently invalidate every sweep fingerprint recorded
+// before the discrete-event refactor.
+func TestSequencerMatchesLegacy(t *testing.T) {
+	const iters = 30
+	for n := 1; n <= 5; n++ {
+		for seed := int64(1); seed <= 8; seed++ {
+			oldTrace, oldTotal := grantTrace(newLegacySequencer(n, seed), n, iters)
+			newTrace, newTotal := grantTrace(NewSequencer(n, seed), n, iters)
+			if oldTrace != newTrace {
+				t.Fatalf("n=%d seed=%d: grant trace diverged from the PR 2 loop\nlegacy: %.120s\nnew:    %.120s",
+					n, seed, oldTrace, newTrace)
+			}
+			if oldTotal != newTotal {
+				t.Fatalf("n=%d seed=%d: step totals diverged: legacy %d, new %d", n, seed, oldTotal, newTotal)
+			}
+		}
+	}
+}
+
+// TestSequencerSecondRunPanics pins the single-shot contract: a
+// Sequencer's rng and clock are consumed by Run, so a second Run cannot
+// reproduce any seeded schedule and must fail loudly rather than return
+// a quietly meaningless result.
+func TestSequencerSecondRunPanics(t *testing.T) {
+	seq := NewSequencer(1, 1)
+	seq.Go(0, func() {})
+	seq.Run()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("second Run did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "single-shot") {
+			t.Fatalf("second Run panicked with %v, want a message explaining the single-shot contract", r)
+		}
+	}()
+	seq.Run()
+}

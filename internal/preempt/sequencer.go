@@ -1,8 +1,7 @@
 package preempt
 
 import (
-	"math/rand"
-	"sort"
+	"bakerypp/internal/des"
 )
 
 // Sequencer is a deterministic cooperative scheduler: it runs N participant
@@ -18,6 +17,17 @@ import (
 // so "latency" and "throughput" under a Sequencer are measured in
 // scheduling steps, not nanoseconds.
 //
+// Since the discrete-event refactor, Sequencer is a thin adapter over
+// des.Sim with the unit latency model: the Sim's single-server grant loop
+// with unit costs is the exact PR 2 algorithm (seeded rng pick from a
+// sorted-then-swap-removed runnable pool, one clock tick per grant), so
+// schedules are bit-identical to the original implementation — pinned by
+// TestSequencerMatchesLegacy against a frozen copy of the old loop.
+// Deliberately NOT forwarded: des.Sim's Elapse. Workloads that want
+// latency-priced computation run on a des.Sim directly; under a Sequencer
+// every switch point stays one step, so every fingerprint recorded before
+// the refactor still reproduces.
+//
 // Usage:
 //
 //	seq := preempt.NewSequencer(n, seed)
@@ -29,20 +39,12 @@ import (
 // The participant functions must route every spin-wait through Wait (a
 // spin loop that never reports to the Sequencer would monopolise its grant
 // forever). All of this repository's locks do, via their SetPreemptor hook.
+//
+// A Sequencer is single-shot: its seeded rng and virtual clock are
+// consumed by Run, so a second Run cannot reproduce any seeded schedule
+// and panics with a message saying so. Create a fresh Sequencer per run.
 type Sequencer struct {
-	n     int
-	rng   *rand.Rand
-	grant []chan struct{}
-	event chan seqEvent
-	steps int64
-	// spawned counts Go calls so Run knows how many participants to herd;
-	// a Sequencer is single-shot.
-	spawned int
-}
-
-type seqEvent struct {
-	pid  int
-	done bool
+	sim *des.Sim
 }
 
 // NewSequencer returns a Sequencer for n participants with the given
@@ -51,77 +53,27 @@ func NewSequencer(n int, seed int64) *Sequencer {
 	if n < 1 {
 		panic("preempt: need at least one participant")
 	}
-	s := &Sequencer{
-		n:     n,
-		rng:   rand.New(rand.NewSource(seed)),
-		grant: make([]chan struct{}, n),
-		event: make(chan seqEvent),
-	}
-	for i := range s.grant {
-		s.grant[i] = make(chan struct{})
-	}
-	return s
+	return &Sequencer{sim: des.NewSim(n, seed, des.Unit())}
 }
 
 // Go spawns fn as participant pid's goroutine. fn does not start executing
 // until Run grants it for the first time.
-func (s *Sequencer) Go(pid int, fn func()) {
-	if pid < 0 || pid >= s.n {
-		panic("preempt: participant out of range")
-	}
-	s.spawned++
-	go func() {
-		s.event <- seqEvent{pid: pid}
-		<-s.grant[pid]
-		fn()
-		s.event <- seqEvent{pid: pid, done: true}
-	}()
-}
+func (s *Sequencer) Go(pid int, fn func()) { s.sim.Go(pid, fn) }
 
 // Preempt implements Preemptor: the running participant offers a context
 // switch and blocks until the scheduler grants it again.
-func (s *Sequencer) Preempt(pid int) {
-	s.event <- seqEvent{pid: pid}
-	<-s.grant[pid]
-}
+func (s *Sequencer) Preempt(pid int) { s.sim.Preempt(pid) }
 
 // Wait implements Preemptor identically to Preempt: under a deterministic
 // scheduler a spin-wait iteration is just another switch point.
-func (s *Sequencer) Wait(pid int) { s.Preempt(pid) }
+func (s *Sequencer) Wait(pid int) { s.sim.Wait(pid) }
 
 // Now returns the current virtual time in steps. It may be called only by
 // the participant currently holding the grant (or before Run / after Run
 // returns); the grant channel handoff orders the accesses.
-func (s *Sequencer) Now() int64 { return s.steps }
+func (s *Sequencer) Now() int64 { return s.sim.Now() }
 
 // Run drives the spawned participants to completion and returns the total
 // number of virtual steps (grants) issued. It must be called exactly once,
-// after all Go calls.
-func (s *Sequencer) Run() int64 {
-	alive := s.spawned
-	runnable := make([]int, 0, alive)
-	// Every spawned participant parks once before its first instruction.
-	// They arrive in Go-scheduler order, which must not leak into the
-	// schedule: sort, so the runnable set starts in pid order and every
-	// later mutation is driven by the seeded rng alone.
-	for len(runnable) < alive {
-		ev := <-s.event
-		runnable = append(runnable, ev.pid)
-	}
-	sort.Ints(runnable)
-	for alive > 0 {
-		i := s.rng.Intn(len(runnable))
-		pid := runnable[i]
-		runnable[i] = runnable[len(runnable)-1]
-		runnable = runnable[:len(runnable)-1]
-		s.steps++
-		s.grant[pid] <- struct{}{}
-		ev := <-s.event
-		if ev.done {
-			alive--
-		} else {
-			runnable = append(runnable, ev.pid)
-		}
-	}
-	return s.steps
-}
+// after all Go calls; a second call panics.
+func (s *Sequencer) Run() int64 { return s.sim.Run() }

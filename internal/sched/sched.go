@@ -15,10 +15,48 @@ package sched
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
+	"sort"
 
 	"bakerypp/internal/gcl"
 )
+
+// xorshiftSource is the repository-owned rand.Source64 behind every
+// simulation run: xorshift64* seeded through the splitmix64 finalizer.
+// math/rand's default source is deterministic only by the informal Go 1
+// compatibility promise; this one is pinned by this file, so a recorded
+// fingerprint reproduces on any platform, GOMAXPROCS, and Go release.
+type xorshiftSource struct{ s uint64 }
+
+func (x *xorshiftSource) Seed(seed int64) {
+	z := uint64(seed) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9E3779B97F4A7C15
+	}
+	x.s = z
+}
+
+func (x *xorshiftSource) Uint64() uint64 {
+	x.s ^= x.s << 13
+	x.s ^= x.s >> 7
+	x.s ^= x.s << 17
+	return x.s * 0x2545F4914F6CDD1D
+}
+
+func (x *xorshiftSource) Int63() int64 { return int64(x.Uint64() >> 1) }
+
+// NewRNG returns the seeded random source simulation runs draw from.
+// cmd/bakerysim routes -sched random/biased through this, which is what
+// makes its printed fingerprint a portable run identity.
+func NewRNG(seed int64) *rand.Rand {
+	src := &xorshiftSource{}
+	src.Seed(seed)
+	return rand.New(src)
+}
 
 // Scheduler picks which enabled process steps next.
 type Scheduler interface {
@@ -169,6 +207,32 @@ type Stats struct {
 	TicketSeries []int32
 }
 
+// Fingerprint returns a short stable hash of everything the run
+// observed. Two runs fingerprint equal iff they collected identical
+// statistics, so one printed line lets users check that a simulation
+// reproduced — across reruns, GOMAXPROCS settings, and machines.
+func (st *Stats) Fingerprint() string {
+	h := fnv.New64a()
+	put := func(format string, args ...any) {
+		fmt.Fprintf(h, format, args...)
+		h.Write([]byte{0})
+	}
+	put("%s/%d/%v/%d", st.Prog, st.Steps, st.Deadlocked, st.DeadlockStep)
+	put("%v%v%v%v%v%v", st.CSEntries, st.Resets, st.Doorways, st.Crashes, st.WaitSum, st.WaitMax)
+	put("%d/%d/%d/%d/%d/%d", st.Overflows, st.FirstOverflowStep,
+		st.MutexViolations, st.FirstViolationStep, st.FCFSInversions, st.MaxTicket)
+	tags := make([]string, 0, len(st.TagVisits))
+	for tag := range st.TagVisits {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	for _, tag := range tags {
+		put("%s=%d", tag, st.TagVisits[tag])
+	}
+	put("%v", st.TicketSeries)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 // TotalCS returns the total number of critical-section entries.
 func (st *Stats) TotalCS() int64 {
 	var n int64
@@ -204,7 +268,7 @@ func Run(p *gcl.Prog, opts Options) (*Stats, error) {
 	if opts.Sched == nil {
 		opts.Sched = Random{}
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	rng := NewRNG(opts.Seed)
 	crashers := opts.CrashPids
 	if opts.CrashRate > 0 && len(crashers) == 0 {
 		crashers = make([]int, p.N)

@@ -17,10 +17,20 @@ import "bakerypp/internal/preempt"
 type Spinner struct {
 	pid     int
 	pre     preempt.Preemptor
+	elapse  func(pid int, work int64)
 	state   uint64
 	maxGap  uint64 // yield gaps are drawn uniformly from [1, maxGap]
 	acc     uint32
 	yielded uint64
+}
+
+// elapser is the optional timed-event surface of a Preemptor: a
+// discrete-event scheduler (des.Sim) implements it so spin stretches are
+// reported with their size and priced by the latency model, instead of
+// arriving as bare unit-cost yields. Checked structurally so workload
+// does not import des.
+type elapser interface {
+	Elapse(pid int, work int64)
 }
 
 // DefaultPreemptRate is the spin-iteration preemption rate the harness
@@ -38,6 +48,9 @@ const DefaultPreemptRate = 0.04
 // to make the schedule fully deterministic.
 func NewSpinner(pid int, seed int64, rate float64, pre preempt.Preemptor) *Spinner {
 	s := &Spinner{pid: pid, pre: pre, state: preempt.Seed64(seed, pid)}
+	if e, ok := pre.(elapser); ok {
+		s.elapse = e.Elapse
+	}
 	if rate > 0 && pre != nil {
 		if rate > 1 {
 			rate = 1
@@ -72,6 +85,13 @@ func (s *Spinner) Spin(n int) {
 		s.acc ^= Spin(gap)
 		n -= gap
 		s.yielded++
-		s.pre.Preempt(s.pid)
+		if s.elapse != nil {
+			// Timed scheduler: report the stretch with its size so
+			// the latency model prices the computation, not just
+			// the switch point.
+			s.elapse(s.pid, int64(gap))
+		} else {
+			s.pre.Preempt(s.pid)
+		}
 	}
 }

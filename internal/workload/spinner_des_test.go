@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"testing"
+
+	"bakerypp/internal/des"
+	"bakerypp/internal/preempt"
+)
+
+// countingPre counts bare Preempt yields (the classic path).
+type countingPre struct{ preempts int }
+
+func (p *countingPre) Preempt(pid int) { p.preempts++ }
+func (p *countingPre) Wait(pid int)    { p.preempts++ }
+
+// TestSpinnerTimedEvents: under a discrete-event scheduler the Spinner
+// must report spin stretches as sized Elapse events — so a fixed:2 model
+// charges 2 ticks per spun iteration — while under a plain Preemptor the
+// same spin arrives as bare unit yields. This is the "waits become timed
+// events" half of the DES refactor at the workload layer.
+func TestSpinnerTimedEvents(t *testing.T) {
+	const work = 400
+	// Classic path: a non-elapser Preemptor sees bare Preempts.
+	plain := &countingPre{}
+	sp := NewSpinner(0, 9, DefaultPreemptRate, plain)
+	sp.Spin(work)
+	if plain.preempts == 0 {
+		t.Fatal("no preemption points injected on the classic path")
+	}
+
+	// Timed path: the same spin on a des.Sim advances virtual time by
+	// ~2 ticks per iteration under fixed:2 (the tail stretch after the
+	// last yield is not reported, so "at least work" only holds for
+	// the yielded prefix — check the total is >= 2x the yielded work
+	// and that time moved far beyond the grant count).
+	sim := des.NewSim(1, 9, des.Fixed(2))
+	var grants int64
+	sim.Go(0, func() {
+		s := NewSpinner(0, 9, DefaultPreemptRate, sim)
+		s.Spin(work)
+		grants = int64(s.Yields())
+	})
+	total := sim.Run()
+	if grants == 0 {
+		t.Fatal("no preemption points injected on the timed path")
+	}
+	// Start grant costs 2; each yielded stretch of g iterations costs
+	// 2g >= 2. If stretches arrived as bare unit-cost yields the total
+	// would be 2*(grants+1); sized pricing makes it far larger.
+	if total <= 2*(grants+1) {
+		t.Fatalf("virtual time %d for %d grants — spin stretches were not priced by size", total, grants)
+	}
+}
+
+// TestSequencerHidesElapse pins the adapter boundary: preempt.Sequencer
+// must NOT satisfy the elapser interface, or every pre-refactor sweep
+// fingerprint would silently change (spin stretches would start costing
+// their size instead of one step per yield).
+func TestSequencerHidesElapse(t *testing.T) {
+	var pre preempt.Preemptor = preempt.NewSequencer(1, 1)
+	if _, ok := pre.(elapser); ok {
+		t.Fatal("preempt.Sequencer exposes Elapse; the unit-step contract of classic sweeps is broken")
+	}
+	var sim preempt.Preemptor = des.NewSim(1, 1, nil)
+	if _, ok := sim.(elapser); !ok {
+		t.Fatal("des.Sim does not expose Elapse; the timed path is unreachable")
+	}
+}
