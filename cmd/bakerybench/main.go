@@ -30,9 +30,16 @@ import (
 
 	"bakerypp/internal/harness"
 	"bakerypp/internal/mc"
+	"bakerypp/internal/profiling"
 )
 
+// main delegates to runMain so that deferred cleanup (profile writing)
+// happens before the process exits; os.Exit skips defers.
 func main() {
+	os.Exit(runMain())
+}
+
+func runMain() int {
 	var (
 		run      = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
 		list     = flag.Bool("list", false, "list experiments and exit")
@@ -41,7 +48,13 @@ func main() {
 		por      = flag.Bool("por", false, "ample-set partial-order reduction for the safety-check experiments (composes with -symmetry; verdicts unchanged)")
 		store    = flag.String("store", "", "visited-set tier for the store-aware experiments (E17) and -bench-json: exact|compact[64|128]|bitstate, with ,spill and ,shadow modifiers; empty = experiment defaults")
 
-		benchJSON = flag.String("bench-json", "", "run the model-checking benchmark grid and write it as JSON to this path (e.g. BENCH_mc.json), instead of the experiment suite")
+		benchJSON  = flag.String("bench-json", "", "run the model-checking benchmark grid and write it as JSON to this path (e.g. BENCH_mc.json), instead of the experiment suite")
+		benchSmall = flag.Bool("bench-small", false, "with -bench-json: run only the quick safety cells (the CI bench-compare gate's grid)")
+		compare    = flag.String("compare", "", "with -bench-json: after the run, diff it against this older snapshot and exit nonzero on a states/sec regression past -compare-threshold or any verdict mismatch")
+		compareThr = flag.Float64("compare-threshold", 0.7, "acceptable new/old states-per-second ratio for -compare (0.7 = fail on a >30% regression)")
+
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 
 		sweep        = flag.Bool("sweep", false, "run the deterministic contention sweep instead of the experiment suite")
 		sweepWorkers = flag.Int("sweep-workers", 1, "sweep worker pool size (cells in parallel, -1 = GOMAXPROCS; the table is identical for any value)")
@@ -55,12 +68,23 @@ func main() {
 	)
 	flag.Parse()
 
+	prof, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bakerybench:", err)
+		return 2
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "bakerybench: writing profile:", err)
+		}
+	}()
+
 	var storeOpts *mc.StoreOptions
 	if *store != "" {
 		so, err := mc.ParseStoreSpec(*store)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bakerybench:", err)
-			os.Exit(2)
+			return 2
 		}
 		storeOpts = &so
 	}
@@ -69,20 +93,48 @@ func main() {
 		for _, e := range harness.Experiments() {
 			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
 		}
-		return
+		return 0
+	}
+	if *compare != "" && *benchJSON == "" {
+		fmt.Fprintln(os.Stderr, "bakerybench: -compare needs -bench-json (the fresh snapshot to diff against the old one)")
+		return 2
 	}
 	if *benchJSON != "" {
-		rep, err := harness.WriteMCBenchJSON(*benchJSON, harness.ExpConfig{MCWorkers: *workers, Store: storeOpts})
+		cfg := harness.ExpConfig{MCWorkers: *workers, Store: storeOpts}
+		var rep *harness.MCBenchReport
+		var err error
+		if *benchSmall {
+			rep, err = harness.RunMCBenchSmall(cfg)
+		} else {
+			rep, err = harness.RunMCBench(cfg)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bakerybench:", err)
-			os.Exit(1)
+			return 1
+		}
+		if err := harness.WriteBenchJSON(*benchJSON, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "bakerybench:", err)
+			return 1
 		}
 		for _, r := range rep.Records {
 			fmt.Printf("%-28s %9d states  %12.0f states/s  %8.3fs  %s\n",
 				r.Name, r.States, r.StatesPerSec, r.WallSeconds, r.Verdict)
 		}
 		fmt.Printf("wrote %d records to %s\n", len(rep.Records), *benchJSON)
-		return
+		if *compare != "" {
+			old, err := harness.ReadMCBenchJSON(*compare)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bakerybench:", err)
+				return 1
+			}
+			cmp := harness.CompareMCBench(old, rep, *compareThr)
+			fmt.Printf("comparison against %s (threshold %.2f):\n%s", *compare, *compareThr, cmp)
+			if cmp.Failed() {
+				fmt.Fprintln(os.Stderr, "bakerybench: states/sec regression or verdict mismatch against", *compare)
+				return 1
+			}
+		}
+		return 0
 	}
 	if *desMode {
 		cfg := harness.DefaultDESSweep()
@@ -97,7 +149,7 @@ func main() {
 			f, err := os.Create(*record)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "bakerybench:", err)
-				os.Exit(1)
+				return 1
 			}
 			logFile = f
 			cfg.Record = f
@@ -105,7 +157,7 @@ func main() {
 		res, err := harness.RunDESSweep(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bakerybench:", err)
-			os.Exit(1)
+			return 1
 		}
 		tb := res.Table()
 		if *sweepCSV {
@@ -117,11 +169,11 @@ func main() {
 		if logFile != nil {
 			if err := logFile.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "bakerybench:", err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Printf("recorded event log: %s\n", *record)
 		}
-		return
+		return 0
 	}
 	if *sweep {
 		cfg := harness.DefaultSweep()
@@ -133,7 +185,7 @@ func main() {
 		res, err := harness.RunSweep(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bakerybench:", err)
-			os.Exit(1)
+			return 1
 		}
 		tb := res.Table()
 		if *sweepCSV {
@@ -142,7 +194,7 @@ func main() {
 			fmt.Println(tb)
 		}
 		fmt.Printf("cells: %d  fingerprint: %s\n", len(res.Cells), tb.Fingerprint())
-		return
+		return 0
 	}
 	ids := strings.Split(*run, ",")
 	for i := range ids {
@@ -151,6 +203,7 @@ func main() {
 	cfg := harness.ExpConfig{MCWorkers: *workers, SweepWorkers: *sweepWorkers, Symmetry: *symmetry, POR: *por, Store: storeOpts}
 	if err := harness.RunExperiments(os.Stdout, ids, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bakerybench:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

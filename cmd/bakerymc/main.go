@@ -21,10 +21,17 @@ import (
 
 	"bakerypp/internal/gcl"
 	"bakerypp/internal/mc"
+	"bakerypp/internal/profiling"
 	"bakerypp/internal/specs"
 )
 
+// main delegates to run so that deferred cleanup (profile writing) happens
+// before the process exits; os.Exit skips defers.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		algo      = flag.String("algo", "bakerypp", "algorithm: "+strings.Join(specs.Names(), ", "))
 		n         = flag.Int("n", 2, "number of processes")
@@ -45,13 +52,26 @@ func main() {
 		store     = flag.String("store", "exact", "visited-set tier: exact|compact[64|128]|bitstate, with ,spill and ,shadow modifiers (e.g. compact, exact,spill, compact,spill). Lossy modes print a probabilistic-verdict banner and are refused for -starve/-fcfs")
 		storeSeed = flag.Uint64("store-seed", 0, "hash seed for the lossy store modes (runs are deterministic per seed for any -workers)")
 		listing   = flag.Bool("listing", false, "print the algorithm's control-flow skeleton and exit")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	prof, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bakerymc: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "bakerymc: writing profile: %v\n", err)
+		}
+	}()
 
 	storeOpts, err := mc.ParseStoreSpec(*store)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bakerymc: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	storeOpts.Seed = *storeSeed
 
@@ -60,7 +80,7 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	opts := mc.Options{
 		Invariants: []mc.Invariant{mc.Mutex(), mc.NoOverflow()},
@@ -78,59 +98,59 @@ func main() {
 
 	if *listing {
 		fmt.Print(p.Listing())
-		return
+		return 0
 	}
 
 	if *fcfs != "" {
 		var first, second int
 		if _, err := fmt.Sscanf(*fcfs, "%d,%d", &first, &second); err != nil {
 			fmt.Fprintf(os.Stderr, "bakerymc: -fcfs wants \"first,second\", got %q\n", *fcfs)
-			os.Exit(2)
+			return 2
 		}
 		if first < 0 || first >= p.N || second < 0 || second >= p.N {
 			fmt.Fprintf(os.Stderr, "bakerymc: -fcfs pair (%d,%d) out of range: pids must lie in [0,%d) for -n %d\n",
 				first, second, p.N, p.N)
-			os.Exit(2)
+			return 2
 		}
 		if first == second {
 			fmt.Fprintf(os.Stderr, "bakerymc: -fcfs pair (%d,%d) names the same process twice; FCFS relates two distinct processes\n",
 				first, second)
-			os.Exit(2)
+			return 2
 		}
 		res, err := mc.CheckFCFS(p, first, second, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bakerymc: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		fmt.Println(res.String())
 		if !res.Holds {
 			if *trace {
 				fmt.Printf("witness:\n%s", res.Witness.String())
 			}
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *starve >= 0 {
 		if *starve >= p.N {
 			fmt.Fprintf(os.Stderr, "bakerymc: -starve pid %d out of range: pids lie in [0,%d) for -n %d\n",
 				*starve, p.N, p.N)
-			os.Exit(2)
+			return 2
 		}
 		live := specs.LivenessOf(p)
 		if live.StarveAt == "" {
 			fmt.Fprintf(os.Stderr, "bakerymc: %s declares no gate label to starve at\n", p.Name)
-			os.Exit(2)
+			return 2
 		}
 		g, err := mc.BuildGraph(p, mc.Options{MaxStates: opts.MaxStates, Workers: opts.Workers, Symmetry: opts.Symmetry, Store: opts.Store})
 		if err != nil {
 			if opts.Store.Lossy() {
 				fmt.Fprintf(os.Stderr, "bakerymc: %v\n", err)
-				os.Exit(2)
+				return 2
 			}
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		graphKind := "graph"
 		if g.Quotient() {
@@ -149,7 +169,7 @@ func main() {
 		if rep == nil {
 			fmt.Printf("%s: no livelock cycle pins process %d at %s (%s: %d states)\n",
 				p.Name, *starve, live.StarveAt, graphKind, g.NumStates())
-			return
+			return 0
 		}
 		how := ""
 		if rep.Quotient {
@@ -167,7 +187,7 @@ func main() {
 				fmt.Printf("verified concrete cycle:\n%s", cyc.String())
 			}
 		}
-		return
+		return 0
 	}
 
 	res := mc.Check(p, opts)
@@ -186,12 +206,13 @@ func main() {
 		if *trace {
 			fmt.Printf("counterexample:\n%s", res.Violation.Trace.String())
 		}
-		os.Exit(1)
+		return 1
 	}
 	if res.Deadlock != nil {
 		if *trace {
 			fmt.Printf("deadlock trace:\n%s", res.Deadlock.String())
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -178,7 +178,7 @@ func TestCommutationOracle(t *testing.T) {
 						if a.Pid == b.Pid {
 							continue
 						}
-						la, lb := p.LabelIndex(a.Label), p.LabelIndex(b.Label)
+						la, lb := int(a.LabelIdx), int(b.LabelIdx)
 						if !p.ActionsIndependent(a.Pid, la, a.Branch, b.Pid, lb, b.Branch) {
 							continue
 						}
@@ -186,11 +186,11 @@ func TestCommutationOracle(t *testing.T) {
 						ba, okBA := execBranch(p, b.State, a)
 						if !okAB || !okBA {
 							t.Fatalf("independent pair disabled the partner: p%d:%s/%d then p%d:%s/%d (okAB=%v okBA=%v)\nstate: %s",
-								a.Pid, a.Label, a.Branch, b.Pid, b.Label, b.Branch, okAB, okBA, p.Format(s))
+								a.Pid, a.Label(p), a.Branch, b.Pid, b.Label(p), b.Branch, okAB, okBA, p.Format(s))
 						}
 						if !ab.State.Equal(ba.State) {
 							t.Fatalf("independent pair does not commute: p%d:%s/%d, p%d:%s/%d\nstate: %s\na;b: %s\nb;a: %s",
-								a.Pid, a.Label, a.Branch, b.Pid, b.Label, b.Branch,
+								a.Pid, a.Label(p), a.Branch, b.Pid, b.Label(p), b.Branch,
 								p.Format(s), p.Format(ab.State), p.Format(ba.State))
 						}
 						if ab.Overflow != b.Overflow || ba.Overflow != a.Overflow {
@@ -212,7 +212,7 @@ func TestCommutationOracle(t *testing.T) {
 // label, branch), reporting whether it is still enabled.
 func execBranch(p *Prog, s State, succ Succ) (Succ, bool) {
 	for _, sc := range p.Succs(s, succ.Pid, ModeUnbounded, nil) {
-		if sc.Label == succ.Label && sc.Branch == succ.Branch {
+		if sc.LabelIdx == succ.LabelIdx && sc.Branch == succ.Branch {
 			return sc, true
 		}
 	}

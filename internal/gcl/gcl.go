@@ -66,6 +66,18 @@ type Prog struct {
 	// foot holds the per-branch shared-footprint analysis backing the
 	// independence relation; see footprint.go.
 	foot [][]branchFoot
+	// reff and nextPC are the Build-time resolution of every branch's
+	// effect list and jump target: assignment names become word offsets and
+	// label names become indices once, so the successor hot loop performs
+	// no map lookups (see step.go).
+	reff   [][][]resEff
+	nextPC [][]int32
+	// crashLocals and crashOwned are the Build-time resolution of the
+	// crash-restart rule, so CrashSuccInto performs no map lookups: each
+	// entry is one word a crash rewrites — locals relative to the crashed
+	// process's block, owned cells as array base + pid.
+	crashLocals []resetCell
+	crashOwned  []resetCell
 
 	sharedInfo map[string]varInfo
 	localInfo  map[string]varInfo
@@ -87,6 +99,12 @@ type Prog struct {
 	fixMasks     []uint32
 	invIdx       []int32
 	canonPool    sync.Pool
+}
+
+// resetCell is one word a crash restart rewrites.
+type resetCell struct {
+	off  int
+	init int32
 }
 
 // New returns an empty program for n >= 1 processes.
@@ -203,6 +221,9 @@ func (p *Prog) Build() error {
 			}
 		}
 	}
+	if err := p.resolveEffects(); err != nil {
+		return err
+	}
 	p.buildFootprints()
 	if err := p.buildSymmetry(); err != nil {
 		return err
@@ -298,6 +319,10 @@ func (p *Prog) HasLabel(name string) bool {
 // Labels returns the label names in declaration order.
 func (p *Prog) Labels() []string { return p.labels }
 
+// LabelName returns the name of the label with the given index — the
+// rendering counterpart of Succ.LabelIdx.
+func (p *Prog) LabelName(i int) string { return p.labels[i] }
+
 // Shared returns the value of a shared variable cell. idx is ignored for
 // scalars.
 func (p *Prog) Shared(s State, name string, idx int) int32 {
@@ -345,7 +370,12 @@ func (p *Prog) SetLocal(s State, pid int, name string, v int32) {
 // CountAtLabel returns how many processes are currently at the given label —
 // the building block of the mutual-exclusion invariant.
 func (p *Prog) CountAtLabel(s State, label string) int {
-	idx := p.LabelIndex(label)
+	return p.CountAtLabelIdx(s, p.LabelIndex(label))
+}
+
+// CountAtLabelIdx is CountAtLabel by label index: invariants evaluated once
+// per reached state resolve the label name up front and skip the map lookup.
+func (p *Prog) CountAtLabelIdx(s State, idx int) int {
 	n := 0
 	for pid := 0; pid < p.N; pid++ {
 		if p.PC(s, pid) == idx {
@@ -365,6 +395,20 @@ func (p *Prog) MaxShared(s State, name string) int32 {
 	max := int32(0)
 	for k := 0; k < info.size; k++ {
 		if v := s[info.off+k]; v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// MaxAnyShared returns the maximum value over every shared register cell.
+// It is the allocation-free core of the no-overflow invariant: the shared
+// cells are the leading sharedLen words of the vector, so one prefix scan
+// replaces the per-variable MaxShared walk (which needs name lookups).
+func (p *Prog) MaxAnyShared(s State) int32 {
+	max := int32(0)
+	for _, v := range s[:p.sharedLen] {
+		if v > max {
 			max = v
 		}
 	}

@@ -1,0 +1,160 @@
+package gcl
+
+// Hot-path performance contracts: the successor generator, the fingerprint,
+// and the reusable canonicalizer must not allocate in steady state (the
+// model checker runs them millions of times per second), and the word-wise
+// fingerprint must agree with an independently written byte-serialization
+// reference on every length parity.
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// TestSuccsIntoAllocFree pins the successor hot path at zero steady-state
+// allocations: once the SuccBuf's slab blocks exist, expanding a state
+// allocates nothing.
+func TestSuccsIntoAllocFree(t *testing.T) {
+	p := symProg(4)
+	states := walkStates(p, 64)
+	var buf SuccBuf
+	expand := func() {
+		buf.Reset()
+		for _, s := range states {
+			p.AllSuccsInto(s, ModeUnbounded, &buf)
+		}
+	}
+	expand() // warm the slab blocks and the succs backing array
+	if avg := testing.AllocsPerRun(100, expand); avg != 0 {
+		t.Errorf("AllSuccsInto allocates %.2f objects per %d-state sweep, want 0", avg, len(states))
+	}
+}
+
+// TestApplyIntoAllocFree pins the single-branch variant (the POR chase's
+// workhorse) and the guard evaluator at zero allocations.
+func TestApplyIntoAllocFree(t *testing.T) {
+	p := symProg(4)
+	s := p.InitState()
+	var buf SuccBuf
+	dst := make(State, len(s))
+	step := func() {
+		for pid := 0; pid < p.N; pid++ {
+			if p.EnabledMask(s, pid, &buf) != 0 {
+				p.ApplyInto(dst, s, pid, 0, ModeUnbounded, &buf)
+			}
+		}
+	}
+	step()
+	if avg := testing.AllocsPerRun(100, step); avg != 0 {
+		t.Errorf("EnabledMask+ApplyInto allocate %.2f objects per sweep, want 0", avg)
+	}
+}
+
+// TestFingerprintAllocFree pins the word-wise fingerprint at zero
+// allocations.
+func TestFingerprintAllocFree(t *testing.T) {
+	p := symProg(4)
+	states := walkStates(p, 64)
+	var sink uint64
+	hash := func() {
+		for _, s := range states {
+			sink ^= s.Fingerprint()
+			sink ^= s.FingerprintSeeded(42)
+		}
+	}
+	if avg := testing.AllocsPerRun(100, hash); avg != 0 {
+		t.Errorf("Fingerprint allocates %.2f objects per %d-state sweep, want 0", avg, len(states))
+	}
+	_ = sink
+}
+
+// TestCanonicalizerAllocFree pins the reusable canonicalization context at
+// zero steady-state allocations across representative states.
+func TestCanonicalizerAllocFree(t *testing.T) {
+	p := symProg(4)
+	states := walkStates(p, 64)
+	c := p.NewCanonicalizer()
+	var sink uint64
+	canon := func() {
+		for _, s := range states {
+			rep, perm := c.CanonicalizeWithPerm(s)
+			sink ^= rep.Fingerprint() ^ uint64(perm[0])
+		}
+	}
+	canon()
+	if avg := testing.AllocsPerRun(50, canon); avg != 0 {
+		t.Errorf("Canonicalizer allocates %.2f objects per %d-state sweep, want 0", avg, len(states))
+	}
+	_ = sink
+}
+
+// refFingerprint recomputes fpAbsorb through an independent route: the
+// state is serialized to little-endian bytes and the lanes are re-read 8
+// bytes at a time (4-byte tail for odd word counts). Any disagreement
+// with the word-packing fast path — lane order, word order within a lane,
+// sign extension, tail handling — shows up here.
+func refFingerprint(basis uint64, s State) uint64 {
+	raw := make([]byte, 4*len(s))
+	for i, w := range s {
+		binary.LittleEndian.PutUint32(raw[4*i:], uint32(w))
+	}
+	h := basis
+	for len(raw) >= 8 {
+		h = (h ^ binary.LittleEndian.Uint64(raw)) * fpLanePrime
+		raw = raw[8:]
+	}
+	if len(raw) == 4 {
+		h = (h ^ uint64(binary.LittleEndian.Uint32(raw))) * fpLanePrime
+	}
+	return fpMix(h)
+}
+
+// refSeedBasis mirrors FingerprintSeeded's splitmix64 seed premix.
+func refSeedBasis(seed uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return fnvOffset64 ^ z
+}
+
+// TestFingerprintMatchesByteReference drives the word-wise fingerprint
+// against the byte-serialization reference on random vectors of every
+// small length — crucially both parities, plus the empty vector — and on
+// adversarial word values (negative int32s exercise the uint32 narrowing).
+func TestFingerprintMatchesByteReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vectors := [][]int32{
+		{},
+		{0},
+		{-1},
+		{1 << 30, -(1 << 30)},
+		{0, 0, 0},
+	}
+	for n := 0; n <= 17; n++ {
+		for rep := 0; rep < 8; rep++ {
+			v := make([]int32, n)
+			for i := range v {
+				v[i] = int32(rng.Uint32())
+			}
+			vectors = append(vectors, v)
+		}
+	}
+	for _, v := range vectors {
+		s := State(v)
+		if got, want := s.Fingerprint(), refFingerprint(fnvOffset64, s); got != want {
+			t.Fatalf("Fingerprint(%v) = %016x, reference %016x", v, got, want)
+		}
+		for _, seed := range []uint64{0, 1, 42, 1 << 63} {
+			if got, want := s.FingerprintSeeded(seed), refFingerprint(refSeedBasis(seed), s); got != want {
+				t.Fatalf("FingerprintSeeded(%v, %d) = %016x, reference %016x", v, seed, got, want)
+			}
+		}
+	}
+	// Seed 0 must be a different function from the unseeded fingerprint.
+	s := State{1, 2, 3}
+	if s.Fingerprint() == s.FingerprintSeeded(0) {
+		t.Error("FingerprintSeeded(0) equals Fingerprint; seeds must re-roll the hash family")
+	}
+}

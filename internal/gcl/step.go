@@ -28,12 +28,15 @@ func (m Mode) String() string {
 }
 
 // Succ is one successor of a state: the action of process Pid taking branch
-// Branch of its current label.
+// Branch of its current label. The label is carried as an index into the
+// program's label table (LabelIdx) so the successor hot loop moves no
+// strings; render it with Label.
 type Succ struct {
 	State State
 	Pid   int
-	// Label is the label the action executed at (the pre-state pc).
-	Label string
+	// LabelIdx is the index of the label the action executed at (the
+	// pre-state pc); resolve it with Label or Prog.LabelName.
+	LabelIdx int32
 	// Branch is the index of the branch taken within the label.
 	Branch int
 	// Tag is the branch's statistics tag, if any.
@@ -41,6 +44,173 @@ type Succ struct {
 	// Overflow reports that some assignment in the effect attempted to
 	// store a value greater than M into a shared variable.
 	Overflow bool
+}
+
+// Label returns the name of the label the action executed at.
+func (sc Succ) Label(p *Prog) string { return p.labels[sc.LabelIdx] }
+
+// resEff is the Build-time resolution of one Assign: the variable name is
+// replaced by the word (or word recipe) it writes, so apply performs no map
+// lookups and no bounds arithmetic beyond what the index form requires.
+type resEff struct {
+	val  Expr
+	idx  Expr // effSharedDyn only: the runtime index expression
+	kind uint8
+	off  int // effLocal: offset within the block; effSharedWord: absolute word; effSharedSelf/Dyn: array base
+	size int // shared forms: declared size, for the dynamic bounds check
+	name string
+}
+
+const (
+	effLocal      uint8 = iota // dst[block+off] = v
+	effSharedWord              // dst[off] = v (scalar, or constant index folded at Build)
+	effSharedSelf              // dst[off+pid] = v
+	effSharedDyn               // dst[off+eval(idx)] = v, bounds-checked
+)
+
+// resolveEffects compiles every branch's effect list and jump target into
+// reff/nextPC; called from Build after the layout exists.
+func (p *Prog) resolveEffects() error {
+	p.reff = make([][][]resEff, len(p.branches))
+	p.nextPC = make([][]int32, len(p.branches))
+	for li, brs := range p.branches {
+		p.reff[li] = make([][]resEff, len(brs))
+		p.nextPC[li] = make([]int32, len(brs))
+		for bi, b := range brs {
+			p.nextPC[li][bi] = int32(p.labelIdx[b.Next])
+			effs := make([]resEff, 0, len(b.Eff))
+			for _, a := range b.Eff {
+				e, err := p.resolveAssign(a)
+				if err != nil {
+					return fmt.Errorf("gcl: %s: label %q branch %d: %w", p.Name, p.labels[li], bi, err)
+				}
+				effs = append(effs, e)
+			}
+			p.reff[li][bi] = effs
+		}
+	}
+	p.crashLocals = p.crashLocals[:0]
+	for _, d := range p.locals {
+		p.crashLocals = append(p.crashLocals, resetCell{off: p.localInfo[d.Name].off, init: d.Init})
+	}
+	p.crashOwned = p.crashOwned[:0]
+	for _, d := range p.shared {
+		if p.owned[d.Name] {
+			p.crashOwned = append(p.crashOwned, resetCell{off: p.sharedInfo[d.Name].off, init: d.Init})
+		}
+	}
+	return nil
+}
+
+func (p *Prog) resolveAssign(a Assign) (resEff, error) {
+	if a.Local {
+		info, ok := p.localInfo[a.Name]
+		if !ok {
+			return resEff{}, fmt.Errorf("unknown local %q", a.Name)
+		}
+		return resEff{val: a.Val, kind: effLocal, off: info.off, name: a.Name}, nil
+	}
+	info, ok := p.sharedInfo[a.Name]
+	if !ok {
+		return resEff{}, fmt.Errorf("unknown shared variable %q", a.Name)
+	}
+	switch {
+	case !a.Idx.defined():
+		return resEff{val: a.Val, kind: effSharedWord, off: info.off, size: info.size, name: a.Name}, nil
+	case a.Idx.shp == shapeConst:
+		k := int(a.Idx.k)
+		if k < 0 || k >= info.size {
+			return resEff{}, fmt.Errorf("index %d out of range for %q", k, a.Name)
+		}
+		return resEff{val: a.Val, kind: effSharedWord, off: info.off + k, size: info.size, name: a.Name}, nil
+	case a.Idx.shp == shapeSelf && info.size >= p.N:
+		return resEff{val: a.Val, kind: effSharedSelf, off: info.off, size: info.size, name: a.Name}, nil
+	default:
+		return resEff{val: a.Val, idx: a.Idx, kind: effSharedDyn, off: info.off, size: info.size, name: a.Name}, nil
+	}
+}
+
+// SuccBuf is a chunked slab arena for successor generation: SuccsInto
+// writes each successor's state vector into a slab block and appends its
+// Succ record, so a BFS loop that Resets the buffer per expanded state (or
+// per chunk) performs zero steady-state heap allocations. Blocks are never
+// reallocated once handed out, so every State obtained from the buffer
+// stays valid until the next Reset — at which point all of them are
+// recycled at once. The zero value is ready to use; a SuccBuf must not be
+// shared between goroutines.
+type SuccBuf struct {
+	blocks [][]int32
+	ci     int // index of the block currently being filled
+	off    int // fill offset within blocks[ci]
+	succs  []Succ
+	// ectx is the scratch evaluation context handed to guard and effect
+	// closures. Closures take *Ctx, so a stack-local Ctx escapes and costs
+	// one heap allocation per evaluation; pointing them at a field of the
+	// (already heap-resident, single-goroutine) buffer costs none.
+	ectx Ctx
+}
+
+// ctxFor primes the buffer's scratch evaluation context for (s, pid).
+// The returned pointer is invalidated by the next ctxFor call.
+func (b *SuccBuf) ctxFor(p *Prog, s State, pid int) *Ctx {
+	b.ectx.P, b.ectx.S, b.ectx.Pid = p, s, pid
+	return &b.ectx
+}
+
+// succBufBlock is the slab block size in int32 words (256 KiB per block):
+// large enough that a full BFS chunk of successors fits in a handful of
+// blocks, small enough that a mostly-idle buffer wastes little.
+const succBufBlock = 1 << 16
+
+// Reset recycles every block and truncates the successor list. All states
+// previously returned by Alloc become invalid.
+func (b *SuccBuf) Reset() {
+	b.ci = 0
+	b.off = 0
+	b.succs = b.succs[:0]
+}
+
+// Succs returns the successors accumulated since the last Reset. The slice
+// is owned by the buffer and valid until the next Reset.
+func (b *SuccBuf) Succs() []Succ { return b.succs }
+
+// Truncate drops all but the first n accumulated successors (their states
+// stay valid; only the records are discarded).
+func (b *SuccBuf) Truncate(n int) { b.succs = b.succs[:n] }
+
+// Append records a successor constructed by the caller — e.g. the model
+// checker's crash pseudo-transitions, whose states it allocates from the
+// same buffer via Alloc.
+func (b *SuccBuf) Append(sc Succ) { b.succs = append(b.succs, sc) }
+
+// Alloc returns an uninitialised n-word state vector carved from the arena,
+// valid until the next Reset.
+func (b *SuccBuf) Alloc(n int) State {
+	for {
+		if b.ci < len(b.blocks) {
+			blk := b.blocks[b.ci]
+			if b.off+n <= len(blk) {
+				s := blk[b.off : b.off+n : b.off+n]
+				b.off += n
+				return s
+			}
+			b.ci++
+			b.off = 0
+			continue
+		}
+		sz := succBufBlock
+		if n > sz {
+			sz = n
+		}
+		b.blocks = append(b.blocks, make([]int32, sz))
+	}
+}
+
+// CopyIn copies s into the arena and returns the copy.
+func (b *SuccBuf) CopyIn(s State) State {
+	out := b.Alloc(len(s))
+	copy(out, s)
+	return out
 }
 
 // Enabled reports whether process pid has at least one enabled branch in s.
@@ -58,11 +228,13 @@ func (p *Prog) Enabled(s State, pid int) bool {
 // current label (bit i set = branch i enabled), evaluating guards only —
 // no successor states are materialised. Labels with more than 64 branches
 // do not occur in practice; their higher branches fall outside the mask.
-func (p *Prog) EnabledMask(s State, pid int) uint64 {
-	c := Ctx{P: p, S: s, Pid: pid}
+// Guards evaluate through buf's scratch context (the partial-order chase
+// calls this per hop); nothing is carved from the arena.
+func (p *Prog) EnabledMask(s State, pid int, buf *SuccBuf) uint64 {
+	c := buf.ctxFor(p, s, pid)
 	var mask uint64
 	for bi, b := range p.branches[p.PC(s, pid)] {
-		if !b.Guard.defined() || b.Guard.f(&c) != 0 {
+		if !b.Guard.defined() || b.Guard.f(c) != 0 {
 			mask |= 1 << uint(bi)
 		}
 	}
@@ -81,7 +253,8 @@ func (p *Prog) EnabledAny(s State) bool {
 }
 
 // Succs appends to out every successor of s reachable by one action of
-// process pid and returns the extended slice.
+// process pid and returns the extended slice. Each successor state is
+// freshly heap-allocated; exploration hot loops should use SuccsInto.
 func (p *Prog) Succs(s State, pid int, mode Mode, out []Succ) []Succ {
 	if !p.built {
 		panic("gcl: Succs before Build")
@@ -92,17 +265,44 @@ func (p *Prog) Succs(s State, pid int, mode Mode, out []Succ) []Succ {
 		if b.Guard.defined() && b.Guard.f(&c) == 0 {
 			continue
 		}
-		next, overflow := p.apply(s, pid, b, mode)
+		next := make(State, len(s))
+		overflow := p.applyInto(next, &c, pc, bi, mode)
 		out = append(out, Succ{
 			State:    next,
 			Pid:      pid,
-			Label:    p.labels[pc],
+			LabelIdx: int32(pc),
 			Branch:   bi,
 			Tag:      b.Tag,
 			Overflow: overflow,
 		})
 	}
 	return out
+}
+
+// SuccsInto appends every successor of s reachable by one action of process
+// pid to buf, carving the successor state vectors out of buf's arena — the
+// allocation-free variant of Succs the exploration engines use.
+func (p *Prog) SuccsInto(s State, pid int, mode Mode, buf *SuccBuf) {
+	if !p.built {
+		panic("gcl: SuccsInto before Build")
+	}
+	pc := p.PC(s, pid)
+	c := buf.ctxFor(p, s, pid)
+	for bi, b := range p.branches[pc] {
+		if b.Guard.defined() && b.Guard.f(c) == 0 {
+			continue
+		}
+		dst := buf.Alloc(len(s))
+		overflow := p.applyInto(dst, c, pc, bi, mode)
+		buf.succs = append(buf.succs, Succ{
+			State:    dst,
+			Pid:      pid,
+			LabelIdx: int32(pc),
+			Branch:   bi,
+			Tag:      b.Tag,
+			Overflow: overflow,
+		})
+	}
 }
 
 // AllSuccs returns every successor of s across all processes.
@@ -114,58 +314,69 @@ func (p *Prog) AllSuccs(s State, mode Mode) []Succ {
 	return out
 }
 
-// apply executes branch b for pid against s and returns the successor state
-// and whether any shared store overflowed. Right-hand sides (and indices)
-// are evaluated against the pre-state; writes land simultaneously.
-func (p *Prog) apply(s State, pid int, b Branch, mode Mode) (State, bool) {
-	c := Ctx{P: p, S: s, Pid: pid}
-	type write struct {
-		word int
-		val  int32
+// AllSuccsInto appends every successor of s across all processes to buf.
+func (p *Prog) AllSuccsInto(s State, mode Mode, buf *SuccBuf) {
+	for pid := 0; pid < p.N; pid++ {
+		p.SuccsInto(s, pid, mode, buf)
 	}
-	writes := make([]write, 0, len(b.Eff))
+}
+
+// ApplyInto writes the successor of s by branch bi of process pid's current
+// label into dst (which must hold len(s) words) and reports whether any
+// shared store overflowed. The branch's guard is NOT evaluated; callers are
+// expected to have established enabledness (e.g. via EnabledMask). The
+// expression scratch context lives in buf, which the exploration loop
+// already owns; no state is carved from its arena.
+func (p *Prog) ApplyInto(dst State, s State, pid, bi int, mode Mode, buf *SuccBuf) bool {
+	if !p.built {
+		panic("gcl: ApplyInto before Build")
+	}
+	return p.applyInto(dst, buf.ctxFor(p, s, pid), p.PC(s, pid), bi, mode)
+}
+
+// applyInto executes branch bi of label pc for c.Pid against the pre-state
+// c.S, writing the successor into dst. Right-hand sides (and indices) are
+// evaluated against the pre-state; writes land in dst, which realises the
+// simultaneous-assignment (TLA+ priming) semantics without collecting a
+// write list.
+func (p *Prog) applyInto(dst State, c *Ctx, pc, bi int, mode Mode) bool {
+	s, pid := c.S, c.Pid
+	copy(dst, s)
 	overflow := false
-	for _, a := range b.Eff {
-		v := a.Val.f(&c)
+	base := p.sharedLen + pid*p.localLen
+	effs := p.reff[pc][bi]
+	for i := range effs {
+		a := &effs[i]
+		v := a.val.f(c)
 		if v < 0 {
 			panic(fmt.Sprintf("gcl: %s: assignment to %q computes negative value %d",
-				p.Name, a.Name, v))
+				p.Name, a.name, v))
 		}
-		var word int
-		if a.Local {
-			info, ok := p.localInfo[a.Name]
-			if !ok {
-				panic(fmt.Sprintf("gcl: %s: unknown local %q", p.Name, a.Name))
+		if a.kind == effLocal {
+			dst[base+a.off] = v
+			continue
+		}
+		word := a.off
+		switch a.kind {
+		case effSharedSelf:
+			word += pid
+		case effSharedDyn:
+			idx := int(a.idx.f(c))
+			if idx < 0 || idx >= a.size {
+				panic(fmt.Sprintf("gcl: %s: index %d out of range for %q", p.Name, idx, a.name))
 			}
-			word = p.sharedLen + pid*p.localLen + info.off
-		} else {
-			info, ok := p.sharedInfo[a.Name]
-			if !ok {
-				panic(fmt.Sprintf("gcl: %s: unknown shared variable %q", p.Name, a.Name))
-			}
-			idx := 0
-			if a.Idx.defined() {
-				idx = int(a.Idx.f(&c))
-			}
-			if idx < 0 || idx >= info.size {
-				panic(fmt.Sprintf("gcl: %s: index %d out of range for %q", p.Name, idx, a.Name))
-			}
-			word = info.off + idx
-			if p.M > 0 && int64(v) > p.M {
-				overflow = true
-				if mode == ModeWrap {
-					v = int32(int64(v) % (p.M + 1))
-				}
+			word += idx
+		}
+		if p.M > 0 && int64(v) > p.M {
+			overflow = true
+			if mode == ModeWrap {
+				v = int32(int64(v) % (p.M + 1))
 			}
 		}
-		writes = append(writes, write{word, v})
+		dst[word] = v
 	}
-	next := p.Clone(s)
-	for _, w := range writes {
-		next[w.word] = w.val
-	}
-	p.SetPC(next, pid, p.labelIdx[b.Next])
-	return next, overflow
+	dst[base] = p.nextPC[pc][bi]
+	return overflow
 }
 
 // CrashSucc returns the state after process pid crashes and restarts per the
@@ -175,14 +386,22 @@ func (p *Prog) apply(s State, pid int, b Branch, mode Mode) (State, bool) {
 // Shared variables not marked Own are left untouched — the crash model only
 // resets memory the process itself owns.
 func (p *Prog) CrashSucc(s State, pid int) State {
-	next := p.Clone(s)
-	p.SetPC(next, pid, 0)
-	for _, d := range p.locals {
-		p.SetLocal(next, pid, d.Name, d.Init)
-	}
-	for name := range p.owned {
-		info := p.sharedInfo[name]
-		next[info.off+pid] = info.init
-	}
+	next := make(State, len(s))
+	p.CrashSuccInto(next, s, pid)
 	return next
+}
+
+// CrashSuccInto is CrashSucc into a caller-owned destination buffer of
+// len(s) words — the allocation-free variant for the crash-enabled
+// exploration hot path.
+func (p *Prog) CrashSuccInto(dst State, s State, pid int) {
+	copy(dst, s)
+	base := p.sharedLen + pid*p.localLen
+	dst[base] = 0
+	for _, r := range p.crashLocals {
+		dst[base+r.off] = r.init
+	}
+	for _, r := range p.crashOwned {
+		dst[r.off+pid] = r.init
+	}
 }

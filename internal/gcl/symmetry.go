@@ -50,7 +50,6 @@ package gcl
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Symmetry identifies the process-permutation group a program declares.
@@ -346,6 +345,65 @@ func (p *Prog) CanonicalizeWithPerm(s State) (State, []int) {
 	return out, perm
 }
 
+// Canonicalizer is a reusable canonicalization context: it owns the
+// normalization, incumbent, permutation and order scratch buffers that the
+// pooled Prog.Canonicalize variants copy out of, so a caller that holds one
+// per goroutine canonicalizes with zero heap allocations. The result of
+// every method aliases the context's scratch and is valid only until the
+// next call; callers that retain a canonical key must copy it first. A
+// Canonicalizer must not be shared between goroutines.
+type Canonicalizer struct {
+	w *canonicalizer
+}
+
+// NewCanonicalizer returns a dedicated canonicalization context for the
+// program. Requires CanCanonicalize.
+func (p *Prog) NewCanonicalizer() *Canonicalizer {
+	if !p.CanCanonicalize() {
+		panic(fmt.Sprintf("gcl: %s: canonicalization unavailable (symmetry %v, %d scan cursors, N=%d)",
+			p.Name, p.sym, len(p.pidLocalOffs), p.N))
+	}
+	if len(p.pidLocalOffs) > 0 {
+		p.ensurePerms()
+	}
+	return &Canonicalizer{w: &canonicalizer{
+		p:        p,
+		buf:      make(State, p.StateLen()),
+		norm:     make(State, p.StateLen()),
+		bestPerm: make([]int, p.N),
+		order:    make([]int, p.N),
+	}}
+}
+
+// Canonicalize returns the canonical representative of s's orbit in the
+// context's scratch buffer — the zero-allocation form of Prog.Canonicalize.
+func (c *Canonicalizer) Canonicalize(s State) State {
+	return c.w.canonicalize(s)
+}
+
+// CanonicalizeWithPerm returns the canonical representative together with
+// the witnessing permutation, both aliasing the context's scratch — the
+// zero-allocation form of Prog.CanonicalizeWithPerm.
+func (c *Canonicalizer) CanonicalizeWithPerm(s State) (State, []int) {
+	return c.w.canonicalize(s), c.w.bestPerm
+}
+
+// Fingerprint returns the fingerprint of the canonical representative of
+// s's orbit — the zero-allocation form of Prog.CanonicalFingerprint.
+func (c *Canonicalizer) Fingerprint(s State) uint64 {
+	return c.w.canonicalize(s).Fingerprint()
+}
+
+// CanonicalizePinned returns the least valid image over the permutations
+// fixing every pid in pinned, in the context's scratch buffer — the
+// zero-allocation form of Prog.CanonicalizePinned. Requires CanTrackPerms.
+func (c *Canonicalizer) CanonicalizePinned(s State, pinned []int) State {
+	p := c.w.p
+	p.mustTrackPerms()
+	p.ensurePerms()
+	return c.w.canonicalizePinned(s, p.pinnedMaskOf(pinned))
+}
+
 // canonWorker hands out a scratch canonicalizer from the program's pool,
 // initialising the shared permutation tables on first use.
 func (p *Prog) canonWorker() *canonicalizer {
@@ -422,9 +480,15 @@ func (w *canonicalizer) sortColumns(s State) {
 	for i := range w.order {
 		w.order[i] = i
 	}
-	sort.Slice(w.order, func(a, b int) bool {
-		return compareColumns(p, s, w.order[a], w.order[b]) < 0
-	})
+	// Insertion sort: N is tiny (at most a dozen processes) and sort.Slice
+	// would allocate its closure per call on the canonicalization hot path.
+	// Stable, so ties (identical columns) keep declaration order and the
+	// witnessing permutation is deterministic.
+	for i := 1; i < len(w.order); i++ {
+		for j := i; j > 0 && compareColumns(p, s, w.order[j], w.order[j-1]) < 0; j-- {
+			w.order[j], w.order[j-1] = w.order[j-1], w.order[j]
+		}
+	}
 	// order[k] = the process whose column lands in slot k, i.e. the
 	// inverse of the witnessing permutation.
 	for k, i := range w.order {

@@ -151,6 +151,19 @@ func RunMCBench(cfg ExpConfig) (*MCBenchReport, error) {
 	return rep, nil
 }
 
+// RunMCBenchSmall runs a trimmed safety-only grid — the cells quick enough
+// for a CI gate — producing rows whose names match the full grid's, so a
+// small run diffs cleanly against a committed full snapshot with
+// CompareMCBench (the full snapshot's extra rows show as "only in old").
+func RunMCBenchSmall(cfg ExpConfig) (*MCBenchReport, error) {
+	return runMCBench(cfg, []mcBenchCell{
+		{"bakerypp", specs.Config{N: 2, M: 2}, true},
+		{"bakerypp", specs.Config{N: 3, M: 2}, true},
+		{"bakerypp", specs.Config{N: 4, M: 2}, true},
+		{"szymanski", specs.Config{N: 3}, true},
+	})
+}
+
 // appendDESBench measures the discrete-event kernel: the default DES
 // sweep run single-threaded (Workers 0 — the kernel's own rate, not the
 // cell pool's), reported as executed events per wall second. The sweep
@@ -410,13 +423,14 @@ func WriteMCBenchJSON(path string, cfg ExpConfig) (*MCBenchReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := writeBenchJSON(path, rep); err != nil {
+	if err := WriteBenchJSON(path, rep); err != nil {
 		return nil, err
 	}
 	return rep, nil
 }
 
-func writeBenchJSON(path string, rep *MCBenchReport) error {
+// WriteBenchJSON writes a report as indented JSON to path.
+func WriteBenchJSON(path string, rep *MCBenchReport) error {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

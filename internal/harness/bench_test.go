@@ -30,7 +30,7 @@ func TestWriteMCBenchJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "BENCH_mc.json")
-	if err := writeBenchJSON(path, rep); err != nil {
+	if err := WriteBenchJSON(path, rep); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

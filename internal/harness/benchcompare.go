@@ -1,0 +1,143 @@
+package harness
+
+// Comparing bench-json snapshots: `bakerybench -bench-json new.json
+// -compare old.json` re-runs the grid and diffs it row by row against a
+// committed baseline (e.g. BENCH_PR8.json), failing on states/sec
+// regressions past a threshold — the perf trajectory's tripwire.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// benchCompareMinSeconds is the wall-time floor below which a row is too
+// noisy to judge: a sub-50ms run's rate swings with scheduler jitter alone,
+// so such rows are reported but never count as regressions.
+const benchCompareMinSeconds = 0.05
+
+// BenchRowDelta is one matched row of a snapshot comparison.
+type BenchRowDelta struct {
+	Name string
+	// Ratio is new states/sec over old states/sec.
+	Ratio   float64
+	OldRate float64
+	NewRate float64
+	// Regressed is set when the row's rate fell below threshold*old and
+	// both sides ran long enough to trust.
+	Regressed bool
+	// TooFast marks rows under the wall-time floor on either side,
+	// excluded from the regression verdict.
+	TooFast bool
+	// VerdictMismatch is set when the two snapshots disagree on the row's
+	// verdict — never tolerated, whatever the rates say: the bench grid
+	// doubles as an end-to-end correctness sweep.
+	VerdictMismatch bool
+	OldVerdict      string
+	NewVerdict      string
+}
+
+// BenchComparison is the result of diffing two bench-json snapshots.
+type BenchComparison struct {
+	// Threshold is the acceptable new/old rate ratio (0.7 = fail on >30%
+	// regression).
+	Threshold float64
+	Rows      []BenchRowDelta
+	// OldOnly/NewOnly list row names present in just one snapshot; grid
+	// growth is normal across PRs, so these inform rather than fail.
+	OldOnly []string
+	NewOnly []string
+}
+
+// Failed reports whether the comparison found a regression or a verdict
+// mismatch.
+func (c *BenchComparison) Failed() bool {
+	for _, r := range c.Rows {
+		if r.Regressed || r.VerdictMismatch {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the comparison as an aligned table, one matched row each,
+// with the unmatched names summarised at the end.
+func (c *BenchComparison) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-44s %14s %14s %7s\n", "row", "old st/s", "new st/s", "ratio")
+	for _, r := range c.Rows {
+		note := ""
+		switch {
+		case r.VerdictMismatch:
+			note = fmt.Sprintf("  VERDICT MISMATCH (%s -> %s)", r.OldVerdict, r.NewVerdict)
+		case r.Regressed:
+			note = "  REGRESSED"
+		case r.TooFast:
+			note = "  (sub-50ms, informational)"
+		}
+		fmt.Fprintf(&b, "%-44s %14.0f %14.0f %6.2fx%s\n", r.Name, r.OldRate, r.NewRate, r.Ratio, note)
+	}
+	if len(c.OldOnly) > 0 {
+		fmt.Fprintf(&b, "only in old snapshot: %s\n", strings.Join(c.OldOnly, ", "))
+	}
+	if len(c.NewOnly) > 0 {
+		fmt.Fprintf(&b, "only in new snapshot: %s\n", strings.Join(c.NewOnly, ", "))
+	}
+	return b.String()
+}
+
+// ReadMCBenchJSON loads a snapshot written by WriteMCBenchJSON.
+func ReadMCBenchJSON(path string) (*MCBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep MCBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// CompareMCBench diffs new against old, matching records by Name. A row
+// regresses when its states/sec ratio drops below threshold with both
+// sides above the wall-time noise floor; verdict disagreements always
+// fail. Rows present in only one snapshot are listed but never fail —
+// the grid is expected to grow.
+func CompareMCBench(old, new *MCBenchReport, threshold float64) *BenchComparison {
+	c := &BenchComparison{Threshold: threshold}
+	oldByName := make(map[string]MCBenchRecord, len(old.Records))
+	for _, r := range old.Records {
+		oldByName[r.Name] = r
+	}
+	matched := make(map[string]bool, len(new.Records))
+	for _, nr := range new.Records {
+		or, ok := oldByName[nr.Name]
+		if !ok {
+			c.NewOnly = append(c.NewOnly, nr.Name)
+			continue
+		}
+		matched[nr.Name] = true
+		d := BenchRowDelta{
+			Name:       nr.Name,
+			OldRate:    or.StatesPerSec,
+			NewRate:    nr.StatesPerSec,
+			OldVerdict: or.Verdict,
+			NewVerdict: nr.Verdict,
+			TooFast:    or.WallSeconds < benchCompareMinSeconds || nr.WallSeconds < benchCompareMinSeconds,
+		}
+		if or.StatesPerSec > 0 {
+			d.Ratio = nr.StatesPerSec / or.StatesPerSec
+		}
+		d.VerdictMismatch = or.Verdict != nr.Verdict
+		d.Regressed = !d.TooFast && !d.VerdictMismatch && d.Ratio < threshold
+		c.Rows = append(c.Rows, d)
+	}
+	for _, or := range old.Records {
+		if !matched[or.Name] {
+			c.OldOnly = append(c.OldOnly, or.Name)
+		}
+	}
+	return c
+}

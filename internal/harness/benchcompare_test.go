@@ -1,0 +1,55 @@
+package harness
+
+import "testing"
+
+func cmpRec(name string, rate, secs float64, verdict string) MCBenchRecord {
+	return MCBenchRecord{Name: name, StatesPerSec: rate, WallSeconds: secs, Verdict: verdict}
+}
+
+func TestCompareMCBench(t *testing.T) {
+	old := &MCBenchReport{Records: []MCBenchRecord{
+		cmpRec("a/none", 1000, 1.0, "verified"),
+		cmpRec("b/none", 1000, 1.0, "verified"),
+		cmpRec("c/none", 1000, 0.01, "verified"),
+		cmpRec("d/none", 1000, 1.0, "verified"),
+		cmpRec("gone/none", 1000, 1.0, "verified"),
+	}}
+	new := &MCBenchReport{Records: []MCBenchRecord{
+		cmpRec("a/none", 900, 1.0, "verified"),         // -10%: fine at 0.7
+		cmpRec("b/none", 500, 1.0, "verified"),         // -50%: regression
+		cmpRec("c/none", 100, 0.01, "verified"),        // huge drop but sub-50ms: informational
+		cmpRec("d/none", 2000, 1.0, "VIOLATION:mutex"), // faster but wrong: mismatch
+		cmpRec("fresh/none", 1000, 1.0, "verified"),
+	}}
+	c := CompareMCBench(old, new, 0.7)
+	if !c.Failed() {
+		t.Fatal("comparison with a regression and a verdict mismatch did not fail")
+	}
+	byName := map[string]BenchRowDelta{}
+	for _, r := range c.Rows {
+		byName[r.Name] = r
+	}
+	if r := byName["a/none"]; r.Regressed || r.VerdictMismatch {
+		t.Errorf("a/none flagged (%+v), want clean", r)
+	}
+	if r := byName["b/none"]; !r.Regressed {
+		t.Errorf("b/none not flagged as regression (%+v)", r)
+	}
+	if r := byName["c/none"]; r.Regressed || !r.TooFast {
+		t.Errorf("c/none = %+v, want too-fast informational, not a regression", r)
+	}
+	if r := byName["d/none"]; !r.VerdictMismatch {
+		t.Errorf("d/none not flagged as verdict mismatch (%+v)", r)
+	}
+	if len(c.OldOnly) != 1 || c.OldOnly[0] != "gone/none" {
+		t.Errorf("OldOnly = %v, want [gone/none]", c.OldOnly)
+	}
+	if len(c.NewOnly) != 1 || c.NewOnly[0] != "fresh/none" {
+		t.Errorf("NewOnly = %v, want [fresh/none]", c.NewOnly)
+	}
+
+	// A passing comparison: everything within threshold.
+	if CompareMCBench(old, old, 0.7).Failed() {
+		t.Error("self-comparison failed")
+	}
+}

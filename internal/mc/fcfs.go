@@ -125,7 +125,7 @@ func CheckFCFS(p *gcl.Prog, first, second int, opts Options) (*FCFSResult, error
 			t.Steps = append(t.Steps, Step{Pid: int(nd.byPid), Label: nd.label, State: nd.st})
 		}
 		if extra != nil {
-			t.Steps = append(t.Steps, Step{Pid: extra.Pid, Label: extra.Label, State: extra.State})
+			t.Steps = append(t.Steps, Step{Pid: extra.Pid, Label: extra.Label(p), State: extra.State})
 		}
 		return t
 	}
@@ -162,7 +162,7 @@ func CheckFCFS(p *gcl.Prog, first, second int, opts Options) (*FCFSResult, error
 			seen.Insert(fp, key, int32(len(nodes)))
 			nodes = append(nodes, node{
 				st: sc.State, phase: phase, parent: head,
-				byPid: int8(sc.Pid), label: sc.Label,
+				byPid: int8(sc.Pid), label: sc.Label(p),
 			})
 		}
 	}

@@ -8,11 +8,15 @@ import (
 )
 
 // Edge is one transition of the reachability graph. Pid is the moving
-// process in the SOURCE state's slot coordinates.
+// process in the SOURCE state's slot coordinates. LabelIdx is the source
+// label's index in the program's label table (crashLabelIdx for crash
+// pseudo-transitions); storing the index instead of the string keeps edges
+// pointer-free — the GC never scans the adjacency lists — and makes edge
+// comparisons integer compares. Render with Graph.EdgeLabel.
 type Edge struct {
-	To    int32
-	Pid   int8
-	Label string
+	To       int32
+	Pid      int8
+	LabelIdx int32
 	// Perm, on a symmetry-reduced (quotient) graph, is the index of the
 	// permutation ρ relating the concrete successor t to the stored
 	// representative of its orbit: NormalizeCursors(t) =
@@ -45,6 +49,9 @@ type Graph struct {
 // NumStates returns the number of reachable states.
 func (g *Graph) NumStates() int { return g.expl.numStates() }
 
+// EdgeLabel renders an edge's action label ("CRASH" for crash edges).
+func (g *Graph) EdgeLabel(e Edge) string { return g.expl.labelName(e.LabelIdx) }
+
 // State returns the state at a graph index.
 func (g *Graph) State(i int) gcl.State { return g.expl.stateAt(int32(i)) }
 
@@ -75,7 +82,7 @@ func BuildGraph(p *gcl.Prog, opts Options) (*Graph, error) {
 	g := &Graph{Summary: res, expl: e}
 
 	init := p.InitState()
-	e.add(init, -1, -1, "")
+	e.add(&e.wc, init, -1, -1, crashLabelIdx)
 	g.Adj = append(g.Adj, nil)
 	if name, bad := e.checkInvariants(init); bad {
 		t := e.trace(0)
@@ -87,13 +94,14 @@ func BuildGraph(p *gcl.Prog, opts Options) (*Graph, error) {
 			return nil, fmt.Errorf("mc: %s: state bound %d exceeded while building graph",
 				p.Name, e.opts.MaxStates)
 		}
+		e.wc.buf.Reset()
 		s := e.stateAt(int32(head))
 		res.Depth = int(e.depth[head])
-		succs, _, _, _ := e.successors(s)
+		succs, _, _, _ := e.successors(s, &e.wc)
 		for _, sc := range succs {
 			res.Transitions++
-			fp, key, perm := e.prepareProbe(sc.State)
-			idx, fresh := e.addPrepared(fp, key, perm, sc.State, int32(head), int32(sc.Pid), sc.Label)
+			fp, key, perm := e.prepareProbe(&e.wc, sc.State)
+			idx, fresh := e.addPrepared(fp, key, perm, sc.State, int32(head), int32(sc.Pid), sc.LabelIdx)
 			if fresh {
 				g.Adj = append(g.Adj, nil)
 				if name, bad := e.checkInvariants(sc.State); bad && res.Violation == nil {
@@ -101,7 +109,7 @@ func BuildGraph(p *gcl.Prog, opts Options) (*Graph, error) {
 					res.Violation = &Violation{Invariant: name, Trace: t}
 				}
 			}
-			g.Adj[head] = append(g.Adj[head], Edge{To: idx, Pid: int8(sc.Pid), Label: sc.Label,
+			g.Adj[head] = append(g.Adj[head], Edge{To: idx, Pid: int8(sc.Pid), LabelIdx: sc.LabelIdx,
 				Perm: e.edgePermIdx(perm, idx, fresh)})
 		}
 	}
@@ -414,7 +422,7 @@ func (g *Graph) FindNoProgress(mustMove []int) *NoProgressReport {
 // tagOf recovers the branch tag of an edge by re-deriving it from the
 // source state (edges do not store tags to keep the graph small).
 func (g *Graph) tagOf(from int, e Edge) string {
-	if e.Label == crashLabel {
+	if e.LabelIdx < 0 {
 		return ""
 	}
 	p := g.expl.p
@@ -429,7 +437,7 @@ func (g *Graph) tagOf(from int, e Edge) string {
 	}
 	toState := g.expl.stateAt(e.To)
 	for _, sc := range p.Succs(s, int(e.Pid), g.expl.opts.Mode, nil) {
-		if sc.Label != e.Label {
+		if sc.LabelIdx != e.LabelIdx {
 			continue
 		}
 		if !g.expl.symmetry {

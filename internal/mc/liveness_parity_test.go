@@ -61,7 +61,7 @@ func replayTrace(t *testing.T, p *gcl.Prog, init gcl.State, steps []Step) ([]str
 			}
 		} else {
 			for _, sc := range p.Succs(cur, st.Pid, gcl.ModeUnbounded, nil) {
-				if sc.Label == st.Label && sc.State.Equal(st.State) {
+				if sc.Label(p) == st.Label && sc.State.Equal(st.State) {
 					matched = true
 					tag = sc.Tag
 					break

@@ -15,7 +15,9 @@ package mc
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"bakerypp/internal/gcl"
@@ -47,14 +49,35 @@ type Observation struct {
 	Shared bool
 }
 
+// labelIdxCache memoizes a label's index for one program, so the stock
+// label-counting invariants resolve the name once per program instead of
+// once per state (the lookup was a measurable slice of the hot loop). The
+// cache is swapped atomically: invariant closures are shared across
+// expansion workers, and a stale entry is harmless — a program mismatch
+// just recomputes.
+type labelIdxCache struct {
+	p   *gcl.Prog
+	idx int
+}
+
+func countAtCached(c *atomic.Pointer[labelIdxCache], p *gcl.Prog, s gcl.State, label string) int {
+	lc := c.Load()
+	if lc == nil || lc.p != p {
+		lc = &labelIdxCache{p: p, idx: p.LabelIndex(label)}
+		c.Store(lc)
+	}
+	return p.CountAtLabelIdx(s, lc.idx)
+}
+
 // Mutex is the mutual-exclusion invariant: at most one process resides at
 // the label "cs" (the specs package convention for "inside the critical
 // section").
 func Mutex() Invariant {
+	var cache atomic.Pointer[labelIdxCache]
 	return Invariant{
 		Name: "mutual-exclusion",
 		Holds: func(p *gcl.Prog, s gcl.State) bool {
-			return p.CountAtLabel(s, "cs") <= 1
+			return countAtCached(&cache, p, s, "cs") <= 1
 		},
 		Observes: &Observation{Labels: []string{"cs"}},
 	}
@@ -69,15 +92,7 @@ func NoOverflow() Invariant {
 	return Invariant{
 		Name: "no-overflow",
 		Holds: func(p *gcl.Prog, s gcl.State) bool {
-			if p.M <= 0 {
-				return true
-			}
-			for _, name := range p.SharedNames() {
-				if int64(p.MaxShared(s, name)) > p.M {
-					return false
-				}
-			}
-			return true
+			return p.M <= 0 || int64(p.MaxAnyShared(s)) <= p.M
 		},
 		Observes: &Observation{Shared: true},
 	}
@@ -85,10 +100,11 @@ func NoOverflow() Invariant {
 
 // AtMostAtLabel bounds how many processes may simultaneously sit at a label.
 func AtMostAtLabel(label string, k int) Invariant {
+	var cache atomic.Pointer[labelIdxCache]
 	return Invariant{
 		Name: fmt.Sprintf("at-most-%d-at-%s", k, label),
 		Holds: func(p *gcl.Prog, s gcl.State) bool {
-			return p.CountAtLabel(s, label) <= k
+			return countAtCached(&cache, p, s, label) <= k
 		},
 		Observes: &Observation{Labels: []string{label}},
 	}
@@ -306,6 +322,60 @@ func (r *Result) String() string {
 // crashLabel is the pseudo-label recorded for crash transitions.
 const crashLabel = "CRASH"
 
+// crashLabelIdx is the sentinel label index carried by crash
+// pseudo-transitions and by the initial state's parent edge; labelName
+// renders it as crashLabel.
+const crashLabelIdx = int32(-1)
+
+// wctx is one expansion context: the per-worker scratch the hot path
+// allocates from. The sequential engine owns one; the parallel engine keeps
+// one per expansion goroutine. buf is reset once per BFS head (sequential)
+// or once per chunk (parallel), recycling every successor vector, canonical
+// key copy, and crash state generated since; canon is the reusable
+// canonicalizer (nil when the run is not symmetry-reduced).
+type wctx struct {
+	buf   gcl.SuccBuf
+	canon *gcl.Canonicalizer
+}
+
+// retainArena is append-only bump storage for data that must live for the
+// whole exploration: numbered state vectors and the canonical keys the
+// exact stores retain. Blocks are never moved or freed, so returned slices
+// stay valid forever; compared with one heap allocation per state this
+// drops both allocator traffic and GC scan cost (a few large blocks instead
+// of millions of tiny pointers).
+type retainArena struct {
+	blocks [][]int32
+	off    int
+}
+
+// retainBlock is the arena block size in int32 words (1 MiB).
+const retainBlock = 1 << 18
+
+// retain copies s into the arena and returns the stable copy.
+func (a *retainArena) retain(s gcl.State) gcl.State {
+	n := len(s)
+	if len(a.blocks) == 0 || a.off+n > len(a.blocks[len(a.blocks)-1]) {
+		sz := retainBlock
+		if n > sz {
+			sz = n
+		}
+		a.blocks = append(a.blocks, make([]int32, sz))
+		a.off = 0
+	}
+	blk := a.blocks[len(a.blocks)-1]
+	out := blk[a.off : a.off+n : a.off+n]
+	a.off += n
+	copy(out, s)
+	return out
+}
+
+// sameSlice reports whether two states share the same backing array cell 0
+// (i.e. key IS s, not a copy) — the promote-on-fresh alias check.
+func sameSlice(a, b gcl.State) bool {
+	return len(a) == len(b) && len(a) > 0 && &a[0] == &b[0]
+}
+
 // explorer is the shared BFS engine behind Check and BuildGraph. Its
 // visited set is a StateStore (store.go): fingerprint-keyed, Equal- (or,
 // under symmetry, canonical-)confirmed, so the sequential engine shares
@@ -353,9 +423,19 @@ type explorer struct {
 	states    []gcl.State
 	parent    []int32
 	parentBy  []int32 // pid of the action producing this state; -1 for init
-	parentLb  []string
+	parentLb  []int32 // label index of the producing action; crashLabelIdx for crashes/init
 	depth     []int32
 	crashers  []int
+	// wc is the sequential engine's expansion context; the parallel engine
+	// carries its own per-worker contexts and leaves this one to the merge
+	// pass. ret is the retained-state arena backing states (and, for the
+	// exact stores, promoted canonical keys); stableKeys marks store tiers
+	// that retain the Insert key slice (seq/sharded exact stores), requiring
+	// keys to be promoted out of the per-chunk scratch buffers before
+	// insertion.
+	wc         wctx
+	ret        retainArena
+	stableKeys bool
 }
 
 // newExplorer builds the engine state for one exploration executing the
@@ -395,6 +475,10 @@ func newExplorer(p *gcl.Prog, opts Options, sharded bool, plan Plan) *explorer {
 		}
 		e.chaseCap = p.N*len(p.Labels()) + 8
 	}
+	e.stableKeys = !plan.Store.Lossy() && !plan.Store.Spill
+	if plan.Symmetry || plan.TrackPerms {
+		e.wc.canon = p.NewCanonicalizer()
+	}
 	e.store = newStateStore(p, sharded, plan, e.ar)
 	return e
 }
@@ -419,7 +503,10 @@ func (e *explorer) stateAt(i int32) gcl.State {
 }
 
 // appendState numbers a fresh state and stores its vector per the
-// residency mode; returns the new index.
+// residency mode; returns the new index. The incoming vector may live in a
+// worker's recycled scratch buffer, so every residency mode copies: spill
+// into the mmap arena, release mode into a short-lived heap clone (freed at
+// expansion), and the default exact mode into the retained arena.
 func (e *explorer) appendState(s gcl.State) int32 {
 	if e.ar != nil {
 		off, err := e.ar.append(s)
@@ -429,7 +516,11 @@ func (e *explorer) appendState(s gcl.State) int32 {
 		e.offs = append(e.offs, off)
 		return int32(len(e.offs) - 1)
 	}
-	e.states = append(e.states, s)
+	if e.release {
+		e.states = append(e.states, append(gcl.State(nil), s...))
+	} else {
+		e.states = append(e.states, e.ret.retain(s))
+	}
 	return int32(len(e.states) - 1)
 }
 
@@ -501,37 +592,57 @@ type prep struct {
 	perm int32
 }
 
-// prepareProbe computes the store probe for s; under permutation tracking
-// it additionally ranks the canonical witnessing permutation, sharing the
-// single canonicalization pass.
-func (e *explorer) prepareProbe(s gcl.State) (uint64, gcl.State, int32) {
-	if !e.trackPerms {
+// prepareProbe computes the store probe for s using the expansion context's
+// reusable canonicalizer. The canonical key is copied into the context's
+// scratch buffer (the canonicalizer's own scratch is overwritten by its
+// next call, and POR keeps a batch of probes alive across one head's ample
+// check), so the key stays valid until the context resets — long enough for
+// the single-threaded insertion pass to promote fresh keys to stable
+// storage. Under permutation tracking it additionally ranks the canonical
+// witnessing permutation, sharing the single canonicalization pass.
+func (e *explorer) prepareProbe(w *wctx, s gcl.State) (uint64, gcl.State, int32) {
+	if w.canon == nil {
 		fp, key := e.store.Prepare(s)
 		return fp, key, 0
 	}
-	c, perm := e.p.CanonicalizeWithPerm(s)
-	return c.Fingerprint(), c, int32(e.p.PermIndexOf(perm))
+	if e.trackPerms {
+		c, perm := w.canon.CanonicalizeWithPerm(s)
+		return c.Fingerprint(), w.buf.CopyIn(c), int32(e.p.PermIndexOf(perm))
+	}
+	c := w.canon.Canonicalize(s)
+	return c.Fingerprint(), w.buf.CopyIn(c), 0
 }
 
 // add registers a state, returning its index and whether it was new.
-func (e *explorer) add(s gcl.State, parent int32, byPid int32, label string) (int32, bool) {
-	fp, key, perm := e.prepareProbe(s)
-	return e.addPrepared(fp, key, perm, s, parent, byPid, label)
+func (e *explorer) add(w *wctx, s gcl.State, parent int32, byPid int32, labelIdx int32) (int32, bool) {
+	fp, key, perm := e.prepareProbe(w, s)
+	return e.addPrepared(fp, key, perm, s, parent, byPid, labelIdx)
 }
 
 // addPrepared is add with the store probe already computed — the reduced
 // expansion path prepares each ample candidate once in ampleOK and must
-// not pay a second canonicalization here.
-func (e *explorer) addPrepared(fp uint64, key gcl.State, perm int32, s gcl.State, parent int32, byPid int32, label string) (int32, bool) {
+// not pay a second canonicalization here. The exact stores retain the
+// Insert key slice, and both s and key may point into recycled scratch, so
+// a fresh insertion promotes the key to stable storage first: when the key
+// IS the state (no symmetry), the just-retained numbered vector serves as
+// the key for free; a distinct canonical key gets its own arena copy.
+func (e *explorer) addPrepared(fp uint64, key gcl.State, perm int32, s gcl.State, parent int32, byPid int32, labelIdx int32) (int32, bool) {
 	if idx, ok := e.store.Lookup(fp, key); ok {
 		return idx, false
 	}
 	idx := e.appendState(s)
+	if e.stableKeys {
+		if sameSlice(key, s) {
+			key = e.states[idx]
+		} else {
+			key = e.ret.retain(key)
+		}
+	}
 	e.store.Insert(fp, key, idx)
 	if e.traceable {
 		e.parent = append(e.parent, parent)
 		e.parentBy = append(e.parentBy, byPid)
-		e.parentLb = append(e.parentLb, label)
+		e.parentLb = append(e.parentLb, labelIdx)
 	}
 	if e.trackPerms {
 		e.canonPerm = append(e.canonPerm, perm)
@@ -542,6 +653,15 @@ func (e *explorer) addPrepared(fp uint64, key gcl.State, perm int32, s gcl.State
 		e.depth = append(e.depth, e.depth[parent]+1)
 	}
 	return idx, true
+}
+
+// labelName renders a recorded label index; the crash sentinel renders as
+// the crash pseudo-label.
+func (e *explorer) labelName(idx int32) string {
+	if idx < 0 {
+		return crashLabel
+	}
+	return e.p.LabelName(int(idx))
 }
 
 // edgePermIdx computes ρ, the permutation annotating a graph edge: the
@@ -576,12 +696,12 @@ func (e *explorer) trace(idx int32) Trace {
 		i := rev[k]
 		if e.por {
 			t.Steps = append(t.Steps,
-				e.edgeSteps(e.stateAt(e.parent[i]), e.stateAt(i), int(e.parentBy[i]), e.parentLb[i])...)
+				e.edgeSteps(e.stateAt(e.parent[i]), e.stateAt(i), int(e.parentBy[i]), e.labelName(e.parentLb[i]))...)
 			continue
 		}
 		t.Steps = append(t.Steps, Step{
 			Pid:   int(e.parentBy[i]),
-			Label: e.parentLb[i],
+			Label: e.labelName(e.parentLb[i]),
 			State: e.stateAt(i),
 		})
 	}
@@ -595,19 +715,22 @@ func (e *explorer) trace(idx int32) Trace {
 // replaying it step by step. Every returned step is a real transition.
 func (e *explorer) edgeSteps(parent, child gcl.State, pid int, label string) []Step {
 	for _, sc := range e.p.Succs(parent, pid, e.opts.Mode, nil) {
-		if sc.Label == label && sc.State.Equal(child) {
+		if sc.Label(e.p) == label && sc.State.Equal(child) {
 			return []Step{{Pid: pid, Label: label, State: child}}
 		}
 	}
+	// Cold path: replay chains through a local buffer that is never reset,
+	// so the returned Steps' state vectors stay valid.
+	var buf gcl.SuccBuf
 	for _, sc := range e.p.AllSuccs(parent, e.opts.Mode) {
-		steps := []Step{{Pid: sc.Pid, Label: sc.Label, State: sc.State}}
+		steps := []Step{{Pid: sc.Pid, Label: sc.Label(e.p), State: sc.State}}
 		for hops := 0; hops < e.chaseCap && !sc.State.Equal(child); hops++ {
-			next, ok := e.ampleSingle(sc.State)
+			next, ok := e.ampleSingle(sc.State, &buf)
 			if !ok {
 				break
 			}
 			sc = next
-			steps = append(steps, Step{Pid: sc.Pid, Label: sc.Label, State: sc.State})
+			steps = append(steps, Step{Pid: sc.Pid, Label: e.labelName(sc.LabelIdx), State: sc.State})
 		}
 		if sc.State.Equal(child) {
 			return steps
@@ -633,16 +756,20 @@ func (e *explorer) checkInvariants(s gcl.State) (string, bool) {
 // caller commits to the segment only if every state in it is absent from
 // the visited store (the C3 proviso); the full list is always returned so
 // deadlock detection and proviso fallback need no recomputation.
-func (e *explorer) successors(s gcl.State) (succs []gcl.Succ, aPid, aLo, aHi int) {
+func (e *explorer) successors(s gcl.State, w *wctx) (succs []gcl.Succ, aPid, aLo, aHi int) {
+	buf := &w.buf
+	base := len(buf.Succs())
 	aPid = -1
 	for pid := 0; pid < e.p.N; pid++ {
-		start := len(succs)
-		succs = e.p.Succs(s, pid, e.opts.Mode, succs)
-		if e.por && aPid < 0 && len(succs) > start &&
-			e.ampleProcessOK(e.p.PC(s, pid), succs[start:]) {
-			aPid, aLo, aHi = pid, start, len(succs)
+		start := len(buf.Succs())
+		e.p.SuccsInto(s, pid, e.opts.Mode, buf)
+		sl := buf.Succs()
+		if e.por && aPid < 0 && len(sl) > start &&
+			e.ampleProcessOK(e.p.PC(s, pid), sl[start:]) {
+			aPid, aLo, aHi = pid, start-base, len(sl)-base
 		}
 	}
+	succs = buf.Succs()[base:]
 	if e.por {
 		// Local-chain compression (Lipton-style step merging): every
 		// emitted successor is chased through the run of single-candidate
@@ -658,17 +785,15 @@ func (e *explorer) successors(s gcl.State) (succs []gcl.Succ, aPid, aLo, aHi int
 		// manufacture straggler orbits whose sole difference from stored
 		// states is a process sitting a few local steps behind.
 		for i := range succs {
-			succs[i] = e.chase(succs[i])
+			succs[i] = e.chase(succs[i], buf)
 		}
 	}
 	for _, pid := range e.crashers {
-		succs = append(succs, gcl.Succ{
-			State: e.p.CrashSucc(s, pid),
-			Pid:   pid,
-			Label: crashLabel,
-		})
+		dst := buf.Alloc(len(s))
+		e.p.CrashSuccInto(dst, s, pid)
+		buf.Append(gcl.Succ{State: dst, Pid: pid, LabelIdx: crashLabelIdx})
 	}
-	return succs, aPid, aLo, aHi
+	return buf.Succs()[base:], aPid, aLo, aHi
 }
 
 // ampleProcessOK reports whether a process's complete branch set at pc
@@ -712,19 +837,23 @@ func (e *explorer) ampleProcessOKMask(pc int, enabled uint64) bool {
 // eligible pid), which is what lets traces re-derive chains. Eligibility
 // is decided from guard evaluation alone; the one successor state is
 // materialised only when the chain actually continues.
-func (e *explorer) ampleSingle(u gcl.State) (gcl.Succ, bool) {
+func (e *explorer) ampleSingle(u gcl.State, buf *gcl.SuccBuf) (gcl.Succ, bool) {
 	for pid := 0; pid < e.p.N; pid++ {
-		mask := e.p.EnabledMask(u, pid)
+		mask := e.p.EnabledMask(u, pid, buf)
 		if mask == 0 {
 			continue
 		}
-		if !e.ampleProcessOKMask(e.p.PC(u, pid), mask) {
+		pc := e.p.PC(u, pid)
+		if !e.ampleProcessOKMask(pc, mask) {
 			continue
 		}
 		if mask&(mask-1) != 0 {
 			return gcl.Succ{}, false // nondeterministic local step: chain stops
 		}
-		return e.p.Succs(u, pid, e.opts.Mode, nil)[0], true
+		bi := bits.TrailingZeros64(mask)
+		dst := buf.Alloc(len(u))
+		ov := e.p.ApplyInto(dst, u, pid, bi, e.opts.Mode, buf)
+		return gcl.Succ{State: dst, Pid: pid, LabelIdx: int32(pc), Branch: bi, Overflow: ov}, true
 	}
 	return gcl.Succ{}, false
 }
@@ -734,9 +863,9 @@ func (e *explorer) ampleSingle(u gcl.State) (gcl.Succ, bool) {
 // the chain's last transition. Purely state-deterministic — no store
 // access — so expansion workers may chase concurrently and traces can
 // replay the same chain later.
-func (e *explorer) chase(sc gcl.Succ) gcl.Succ {
+func (e *explorer) chase(sc gcl.Succ, buf *gcl.SuccBuf) gcl.Succ {
 	for hops := 0; hops < e.chaseCap; hops++ {
-		next, ok := e.ampleSingle(sc.State)
+		next, ok := e.ampleSingle(sc.State, buf)
 		if !ok {
 			return sc
 		}
@@ -758,10 +887,10 @@ func (e *explorer) chase(sc gcl.Succ) gcl.Succ {
 // It caches each candidate's prepared probe in e.prepBuf so a committed
 // reduced expansion inserts through addPrepared without canonicalizing
 // again.
-func (e *explorer) ampleOK(succs []gcl.Succ, d int32) bool {
+func (e *explorer) ampleOK(w *wctx, succs []gcl.Succ, d int32) bool {
 	e.prepBuf = e.prepBuf[:0]
 	for i := range succs {
-		fp, key, perm := e.prepareProbe(succs[i].State)
+		fp, key, perm := e.prepareProbe(w, succs[i].State)
 		e.prepBuf = append(e.prepBuf, prep{fp: fp, key: key, perm: perm})
 		if idx, ok := e.store.Lookup(fp, key); ok && e.depth[idx] != d+1 {
 			return false
@@ -798,7 +927,7 @@ func Check(p *gcl.Prog, opts Options) *Result {
 	}
 
 	init := p.InitState()
-	idx, _ := e.add(init, -1, -1, "")
+	idx, _ := e.add(&e.wc, init, -1, -1, crashLabelIdx)
 	if name, bad := e.checkInvariants(init); bad {
 		t := e.trace(idx)
 		res.Violation = &Violation{Invariant: name, Trace: t}
@@ -809,12 +938,16 @@ func Check(p *gcl.Prog, opts Options) *Result {
 		if e.numStates() >= e.opts.MaxStates {
 			return finish()
 		}
+		// One head, one buffer generation: every successor vector, canonical
+		// key, and chase intermediate below lives in e.wc.buf and is
+		// recycled here. Fresh states were promoted out by addPrepared.
+		e.wc.buf.Reset()
 		s := e.stateAt(int32(head))
 		res.Depth = int(e.depth[head])
-		succs, aPid, aLo, aHi := e.successors(s)
+		succs, aPid, aLo, aHi := e.successors(s, &e.wc)
 		progress := false
 		for _, sc := range succs {
-			if sc.Label != crashLabel {
+			if sc.LabelIdx >= 0 {
 				progress = true
 				break
 			}
@@ -824,7 +957,7 @@ func Check(p *gcl.Prog, opts Options) *Result {
 		// still reuses the (possibly partial) prepared prefix rather than
 		// canonicalizing those successors a second time.
 		use, pLo := succs, aLo
-		if aPid >= 0 && e.ampleOK(succs[aLo:aHi], e.depth[head]) {
+		if aPid >= 0 && e.ampleOK(&e.wc, succs[aLo:aHi], e.depth[head]) {
 			use, pLo = succs[aLo:aHi], 0
 		}
 		for i, sc := range use {
@@ -833,9 +966,9 @@ func Check(p *gcl.Prog, opts Options) *Result {
 			var fresh bool
 			if aPid >= 0 && i >= pLo && i < pLo+len(e.prepBuf) {
 				pr := &e.prepBuf[i-pLo]
-				idx, fresh = e.addPrepared(pr.fp, pr.key, pr.perm, sc.State, int32(head), int32(sc.Pid), sc.Label)
+				idx, fresh = e.addPrepared(pr.fp, pr.key, pr.perm, sc.State, int32(head), int32(sc.Pid), sc.LabelIdx)
 			} else {
-				idx, fresh = e.add(sc.State, int32(head), int32(sc.Pid), sc.Label)
+				idx, fresh = e.add(&e.wc, sc.State, int32(head), int32(sc.Pid), sc.LabelIdx)
 			}
 			if !fresh {
 				continue

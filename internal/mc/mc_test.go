@@ -209,7 +209,7 @@ func TestViolationTraceIsReplayable(t *testing.T) {
 	for i, st := range tr.Steps {
 		found := false
 		for _, sc := range p.Succs(cur, st.Pid, gcl.ModeUnbounded, nil) {
-			if sc.Label == st.Label && p.Key(sc.State) == p.Key(st.State) {
+			if sc.Label(p) == st.Label && p.Key(sc.State) == p.Key(st.State) {
 				found = true
 				cur = sc.State
 				break
@@ -384,7 +384,7 @@ func TestCrashLabelAppearsInCrashTraces(t *testing.T) {
 	found := false
 	for _, edges := range g.Adj {
 		for _, e := range edges {
-			if e.Label == "CRASH" {
+			if e.LabelIdx < 0 {
 				found = true
 			}
 		}

@@ -34,9 +34,9 @@ type candidate struct {
 	fp    uint64
 	// perm is the index of the state's canonical witnessing permutation
 	// when the exploration tracks permutations (quotient graphs).
-	perm  int32
-	pid   int32
-	label string
+	perm     int32
+	pid      int32
+	labelIdx int32
 	// seen is the state's index if it was already numbered when the worker
 	// expanded it, else -1. A -1 candidate may still duplicate a state
 	// discovered concurrently in the same chunk; the merge pass resolves
@@ -68,6 +68,59 @@ type expansion struct {
 type pexplorer struct {
 	e       *explorer
 	workers int
+	// wcs/cslabs are the per-worker expansion contexts and candidate
+	// arenas: worker w allocates successor vectors and canonical keys from
+	// wcs[w].buf and candidate records from cslabs[w]. Both are recycled at
+	// each chunk boundary — by then the previous chunk's candidates have all
+	// been merged (fresh keys promoted to stable storage by addPrepared), so
+	// nothing references the scratch anymore.
+	wcs    []wctx
+	cslabs []candSlab
+	// mb is the store's merge-batching hook, when it has one.
+	mb mergeBatcher
+}
+
+// candSlab is bump-allocated storage for candidate records, recycled per
+// chunk, replacing one make([]candidate) per expanded state.
+type candSlab struct {
+	blocks [][]candidate
+	ci     int
+	off    int
+}
+
+// candSlabBlock is the slab block size in candidate records.
+const candSlabBlock = 4096
+
+func (a *candSlab) reset() {
+	a.ci = 0
+	a.off = 0
+}
+
+// alloc returns an empty candidate slice with capacity n carved from the
+// slab; the caller appends at most n records, so the slice never escapes
+// its block.
+func (a *candSlab) alloc(n int) []candidate {
+	if n == 0 {
+		return nil
+	}
+	for {
+		if a.ci < len(a.blocks) {
+			blk := a.blocks[a.ci]
+			if a.off+n <= len(blk) {
+				s := blk[a.off : a.off : a.off+n]
+				a.off += n
+				return s
+			}
+			a.ci++
+			a.off = 0
+			continue
+		}
+		sz := candSlabBlock
+		if n > sz {
+			sz = n
+		}
+		a.blocks = append(a.blocks, make([]candidate, sz))
+	}
 }
 
 func newPExplorer(p *gcl.Prog, opts Options, plan Plan) *pexplorer {
@@ -78,7 +131,30 @@ func newPExplorer(p *gcl.Prog, opts Options, plan Plan) *pexplorer {
 	if w < 1 {
 		w = 1
 	}
-	return &pexplorer{e: newExplorer(p, opts, true, plan), workers: w}
+	pe := &pexplorer{e: newExplorer(p, opts, true, plan), workers: w}
+	pe.wcs = make([]wctx, w)
+	pe.cslabs = make([]candSlab, w)
+	if plan.Symmetry || plan.TrackPerms {
+		for i := range pe.wcs {
+			pe.wcs[i].canon = p.NewCanonicalizer()
+		}
+	}
+	pe.mb, _ = pe.e.store.(mergeBatcher)
+	return pe
+}
+
+// beginMerge/endMerge bracket the single-threaded merge pass for stores
+// that batch insertions under the chunk barrier.
+func (pe *pexplorer) beginMerge() {
+	if pe.mb != nil {
+		pe.mb.BeginMerge()
+	}
+}
+
+func (pe *pexplorer) endMerge() {
+	if pe.mb != nil {
+		pe.mb.EndMerge()
+	}
 }
 
 // addNumbered gives the candidate's state a number if it is new, mirroring
@@ -88,13 +164,13 @@ func (pe *pexplorer) addNumbered(c *candidate, parent int32) (int32, bool) {
 	if c.seen >= 0 {
 		return c.seen, false
 	}
-	return pe.e.addPrepared(c.fp, c.key, c.perm, c.state, parent, c.pid, c.label)
+	return pe.e.addPrepared(c.fp, c.key, c.perm, c.state, parent, c.pid, c.labelIdx)
 }
 
 // addInit numbers the initial state (index 0).
 func (pe *pexplorer) addInit(init gcl.State) {
-	fp, key, perm := pe.e.prepareProbe(init)
-	c := candidate{state: init, key: key, fp: fp, perm: perm, pid: -1, seen: -1}
+	fp, key, perm := pe.e.prepareProbe(&pe.e.wc, init)
+	c := candidate{state: init, key: key, fp: fp, perm: perm, pid: -1, labelIdx: crashLabelIdx, seen: -1}
 	pe.addNumbered(&c, -1)
 }
 
@@ -115,13 +191,19 @@ const maxChunk = 4096
 func (pe *pexplorer) expandRange(lo, hi int32, checkInv bool) []expansion {
 	n := int(hi - lo)
 	out := make([]expansion, n)
+	// Chunk boundary: the previous chunk is fully merged, so every worker's
+	// successor buffer and candidate slab can be recycled wholesale.
+	for w := range pe.wcs {
+		pe.wcs[w].buf.Reset()
+		pe.cslabs[w].reset()
+	}
 	workers := pe.workers
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 || n < 64 {
 		for i := range out {
-			pe.expandState(lo+int32(i), &out[i], checkInv)
+			pe.expandState(lo+int32(i), &out[i], checkInv, &pe.wcs[0], &pe.cslabs[0])
 		}
 		return out
 	}
@@ -136,7 +218,7 @@ func (pe *pexplorer) expandRange(lo, hi int32, checkInv bool) []expansion {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				end := atomic.AddInt64(&cursor, int64(batch))
@@ -148,10 +230,10 @@ func (pe *pexplorer) expandRange(lo, hi int32, checkInv bool) []expansion {
 					end = int64(n)
 				}
 				for i := start; i < end; i++ {
-					pe.expandState(lo+int32(i), &out[i], checkInv)
+					pe.expandState(lo+int32(i), &out[i], checkInv, &pe.wcs[w], &pe.cslabs[w])
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return out
@@ -159,25 +241,25 @@ func (pe *pexplorer) expandRange(lo, hi int32, checkInv bool) []expansion {
 
 // expandState computes the ordered successor candidates of one state. It
 // reads the numbered-state prefix and the visited set but writes only to
-// its private result slot.
-func (pe *pexplorer) expandState(idx int32, out *expansion, checkInv bool) {
+// its private result slot and the worker-owned scratch w/cs.
+func (pe *pexplorer) expandState(idx int32, out *expansion, checkInv bool, w *wctx, cs *candSlab) {
 	e := pe.e
-	succs, aPid, aLo, aHi := e.successors(e.stateAt(idx))
+	succs, aPid, aLo, aHi := e.successors(e.stateAt(idx), w)
 	out.aPid, out.aLo, out.aHi = int32(aPid), int32(aLo), int32(aHi)
-	out.cands = make([]candidate, 0, len(succs))
+	out.cands = cs.alloc(len(succs))
 	for _, sc := range succs {
-		if sc.Label != crashLabel {
+		if sc.LabelIdx >= 0 {
 			out.progress = true
 		}
-		fp, key, perm := e.prepareProbe(sc.State)
+		fp, key, perm := e.prepareProbe(w, sc.State)
 		c := candidate{
-			state: sc.State,
-			key:   key,
-			fp:    fp,
-			perm:  perm,
-			pid:   int32(sc.Pid),
-			label: sc.Label,
-			seen:  -1,
+			state:    sc.State,
+			key:      key,
+			fp:       fp,
+			perm:     perm,
+			pid:      int32(sc.Pid),
+			labelIdx: sc.LabelIdx,
+			seen:     -1,
 		}
 		if i, ok := e.store.Lookup(c.fp, c.key); ok {
 			c.seen = i
@@ -246,6 +328,10 @@ func checkParallel(p *gcl.Prog, opts Options, plan Plan) *Result {
 		}
 		merged = int(hi)
 		exps := pe.expandRange(lo, hi, checkInv)
+		// Workers are quiescent from here to the next expandRange: batch the
+		// whole chunk's store insertions without per-insert locking. (An
+		// early return skips endMerge; the store is discarded with the run.)
+		pe.beginMerge()
 		for i := range exps {
 			head := lo + int32(i)
 			if e.numStates() >= e.opts.MaxStates {
@@ -280,6 +366,7 @@ func checkParallel(p *gcl.Prog, opts Options, plan Plan) *Result {
 			// was expanded.
 			e.releaseState(int(head))
 		}
+		pe.endMerge()
 	}
 	res.Complete = true
 	return finish()
@@ -310,6 +397,7 @@ func buildGraphParallel(p *gcl.Prog, opts Options, plan Plan) (*Graph, error) {
 		}
 		merged = int(hi)
 		exps := pe.expandRange(lo, hi, checkInv)
+		pe.beginMerge()
 		for i := range exps {
 			head := lo + int32(i)
 			if e.numStates() > e.opts.MaxStates {
@@ -329,10 +417,11 @@ func buildGraphParallel(p *gcl.Prog, opts Options, plan Plan) (*Graph, error) {
 						res.Violation = &Violation{Invariant: c.violated, Trace: t}
 					}
 				}
-				g.Adj[head] = append(g.Adj[head], Edge{To: idx, Pid: int8(c.pid), Label: c.label,
+				g.Adj[head] = append(g.Adj[head], Edge{To: idx, Pid: int8(c.pid), LabelIdx: c.labelIdx,
 					Perm: e.edgePermIdx(c.perm, idx, fresh)})
 			}
 		}
+		pe.endMerge()
 	}
 	res.States = e.numStates()
 	res.Store = e.storeReport()

@@ -123,7 +123,7 @@ func TestPORTraceIsConcrete(t *testing.T) {
 			for i, st := range tr.Steps {
 				found := false
 				for _, sc := range p.AllSuccs(cur, gcl.ModeUnbounded) {
-					if sc.Pid == st.Pid && sc.Label == st.Label && sc.State.Equal(st.State) {
+					if sc.Pid == st.Pid && sc.Label(p) == st.Label && sc.State.Equal(st.State) {
 						found = true
 						break
 					}
@@ -175,7 +175,7 @@ func TestPORDeadlockPreserved(t *testing.T) {
 	for _, st := range red.Deadlock.Steps {
 		found := false
 		for _, sc := range p.AllSuccs(cur, gcl.ModeUnbounded) {
-			if sc.Pid == st.Pid && sc.Label == st.Label && sc.State.Equal(st.State) {
+			if sc.Pid == st.Pid && sc.Label(p) == st.Label && sc.State.Equal(st.State) {
 				found = true
 				break
 			}

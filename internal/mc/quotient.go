@@ -239,12 +239,12 @@ func (pr *product) push(rep, perm, parent, parentE int32) int32 {
 // view — exact when it matches, silently skipped when quasi-symmetry made
 // the stored edge inapplicable to this tracking frame. The slow path
 // canonicalizes u and resolves its orbit through the quotient's store.
-func (pr *product) locate(nd prodNode, succPid int, label string, u gcl.State) (rep, perm int32) {
+func (pr *product) locate(nd prodNode, succPid int, labelIdx int32, u gcl.State) (rep, perm int32) {
 	p := pr.p
 	if nd.rep < pr.nPrimary {
 		repSlot := int8(p.InvPermAt(int(nd.perm))[succPid])
 		for _, e := range pr.g.Adj[nd.rep] {
-			if e.Pid != repSlot || e.Label != label {
+			if e.Pid != repSlot || e.LabelIdx != labelIdx {
 				continue
 			}
 			tg := pr.compose(nd.perm, int32(e.Perm))
@@ -328,7 +328,7 @@ func (g *Graph) buildProduct() *product {
 		for i, sc := range p.AllSuccs(pr.viewBuf, mode) {
 			u := sc.State // owned: apply clones
 			p.NormalizeCursorsInPlace(u)
-			rep, perm := pr.locate(nd, sc.Pid, sc.Label, u)
+			rep, perm := pr.locate(nd, sc.Pid, sc.LabelIdx, u)
 			t := pr.push(rep, perm, head, int32(len(pr.targets)))
 			pr.targets = append(pr.targets, t)
 			pr.movers = append(pr.movers, int8(sc.Pid))
@@ -338,7 +338,7 @@ func (g *Graph) buildProduct() *product {
 		for ci, pid := range g.expl.crashers {
 			u := p.CrashSucc(pr.viewBuf, pid)
 			p.NormalizeCursorsInPlace(u)
-			rep, perm := pr.locate(nd, pid, crashLabel, u)
+			rep, perm := pr.locate(nd, pid, crashLabelIdx, u)
 			t := pr.push(rep, perm, head, int32(len(pr.targets)))
 			pr.targets = append(pr.targets, t)
 			pr.movers = append(pr.movers, int8(pid))
@@ -577,7 +577,7 @@ func (pr *product) replaySteps(cur gcl.State, steps []pstep) ([]Step, []string, 
 			}
 			next = succs[ord].State
 			tag = succs[ord].Tag
-			label = succs[ord].Label
+			label = succs[ord].Label(p)
 		}
 		out = append(out, Step{Pid: mover, Label: label, State: next})
 		tags = append(tags, tag)

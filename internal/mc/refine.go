@@ -131,7 +131,7 @@ func CheckBoundedRefinement(impl, spec *gcl.Prog, opts RefinementOptions) (*Refi
 			t.Steps = append(t.Steps, Step{Pid: nd.viaPid, Label: nd.viaLabel, State: nd.implState})
 		}
 		if extra != nil {
-			t.Steps = append(t.Steps, Step{Pid: extra.Pid, Label: extra.Label, State: extra.State})
+			t.Steps = append(t.Steps, Step{Pid: extra.Pid, Label: extra.Label(impl), State: extra.State})
 		}
 		return t
 	}
@@ -172,7 +172,7 @@ func CheckBoundedRefinement(impl, spec *gcl.Prog, opts RefinementOptions) (*Refi
 				remaining: nextRemaining,
 				parent:    head,
 				viaPid:    sc.Pid,
-				viaLabel:  sc.Label,
+				viaLabel:  sc.Label(impl),
 			})
 		}
 	}

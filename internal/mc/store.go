@@ -10,12 +10,15 @@ package mc
 //
 // Three implementations cover the engines' needs:
 //
-//   - sequential (newSeqStore): a single bucket map, no locking — the
-//     sequential engine and the monitor/memo searches.
-//   - sharded-parallel (newShardedStore): the same bucket scheme striped
-//     over 64 RWMutex-guarded shards selected by fingerprint, safe for the
-//     parallel engine's concurrent advisory lookups during expansion while
-//     the single-threaded merge pass remains the only writer.
+//   - sequential (newSeqStore): a single open-addressed linear-probe
+//     table (fpTable), no locking — the sequential engine and the
+//     monitor/memo searches.
+//   - sharded-parallel (newShardedStore): the same table striped over 64
+//     RWMutex-guarded shards selected by fingerprint, safe for the
+//     parallel engine's concurrent advisory lookups during expansion
+//     while the single-threaded merge pass remains the only writer — and
+//     elides the shard locks entirely between BeginMerge/EndMerge, when
+//     the engine guarantees the workers are quiescent.
 //   - symmetry-aware (either of the above with Plan.Symmetry): Prepare
 //     canonicalizes the state before probing, so all states of one
 //     process-permutation orbit collapse onto a single entry. The store
@@ -141,15 +144,111 @@ func bucketInsert(bucket []kv, key gcl.State, val int32) []kv {
 	return append(bucket, kv{key: key, val: val})
 }
 
-// seqStore is the unsharded implementation: one map, no locks.
+// fpTable is the exact stores' hash table: open addressing with linear
+// probing over flat parallel arrays, replacing the historical
+// map[uint64][]kv buckets. An empty slot is keys[i] == nil; a probe matches
+// on fingerprint first (one integer compare) and confirms with the full
+// key comparison, so exactness is unchanged. The flat layout wins twice on
+// the hot path: a probe is one cache-line-friendly array walk instead of a
+// map access plus a bucket-slice chase, and growth rehashes in place with
+// zero per-entry allocations — the Go map's incremental evacuation and
+// per-bucket overflow allocations disappear. Fingerprints come out of
+// gcl's fmix64 finalizer, so masking low bits for the initial slot is
+// well-dispersed. NOT goroutine-safe; callers lock (or run single-threaded).
+type fpTable struct {
+	fps  []uint64
+	keys []gcl.State
+	vals []int32
+	n    int
+	mask uint64
+	// limit is the occupancy at which the table doubles (0.7 load factor —
+	// past that linear-probe clusters lengthen quickly).
+	limit int
+}
+
+// fpTableMinSize is the initial slot count (power of two).
+const fpTableMinSize = 1024
+
+func (t *fpTable) init(size int) {
+	t.fps = make([]uint64, size)
+	t.keys = make([]gcl.State, size)
+	t.vals = make([]int32, size)
+	t.mask = uint64(size - 1)
+	t.limit = size * 7 / 10
+	t.n = 0
+}
+
+func (t *fpTable) lookup(fp uint64, key gcl.State) (int32, bool) {
+	if t.keys == nil {
+		return -1, false
+	}
+	for i := fp & t.mask; ; i = (i + 1) & t.mask {
+		k := t.keys[i]
+		if k == nil {
+			return -1, false
+		}
+		if t.fps[i] == fp && k.Equal(key) {
+			return t.vals[i], true
+		}
+	}
+}
+
+// insert stores val under (fp, key), replacing the value if the key is
+// already present. The key slice is retained.
+func (t *fpTable) insert(fp uint64, key gcl.State, val int32) {
+	if t.keys == nil {
+		t.init(fpTableMinSize)
+	} else if t.n >= t.limit {
+		t.grow()
+	}
+	for i := fp & t.mask; ; i = (i + 1) & t.mask {
+		k := t.keys[i]
+		if k == nil {
+			t.fps[i] = fp
+			t.keys[i] = key
+			t.vals[i] = val
+			t.n++
+			return
+		}
+		if t.fps[i] == fp && k.Equal(key) {
+			t.vals[i] = val
+			return
+		}
+	}
+}
+
+// grow quadruples the table: rehashing copies every live entry, so fewer,
+// larger steps cost less total zeroing and probing than doubling would; the
+// transient low load factor after a step is cheap by comparison.
+func (t *fpTable) grow() {
+	oldFps, oldKeys, oldVals := t.fps, t.keys, t.vals
+	t.init(len(oldKeys) * 4)
+	for i, k := range oldKeys {
+		if k == nil {
+			continue
+		}
+		fp := oldFps[i]
+		for j := fp & t.mask; ; j = (j + 1) & t.mask {
+			if t.keys[j] == nil {
+				t.fps[j] = fp
+				t.keys[j] = k
+				t.vals[j] = oldVals[i]
+				t.n++
+				break
+			}
+		}
+	}
+}
+
+// seqStore is the unsharded implementation: one table, no locks.
 type seqStore struct {
 	p    *gcl.Prog
 	plan Plan
-	m    map[uint64][]kv
+	t    fpTable
 }
 
 func newSeqStore(p *gcl.Prog, plan Plan) *seqStore {
-	return &seqStore{p: p, plan: plan, m: map[uint64][]kv{}}
+	return &seqStore{p: p, plan: plan}
 }
 
 func (st *seqStore) Prepare(s gcl.State, extra ...int32) (uint64, gcl.State) {
@@ -157,11 +256,11 @@ func (st *seqStore) Prepare(s gcl.State, extra ...int32) (uint64, gcl.State) {
 }
 
 func (st *seqStore) Lookup(fp uint64, key gcl.State) (int32, bool) {
-	return bucketLookup(st.m[fp], key)
+	return st.t.lookup(fp, key)
 }
 
 func (st *seqStore) Insert(fp uint64, key gcl.State, val int32) {
-	st.m[fp] = bucketInsert(st.m[fp], key, val)
+	st.t.insert(fp, key, val)
 }
 
 // shardCount is the number of stripes in the sharded store; a power of two
@@ -169,41 +268,64 @@ func (st *seqStore) Insert(fp uint64, key gcl.State, val int32) {
 // up to far more workers than any current machine provides.
 const shardCount = 64
 
-// storeShard is one stripe: a fingerprint-keyed bucket map guarded by a
-// read-write mutex. Exploration workers only read (their lookups during
-// expansion are advisory); the merge pass is the sole writer. Strictly the
-// expand and merge phases never overlap (they are separated by the chunk
-// barrier), so the locks are uncontended belt-and-braces that keep the set
-// safe if a future change lets phases overlap.
+// storeShard is one stripe: an fpTable guarded by a read-write mutex.
+// Exploration workers only read (their lookups during expansion are
+// advisory); the merge pass is the sole writer. Strictly the expand and
+// merge phases never overlap (they are separated by the chunk barrier), so
+// the locks are uncontended belt-and-braces that keep the set safe if a
+// future change lets phases overlap.
 type storeShard struct {
 	mu sync.RWMutex
-	m  map[uint64][]kv
+	t  fpTable
 }
 
-// shardedStore stripes the bucket maps over shardCount shards selected by
+// shardedStore stripes the tables over shardCount shards selected by
 // fingerprint.
 type shardedStore struct {
-	p      *gcl.Prog
-	plan   Plan
-	shards [shardCount]storeShard
+	p    *gcl.Prog
+	plan Plan
+	// merging marks the single-threaded merge pass: BeginMerge/EndMerge
+	// bracket it, and while set, Insert and Lookup skip the shard mutexes
+	// entirely — the per-insert lock/unlock pair was pure overhead there,
+	// and batching the whole chunk's insertions into one unlocked pass
+	// amortizes synchronization to two flag writes per chunk. The flag
+	// flips only while workers are quiescent (between expansion phases),
+	// and goroutine spawn/join edges order it against worker reads, so
+	// the default locked behavior outside merges is unchanged.
+	merging bool
+	shards  [shardCount]storeShard
+}
+
+// mergeBatcher is implemented by stores whose Insert path can batch under
+// the parallel engine's chunk barrier (the sharded exact store). The merge
+// pass brackets its single-threaded insertions with BeginMerge/EndMerge.
+type mergeBatcher interface {
+	BeginMerge()
+	EndMerge()
 }
 
 func newShardedStore(p *gcl.Prog, plan Plan) *shardedStore {
-	st := &shardedStore{p: p, plan: plan}
-	for i := range st.shards {
-		st.shards[i].m = map[uint64][]kv{}
-	}
-	return st
+	return &shardedStore{p: p, plan: plan}
 }
 
 func (st *shardedStore) Prepare(s gcl.State, extra ...int32) (uint64, gcl.State) {
 	return prepare(st.p, st.plan, s, extra)
 }
 
+// BeginMerge enters the single-threaded merge pass: shard mutexes are
+// elided until EndMerge. Callers must guarantee no concurrent access.
+func (st *shardedStore) BeginMerge() { st.merging = true }
+
+// EndMerge re-enables shard locking before workers resume.
+func (st *shardedStore) EndMerge() { st.merging = false }
+
 func (st *shardedStore) Lookup(fp uint64, key gcl.State) (int32, bool) {
 	sh := &st.shards[fp&(shardCount-1)]
+	if st.merging {
+		return sh.t.lookup(fp, key)
+	}
 	sh.mu.RLock()
-	idx, ok := bucketLookup(sh.m[fp], key)
+	idx, ok := sh.t.lookup(fp, key)
 	sh.mu.RUnlock()
 	return idx, ok
 }
@@ -211,8 +333,12 @@ func (st *shardedStore) Lookup(fp uint64, key gcl.State) (int32, bool) {
 // Insert must only be called from the single-threaded merge pass.
 func (st *shardedStore) Insert(fp uint64, key gcl.State, val int32) {
 	sh := &st.shards[fp&(shardCount-1)]
+	if st.merging {
+		sh.t.insert(fp, key, val)
+		return
+	}
 	sh.mu.Lock()
-	sh.m[fp] = bucketInsert(sh.m[fp], key, val)
+	sh.t.insert(fp, key, val)
 	sh.mu.Unlock()
 }
 
@@ -325,7 +451,11 @@ func (st *compactStore) Insert(fp uint64, key gcl.State, val int32) {
 	}
 	sh.mu.Unlock()
 	if st.shadow != nil {
-		st.shadow.Insert(fp, key, val)
+		// The exact shadow retains its key slice, but engines hand lossy
+		// tiers transient scratch keys (recycled per chunk) — copy before
+		// forwarding. Shadow mode is a validation tool; the allocation is
+		// acceptable there.
+		st.shadow.Insert(fp, append(gcl.State(nil), key...), val)
 	}
 }
 

@@ -168,7 +168,7 @@ func TestSymmetryTraceIsConcrete(t *testing.T) {
 			for i, st := range tr.Steps {
 				found := false
 				for _, sc := range c.p.AllSuccs(cur, gcl.ModeUnbounded) {
-					if sc.Pid == st.Pid && sc.Label == st.Label && sc.State.Equal(st.State) {
+					if sc.Pid == st.Pid && sc.Label(c.p) == st.Label && sc.State.Equal(st.State) {
 						found = true
 						break
 					}

@@ -1,0 +1,58 @@
+// Package profiling wires the -cpuprofile/-memprofile flags shared by the
+// bakerymc and bakerybench commands to runtime/pprof.
+package profiling
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Session holds the in-flight CPU profile and the pending heap profile path.
+type Session struct {
+	cpuFile *os.File
+	memPath string
+}
+
+// Start begins CPU profiling to cpuPath (if non-empty) and remembers memPath
+// for Stop. Either path may be empty; a nil error always yields a Session
+// whose Stop is safe to call.
+func Start(cpuPath, memPath string) (*Session, error) {
+	s := &Session{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		s.cpuFile = f
+	}
+	return s, nil
+}
+
+// Stop finishes the CPU profile and writes the allocs profile (after a final
+// GC, so live-heap numbers are accurate). It is called on every exit path
+// that terminates the process deliberately — including "violation found"
+// exits, which are the runs one most wants to profile.
+func (s *Session) Stop() error {
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpuFile.Close(); err != nil {
+			return err
+		}
+		s.cpuFile = nil
+	}
+	if s.memPath != "" {
+		f, err := os.Create(s.memPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		return pprof.Lookup("allocs").WriteTo(f, 0)
+	}
+	return nil
+}

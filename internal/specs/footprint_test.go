@@ -48,7 +48,7 @@ func TestSpecCommutationOracle(t *testing.T) {
 						if a.Pid == b.Pid {
 							continue
 						}
-						la, lb := p.LabelIndex(a.Label), p.LabelIndex(b.Label)
+						la, lb := int(a.LabelIdx), int(b.LabelIdx)
 						if !p.ActionsIndependent(a.Pid, la, a.Branch, b.Pid, lb, b.Branch) {
 							continue
 						}
@@ -56,16 +56,16 @@ func TestSpecCommutationOracle(t *testing.T) {
 						ba, okBA := rerun(p, b.State, a)
 						if !okAB || !okBA {
 							t.Fatalf("independent pair disabled the partner: p%d:%s/%d, p%d:%s/%d in %s",
-								a.Pid, a.Label, a.Branch, b.Pid, b.Label, b.Branch, p.Format(s))
+								a.Pid, a.Label(p), a.Branch, b.Pid, b.Label(p), b.Branch, p.Format(s))
 						}
 						if !ab.State.Equal(ba.State) {
 							t.Fatalf("independent pair does not commute: p%d:%s/%d, p%d:%s/%d\nstate: %s\na;b: %s\nb;a: %s",
-								a.Pid, a.Label, a.Branch, b.Pid, b.Label, b.Branch,
+								a.Pid, a.Label(p), a.Branch, b.Pid, b.Label(p), b.Branch,
 								p.Format(s), p.Format(ab.State), p.Format(ba.State))
 						}
 						if ab.Overflow != b.Overflow || ba.Overflow != a.Overflow {
 							t.Fatalf("independent partner changed overflow accounting (p%d:%s, p%d:%s)",
-								a.Pid, a.Label, b.Pid, b.Label)
+								a.Pid, a.Label(p), b.Pid, b.Label(p))
 						}
 						checked++
 					}
@@ -81,7 +81,7 @@ func TestSpecCommutationOracle(t *testing.T) {
 
 func rerun(p *gcl.Prog, s gcl.State, succ gcl.Succ) (gcl.Succ, bool) {
 	for _, sc := range p.Succs(s, succ.Pid, gcl.ModeUnbounded, nil) {
-		if sc.Label == succ.Label && sc.Branch == succ.Branch {
+		if sc.LabelIdx == succ.LabelIdx && sc.Branch == succ.Branch {
 			return sc, true
 		}
 	}
