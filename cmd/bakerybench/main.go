@@ -1,7 +1,6 @@
-// Command bakerybench runs the repository's experiment suite (E1–E18; see
-// docs/experiments.md for the catalogue) and prints the tables recorded in
-// EXPERIMENTS.md, or — with -sweep or -des — a deterministic contention
-// sweep on a default grid.
+// Command bakerybench runs the repository's experiment suite (E1–E21; see
+// docs/experiments.md for the catalogue), or — with -sweep, -des or
+// -scenario — a deterministic contention sweep or lock-service scenario.
 //
 //	bakerybench               # run every experiment
 //	bakerybench -run E2,E9    # selected experiments
@@ -11,15 +10,17 @@
 //	bakerybench -des                          # discrete-event sweep (12 cells)
 //	bakerybench -des -latency jitter:2,5      # with a latency model
 //	bakerybench -des -record sweep.deslog     # record the event log
+//	bakerybench -scenario smoke               # lock-service scenario preset
 //
-// Both sweeps execute every scenario cell deterministically in virtual
-// time, so their aggregated tables — including the printed fingerprints —
-// are identical on any machine, at any GOMAXPROCS, and for any
-// -sweep-workers value. The -des mode runs each cell as a single-threaded
-// discrete-event loop (no goroutine herd) with latency-model-priced
-// actions, reporting acquire-latency percentiles, wait histograms and
-// reset timing; a -record'ed log replays byte-identically with
-// cmd/bakeryreplay.
+// The sweeps and scenarios execute deterministically in virtual time, so
+// their aggregated tables — including the printed fingerprints — are
+// identical on any machine, at any GOMAXPROCS, and for any -sweep-workers
+// value. The -des mode runs each cell as a single-threaded discrete-event
+// loop (no goroutine herd) with latency-model-priced actions, reporting
+// acquire-latency percentiles, wait histograms and reset timing; -scenario
+// runs a simulated client fleet against sharded critical sections (see
+// docs/scenarios.md and cmd/bakeryserve); a -record'ed log of either kind
+// replays byte-identically with cmd/bakeryreplay.
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 	"bakerypp/internal/harness"
 	"bakerypp/internal/mc"
 	"bakerypp/internal/profiling"
+	"bakerypp/internal/scenario"
 )
 
 // main delegates to runMain so that deferred cleanup (profile writing)
@@ -63,8 +65,10 @@ func runMain() int {
 		sweepCSV     = flag.Bool("sweep-csv", false, "emit the sweep table as CSV")
 
 		desMode = flag.Bool("des", false, "run the discrete-event contention sweep instead of the experiment suite (three seeds per cell: seed, seed+1, seed+2)")
-		latency = flag.String("latency", "unit", "latency model for -des: unit, fixed:<d>, jitter:<base>,<spread>, classes:<c>=<dist>;...")
-		record  = flag.String("record", "", "with -des: write the sweep's event log to this file (replay with bakeryreplay)")
+		latency = flag.String("latency", "unit", "latency model for -des and -scenario: unit, fixed:<d>, jitter:<base>,<spread>, classes:<c>=<dist>;...")
+		record  = flag.String("record", "", "with -des or -scenario: write the run's event log to this file (replay with bakeryreplay)")
+
+		scenarioArg = flag.String("scenario", "", "run a lock-service scenario instead of the experiment suite: a preset name (bakeryserve -list) or a full spec; honours -sweep-workers, -sweep-seed, -latency and -record")
 	)
 	flag.Parse()
 
@@ -129,10 +133,53 @@ func runMain() int {
 			}
 			cmp := harness.CompareMCBench(old, rep, *compareThr)
 			fmt.Printf("comparison against %s (threshold %.2f):\n%s", *compare, *compareThr, cmp)
+			if dropped := cmp.DroppedRows(); len(dropped) > 0 {
+				fmt.Fprintf(os.Stderr, "bakerybench: warning: %d row(s) of %s were not produced by this run and go unguarded: %s\n",
+					len(dropped), *compare, strings.Join(dropped, ", "))
+			}
 			if cmp.Failed() {
 				fmt.Fprintln(os.Stderr, "bakerybench: states/sec regression or verdict mismatch against", *compare)
 				return 1
 			}
+		}
+		return 0
+	}
+	if *scenarioArg != "" {
+		spec, err := harness.ResolveScenario(*scenarioArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bakerybench:", err)
+			return 2
+		}
+		opts := scenario.Options{Seed: *sweepSeed, Workers: *sweepWorkers, Latency: *latency}
+		var logFile *os.File
+		if *record != "" {
+			f, err := os.Create(*record)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bakerybench:", err)
+				return 1
+			}
+			logFile = f
+			opts.Record = f
+		}
+		res, err := scenario.Run(spec, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bakerybench:", err)
+			return 1
+		}
+		for _, tb := range res.Tables() {
+			if *sweepCSV {
+				fmt.Print(tb.CSV())
+			} else {
+				fmt.Println(tb)
+			}
+		}
+		fmt.Printf("fingerprint: %s\n", res.Fingerprint())
+		if logFile != nil {
+			if err := logFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "bakerybench:", err)
+				return 1
+			}
+			fmt.Printf("recorded event log: %s\n", *record)
 		}
 		return 0
 	}

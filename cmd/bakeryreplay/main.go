@@ -1,60 +1,126 @@
-// Command bakeryreplay rebuilds the result table of a recorded
-// discrete-event sweep from its event log alone — no re-simulation, just
-// the same aggregation the live run used over the recorded streams — and
-// verifies it is bit-identical to the run that produced the log.
+// Command bakeryreplay rebuilds the result tables of a recorded run from
+// its event log alone — no re-simulation, just the same aggregation the
+// live run used over the recorded streams — and verifies they are
+// bit-identical to the run that produced the log. It handles both log
+// kinds the repository records:
 //
-//	bakerybench -des -record sweep.deslog
+//	bakerybench -des -record sweep.deslog        # discrete-event sweep
 //	bakeryreplay sweep.deslog
 //
-// The replayed table's fingerprint is compared against the one stored in
-// the log's trailer; a mismatch (a truncated, tampered or
-// version-skewed log) exits nonzero. Because the recorded log itself is
-// byte-identical for any -sweep-workers value and GOMAXPROCS, record
-// and replay can happen on different machines.
+//	bakeryserve -scenario smoke -record run.scnlog   # lock-service scenario
+//	bakeryreplay run.scnlog
+//
+// The file's header line names its kind ("des-sweep" or "scenario") and
+// bakeryreplay dispatches on it. The replayed fingerprint is compared
+// against the one stored in the log's trailer; a mismatch (a truncated,
+// tampered or version-skewed log) exits nonzero. Because the recorded
+// log itself is byte-identical for any worker count and GOMAXPROCS,
+// record and replay can happen on different machines.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"bakerypp/internal/harness"
+	"bakerypp/internal/scenario"
 )
 
 func main() {
+	os.Exit(runMain())
+}
+
+func runMain() int {
 	var (
-		csv   = flag.Bool("csv", false, "emit the replayed table as CSV")
-		quiet = flag.Bool("q", false, "suppress the table; print only the verdict line")
+		csv   = flag.Bool("csv", false, "emit the replayed tables as CSV")
+		quiet = flag.Bool("q", false, "suppress the tables; print only the verdict line")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bakeryreplay [-csv] [-q] <file.deslog>")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "usage: bakeryreplay [-csv] [-q] <file.deslog|file.scnlog>")
+		return 2
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bakeryreplay:", err)
-		os.Exit(1)
+		return 1
 	}
 	defer f.Close()
 
-	rep, err := harness.ReplayDESLog(f)
+	kind, err := sniffKind(f)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bakeryreplay:", err)
-		os.Exit(1)
+		return 1
 	}
-	if !*quiet {
-		if *csv {
-			fmt.Print(rep.Table.CSV())
-		} else {
-			fmt.Println(rep.Table)
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		fmt.Fprintln(os.Stderr, "bakeryreplay:", err)
+		return 1
+	}
+
+	switch kind {
+	case "des-sweep":
+		rep, err := harness.ReplayDESLog(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bakeryreplay:", err)
+			return 1
 		}
+		if !*quiet {
+			if *csv {
+				fmt.Print(rep.Table.CSV())
+			} else {
+				fmt.Println(rep.Table)
+			}
+		}
+		return verdict(rep.Fingerprint, rep.Recorded, rep.OK())
+	case scenario.LogKind:
+		rep, err := scenario.ReplayLog(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bakeryreplay:", err)
+			return 1
+		}
+		if !*quiet {
+			for _, tb := range rep.Result.Tables() {
+				if *csv {
+					fmt.Print(tb.CSV())
+				} else {
+					fmt.Println(tb)
+				}
+			}
+		}
+		return verdict(rep.Fingerprint, rep.Recorded, rep.OK())
+	default:
+		fmt.Fprintf(os.Stderr, "bakeryreplay: unknown log kind %q (want \"des-sweep\" or %q)\n", kind, scenario.LogKind)
+		return 1
 	}
-	fmt.Printf("fingerprint: %s\n", rep.Fingerprint)
-	if !rep.OK() {
+}
+
+// sniffKind reads the log's first line — the JSON header every log kind
+// starts with — and returns its "kind" field so the replay can dispatch.
+func sniffKind(f *os.File) (string, error) {
+	first, err := bufio.NewReader(f).ReadBytes('\n')
+	if err != nil && len(first) == 0 {
+		return "", fmt.Errorf("%s: empty or unreadable log: %w", f.Name(), err)
+	}
+	var hdr struct {
+		Kind string `json:"kind"`
+	}
+	if json.Unmarshal(first, &hdr) != nil || hdr.Kind == "" {
+		return "", fmt.Errorf("%s: first line is not a recognisable log header", f.Name())
+	}
+	return hdr.Kind, nil
+}
+
+func verdict(replayed, recorded string, ok bool) int {
+	fmt.Printf("fingerprint: %s\n", replayed)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "bakeryreplay: REPLAY MISMATCH — recorded fingerprint %s, replayed %s\n",
-			rep.Recorded, rep.Fingerprint)
-		os.Exit(1)
+			recorded, replayed)
+		return 1
 	}
-	fmt.Println("replay OK: table is bit-identical to the recorded run")
+	fmt.Println("replay OK: tables are bit-identical to the recorded run")
+	return 0
 }

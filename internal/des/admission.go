@@ -1,0 +1,79 @@
+package des
+
+// Token-bucket admission control for the scenario layer: a deterministic
+// integer-arithmetic bucket refilled by virtual time, so an admission
+// decision is a pure function of the arrival instants — no floats, no
+// wall clock, byte-identical across machines.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TokenBucket admits at a sustained rate with a bounded burst. Internal
+// accounting is in millitokens: refilling adds rate millitokens per tick
+// (i.e. rate tokens per kilotick), one admission costs 1000.
+type TokenBucket struct {
+	rate  int64 // millitokens per tick = tokens per kilotick
+	burst int64 // bucket capacity in tokens
+	level int64 // current fill in millitokens
+	last  int64 // virtual time of the last refill
+}
+
+// NewTokenBucket returns a full bucket admitting ratePerKTick tokens per
+// 1000 ticks with capacity burst tokens.
+func NewTokenBucket(ratePerKTick, burst int64) *TokenBucket {
+	return &TokenBucket{rate: ratePerKTick, burst: burst, level: burst * 1000}
+}
+
+// Name returns the canonical spec string ParseAdmission accepts to
+// rebuild this bucket.
+func (b *TokenBucket) Name() string {
+	return fmt.Sprintf("token:%d,%d", b.rate, b.burst)
+}
+
+// Admit refills the bucket up to the virtual instant now and reports
+// whether one admission fits. now must not move backwards (the kernel's
+// clock is monotonic).
+func (b *TokenBucket) Admit(now int64) bool {
+	if dt := now - b.last; dt > 0 {
+		b.level += dt * b.rate
+		if cap := b.burst * 1000; b.level > cap {
+			b.level = cap
+		}
+		b.last = now
+	}
+	if b.level >= 1000 {
+		b.level -= 1000
+		return true
+	}
+	return false
+}
+
+// ParseAdmission builds an admission controller from its spec string:
+//
+//	token:<rate>,<burst>   token bucket, rate tokens per 1000 ticks,
+//	                       burst tokens of capacity (starts full)
+//
+// The empty spec returns nil: no admission control, every arrival is
+// admitted.
+func ParseAdmission(spec string) (*TokenBucket, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	body, ok := strings.CutPrefix(spec, "token:")
+	if !ok {
+		return nil, fmt.Errorf("des: unknown admission spec %q (want token:<rate>,<burst>)", spec)
+	}
+	parts := strings.Split(body, ",")
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("des: bad admission spec %q (want token:<rate>,<burst>)", spec)
+	}
+	rate, err1 := strconv.ParseInt(parts[0], 10, 64)
+	burst, err2 := strconv.ParseInt(parts[1], 10, 64)
+	if err1 != nil || err2 != nil || rate < 1 || burst < 1 || rate > 1<<40 || burst > 1<<40 {
+		return nil, fmt.Errorf("des: bad admission spec %q (want 1 <= rate, burst <= 2^40)", spec)
+	}
+	return NewTokenBucket(rate, burst), nil
+}

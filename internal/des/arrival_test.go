@@ -1,0 +1,271 @@
+package des
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestDistRoundTrip: Name() must be re-parseable to an equivalent
+// distribution — the property the scenario spec's canonical form relies
+// on.
+func TestDistRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"fixed:7", "poisson:80", "uniform:3,9", "burst:120,4", "bimodal:4,400,5",
+	} {
+		d, err := ParseDist(spec, 1, 1)
+		if err != nil {
+			t.Fatalf("ParseDist(%q): %v", spec, err)
+		}
+		if d.Name() != spec {
+			t.Errorf("ParseDist(%q).Name() = %q, want the spec back", spec, d.Name())
+		}
+		d2, err := ParseDist(d.Name(), 1, 1)
+		if err != nil {
+			t.Fatalf("re-parsing %q: %v", d.Name(), err)
+		}
+		for i := 0; i < 100; i++ {
+			if a, b := d.Draw(), d2.Draw(); a != b {
+				t.Fatalf("%s: same seed/stream diverged at draw %d: %d vs %d", spec, i, a, b)
+			}
+		}
+	}
+}
+
+// TestDistStreamsIndependent: distinct stream ids must give distinct
+// sequences from the same seed, and the same (seed, stream) the same
+// sequence — the per-shard/per-class independence contract.
+func TestDistStreamsIndependent(t *testing.T) {
+	draw := func(stream uint64) []int64 {
+		d, err := ParseDist("poisson:50", 9, stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int64, 64)
+		for i := range out {
+			out[i] = d.Draw()
+		}
+		return out
+	}
+	a, b, a2 := draw(1), draw(2), draw(1)
+	same := 0
+	for i := range a {
+		if a[i] != a2[i] {
+			t.Fatalf("same (seed, stream) diverged at draw %d", i)
+		}
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > len(a)/2 {
+		t.Errorf("streams 1 and 2 agree on %d/%d draws — not independent", same, len(a))
+	}
+}
+
+// TestBurstIsBursty: the Gamma-burst process at CV 4 must actually be
+// burstier than Poisson at the same mean — far more minimal gaps (the
+// bursts) and a far larger maximum (the quiet spells).
+func TestBurstIsBursty(t *testing.T) {
+	const n = 20000
+	stats := func(spec string) (ones int, max int64) {
+		d, err := ParseDist(spec, 3, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			v := d.Draw()
+			if v == 1 {
+				ones++
+			}
+			if v > max {
+				max = v
+			}
+		}
+		return
+	}
+	pOnes, pMax := stats("poisson:100")
+	bOnes, bMax := stats("burst:100,4")
+	if bOnes < 4*pOnes {
+		t.Errorf("burst minimal gaps %d not well above poisson %d — CV 4 is not bursting", bOnes, pOnes)
+	}
+	if bMax < 2*pMax {
+		t.Errorf("burst max gap %d not well above poisson %d — no quiet spells", bMax, pMax)
+	}
+}
+
+// TestBimodalModes: the bimodal distribution must actually place mass at
+// both modes in roughly the configured proportion.
+func TestBimodalModes(t *testing.T) {
+	d, err := ParseDist("bimodal:5,2000,10", 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	long := 0
+	for i := 0; i < n; i++ {
+		if d.Draw() > 500 {
+			long++
+		}
+	}
+	frac := float64(long) / n
+	if frac < 0.05 || frac > 0.15 {
+		t.Errorf("long-mode fraction %.3f far from the configured 0.10", frac)
+	}
+}
+
+// TestParseDistErrors: malformed specs fail loudly.
+func TestParseDistErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "poisson", "poisson:", "poisson:0", "poisson:x", "fixed:-3",
+		"uniform:9,3", "uniform:0,5", "burst:10", "burst:10,0", "burst:10,900",
+		"bimodal:1,2", "bimodal:1,2,101", "warp:4", "poisson:1,2",
+	} {
+		if _, err := ParseDist(spec, 1, 1); err == nil {
+			t.Errorf("ParseDist(%q) did not error", spec)
+		}
+	}
+}
+
+// FuzzArrivalProcess is the issue's fuzz target for the arrival-process
+// generators: for arbitrary (kind, parameters, seed), every drawn
+// inter-arrival time must be positive, the same (seed, stream) must
+// reproduce the same sequence, and the sample mean must land within
+// tolerance of the configured mean.
+func FuzzArrivalProcess(f *testing.F) {
+	f.Add(uint8(0), int64(50), int64(9), int64(20), int64(1))
+	f.Add(uint8(1), int64(80), int64(200), int64(10), int64(2))
+	f.Add(uint8(2), int64(10), int64(90), int64(0), int64(3))
+	f.Add(uint8(3), int64(300), int64(4), int64(0), int64(4))
+	f.Add(uint8(4), int64(6), int64(900), int64(25), int64(5))
+	f.Fuzz(func(t *testing.T, kind uint8, a, b, c, seed int64) {
+		clamp := func(v, lo, hi int64) int64 {
+			if v < lo {
+				return lo
+			}
+			if v > hi {
+				return hi
+			}
+			return v
+		}
+		var spec string
+		switch kind % 5 {
+		case 0:
+			spec = "fixed:" + itoa(clamp(a, 1, 1<<30))
+		case 1:
+			spec = "poisson:" + itoa(clamp(a, 8, 1<<20))
+		case 2:
+			lo := clamp(a, 1, 1<<20)
+			spec = "uniform:" + itoa(lo) + "," + itoa(clamp(b, lo, 1<<21))
+		case 3:
+			spec = "burst:" + itoa(clamp(a, 8, 1<<20)) + "," + itoa(clamp(b, 1, 8))
+		case 4:
+			spec = "bimodal:" + itoa(clamp(a, 8, 1<<16)) + "," + itoa(clamp(b, 8, 1<<20)) + "," + itoa(clamp(c, 0, 100))
+		}
+		d, err := ParseDist(spec, seed, 1)
+		if err != nil {
+			t.Fatalf("constructed spec %q failed to parse: %v", spec, err)
+		}
+		if d.Name() != spec {
+			t.Fatalf("%q: Name() = %q, not canonical", spec, d.Name())
+		}
+		d2, err := ParseDist(spec, seed, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 16384
+		var sum float64
+		cv := 1.0
+		if kind%5 == 3 {
+			cv = float64(clamp(b, 1, 8))
+		}
+		for i := 0; i < n; i++ {
+			v := d.Draw()
+			if v < 1 {
+				t.Fatalf("%q: draw %d returned %d — inter-arrival times must be positive", spec, i, v)
+			}
+			if w := d2.Draw(); w != v {
+				t.Fatalf("%q: same (seed, stream) diverged at draw %d: %d vs %d", spec, i, v, w)
+			}
+			sum += float64(v)
+		}
+		mean := d.Mean()
+		got := sum / n
+		// Tolerance: a base 12%% for the >= 1 clamp and rounding, plus
+		// five standard errors of the sample mean (stddev ≈ cv·mean for
+		// every kind here, with cv = 1 except the Gamma burst's).
+		tol := 0.12*mean + 5*cv*mean/math.Sqrt(n)
+		if diff := math.Abs(got - mean); diff > tol {
+			t.Errorf("%q: sample mean %.1f vs configured %.1f (diff %.1f > tol %.1f over %d draws)",
+				spec, got, mean, diff, tol, n)
+		}
+	})
+}
+
+func itoa(v int64) string {
+	if v < 0 {
+		return "-" + itoa(-v)
+	}
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return itoa(v/10) + string(rune('0'+v%10))
+}
+
+// TestTokenBucket: deterministic refill arithmetic — a full bucket
+// absorbs a burst, then admits at exactly the sustained rate.
+func TestTokenBucket(t *testing.T) {
+	b := NewTokenBucket(100, 5) // 100 tokens per kilotick = one per 10 ticks, burst 5
+	for i := 0; i < 5; i++ {
+		if !b.Admit(0) {
+			t.Fatalf("full bucket rejected burst admission %d", i)
+		}
+	}
+	if b.Admit(0) {
+		t.Fatal("empty bucket admitted at the same instant")
+	}
+	if b.Admit(9) {
+		t.Fatal("bucket admitted before a full token accrued (9 ticks at 1/10)")
+	}
+	if !b.Admit(10) {
+		t.Fatal("bucket rejected after a full token accrued")
+	}
+	// Far future: refill caps at burst, not unbounded.
+	for i := 0; i < 5; i++ {
+		if !b.Admit(1_000_000) {
+			t.Fatalf("recovered bucket rejected admission %d", i)
+		}
+	}
+	if b.Admit(1_000_000) {
+		t.Fatal("bucket admitted past its burst capacity")
+	}
+}
+
+// TestParseAdmission: spec round-trip and error cases.
+func TestParseAdmission(t *testing.T) {
+	b, err := ParseAdmission("token:250,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "token:250,16" {
+		t.Errorf("Name() = %q, want the spec back", b.Name())
+	}
+	if nb, err := ParseAdmission(""); err != nil || nb != nil {
+		t.Errorf("empty admission spec: got (%v, %v), want (nil, nil)", nb, err)
+	}
+	for _, spec := range []string{"token:", "token:0,5", "token:5,0", "token:5", "leaky:3,4", "token:a,b"} {
+		if _, err := ParseAdmission(spec); err == nil {
+			t.Errorf("ParseAdmission(%q) did not error", spec)
+		}
+	}
+}
+
+// TestDistSpecsAreCommaFree documents the grammar constraint the
+// scenario spec parser relies on: dist specs never contain the scenario
+// separators ';', '=' or '/'.
+func TestDistSpecsAreCommaFree(t *testing.T) {
+	for _, spec := range []string{"fixed:7", "poisson:80", "uniform:3,9", "burst:120,4", "bimodal:4,400,5"} {
+		if strings.ContainsAny(spec, ";=/") {
+			t.Errorf("dist spec %q contains a scenario separator", spec)
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -45,7 +44,7 @@ func (k *Kernel) At(pid int, delay int64, fn func()) {
 		panic(fmt.Sprintf("des: negative delay %d for pid %d (virtual time is monotonic)", delay, pid))
 	}
 	k.seq++
-	heap.Push(&k.queue, event{time: k.now + delay, pid: pid, seq: k.seq, fn: fn})
+	k.queue.push(event{time: k.now + delay, pid: pid, seq: k.seq, fn: fn})
 }
 
 // Step executes the next pending event, advancing the clock to its
@@ -54,7 +53,7 @@ func (k *Kernel) Step() bool {
 	if len(k.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&k.queue).(event)
+	ev := k.queue.pop()
 	k.now = ev.time
 	k.executed++
 	ev.fn()
@@ -84,12 +83,14 @@ func (k *Kernel) advance(d int64) {
 	k.now += d
 }
 
-// eventHeap is a min-heap on (time, pid, seq).
+// eventHeap is a min-heap on (time, pid, seq), hand-rolled rather than
+// built on container/heap: that package's any-typed Push/Pop box every
+// event on the heap, two allocations per executed event, which would
+// break the scenario layer's allocation-free per-event contract
+// (internal/scenario's TestScenarioHotPathAllocs).
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
@@ -99,14 +100,43 @@ func (h eventHeap) Less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+func (h *eventHeap) pop() event {
+	q := *h
+	n := len(q) - 1
+	top := q[0]
+	q[0] = q[n]
+	q[n] = event{} // drop the closure reference for the collector
+	*h = q[:n]
+	q = q[:n]
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		least := i
+		if left < n && q.less(left, least) {
+			least = left
+		}
+		if right < n && q.less(right, least) {
+			least = right
+		}
+		if least == i {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	return top
 }

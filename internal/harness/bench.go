@@ -61,6 +61,13 @@ type MCBenchRecord struct {
 	// so the perf trajectory and the determinism contract travel in the
 	// same record.
 	DESEventsPerSec float64 `json:"des_events_per_sec,omitempty"`
+	// EventsPerSec is the simulated-event execution rate of rows that
+	// measure an event-loop simulation (the scenario rows); for those
+	// rows it equals StatesPerSec, kept under its own honest name.
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// AcqP99 is the fleet-wide p99 acquire latency (virtual-time ticks)
+	// of a scenario row; 0 elsewhere.
+	AcqP99 int64 `json:"acq_p99,omitempty"`
 	// PeakRSSKB is the process's resident-set high-water mark (getrusage
 	// Maxrss) after the run, in KiB. Monotonic across a report's records —
 	// a run's true footprint is the delta against the preceding record —
@@ -148,6 +155,9 @@ func RunMCBench(cfg ExpConfig) (*MCBenchReport, error) {
 	if err := appendDESBench(rep); err != nil {
 		return nil, err
 	}
+	if err := appendScenarioBench(rep, []string{"smoke", "overload"}); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 
@@ -156,12 +166,22 @@ func RunMCBench(cfg ExpConfig) (*MCBenchReport, error) {
 // small run diffs cleanly against a committed full snapshot with
 // CompareMCBench (the full snapshot's extra rows show as "only in old").
 func RunMCBenchSmall(cfg ExpConfig) (*MCBenchReport, error) {
-	return runMCBench(cfg, []mcBenchCell{
+	rep, err := runMCBench(cfg, []mcBenchCell{
 		{"bakerypp", specs.Config{N: 2, M: 2}, true},
 		{"bakerypp", specs.Config{N: 3, M: 2}, true},
 		{"bakerypp", specs.Config{N: 4, M: 2}, true},
 		{"szymanski", specs.Config{N: 3}, true},
 	})
+	if err != nil {
+		return nil, err
+	}
+	// The smoke scenario is quick enough for the CI gate, and including
+	// it makes the committed snapshot's scenario fingerprint and event
+	// rate part of the bench-compare tripwire on every PR.
+	if err := appendScenarioBench(rep, []string{"smoke"}); err != nil {
+		return nil, err
+	}
+	return rep, nil
 }
 
 // appendDESBench measures the discrete-event kernel: the default DES

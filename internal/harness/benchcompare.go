@@ -44,11 +44,19 @@ type BenchComparison struct {
 	// regression).
 	Threshold float64
 	Rows      []BenchRowDelta
-	// OldOnly/NewOnly list row names present in just one snapshot; grid
-	// growth is normal across PRs, so these inform rather than fail.
+	// OldOnly/NewOnly list row names present in just one snapshot. Grid
+	// growth (NewOnly) is normal across PRs and merely informs; rows
+	// that vanished (OldOnly) are rendered as a warning — a silently
+	// shrinking grid is how a perf tripwire goes blind — but still do
+	// not fail, because trimmed runs (-bench-small against a full
+	// snapshot) legitimately omit rows.
 	OldOnly []string
 	NewOnly []string
 }
+
+// DroppedRows returns the names present in the old snapshot but absent
+// from the new one — the rows the comparison can no longer guard.
+func (c *BenchComparison) DroppedRows() []string { return c.OldOnly }
 
 // Failed reports whether the comparison found a regression or a verdict
 // mismatch.
@@ -79,7 +87,8 @@ func (c *BenchComparison) String() string {
 		fmt.Fprintf(&b, "%-44s %14.0f %14.0f %6.2fx%s\n", r.Name, r.OldRate, r.NewRate, r.Ratio, note)
 	}
 	if len(c.OldOnly) > 0 {
-		fmt.Fprintf(&b, "only in old snapshot: %s\n", strings.Join(c.OldOnly, ", "))
+		fmt.Fprintf(&b, "WARNING: %d row(s) in the old snapshot have no counterpart in the new run and are unguarded: %s\n",
+			len(c.OldOnly), strings.Join(c.OldOnly, ", "))
 	}
 	if len(c.NewOnly) > 0 {
 		fmt.Fprintf(&b, "only in new snapshot: %s\n", strings.Join(c.NewOnly, ", "))

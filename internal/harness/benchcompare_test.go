@@ -1,6 +1,9 @@
 package harness
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func cmpRec(name string, rate, secs float64, verdict string) MCBenchRecord {
 	return MCBenchRecord{Name: name, StatesPerSec: rate, WallSeconds: secs, Verdict: verdict}
@@ -51,5 +54,33 @@ func TestCompareMCBench(t *testing.T) {
 	// A passing comparison: everything within threshold.
 	if CompareMCBench(old, old, 0.7).Failed() {
 		t.Error("self-comparison failed")
+	}
+}
+
+// Rows that exist in the old snapshot but not in the new run are rows
+// the tripwire can no longer guard: the comparison must surface them as
+// an explicit warning (though not a failure — trimmed -bench-small runs
+// legitimately omit rows).
+func TestCompareWarnsOnDroppedRows(t *testing.T) {
+	old := &MCBenchReport{Records: []MCBenchRecord{
+		cmpRec("kept/none", 1000, 1.0, "verified"),
+		cmpRec("dropped/none", 1000, 1.0, "verified"),
+	}}
+	new := &MCBenchReport{Records: []MCBenchRecord{
+		cmpRec("kept/none", 1000, 1.0, "verified"),
+	}}
+	c := CompareMCBench(old, new, 0.7)
+	if c.Failed() {
+		t.Error("dropped rows alone must warn, not fail")
+	}
+	if got := c.DroppedRows(); len(got) != 1 || got[0] != "dropped/none" {
+		t.Errorf("DroppedRows() = %v, want [dropped/none]", got)
+	}
+	out := c.String()
+	if !strings.Contains(out, "WARNING") || !strings.Contains(out, "dropped/none") {
+		t.Errorf("String() does not warn about the dropped row:\n%s", out)
+	}
+	if c2 := CompareMCBench(old, old, 0.7); strings.Contains(c2.String(), "WARNING") {
+		t.Error("self-comparison rendered a dropped-row warning")
 	}
 }

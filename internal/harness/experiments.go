@@ -110,6 +110,12 @@ func Experiments() []Experiment {
 			"Scaling the Section 6.2 TLC-style verification past memory: hash compaction (TLC's fingerprint mode), bitstate hashing (SPIN's supertrace) and an mmap spill tier trade heap residency — and, for the lossy tiers, an explicitly bounded omission risk — for reach, with verdict parity against the exact baseline", runE17},
 		{"E18", "Latency-percentile contention sweep (discrete-event, multi-seed)",
 			"Section 7 temporal-complexity claims restated as falsifiable queueing predictions: under closed-loop sustained contention Bakery++'s FCFS doorway makes the acquire tail grow with N, while an open-loop Poisson arrival stream at low load collapses the queue — tested per seed on the discrete-event kernel with a jittered latency model", runE18},
+		{"E19", "Entry-gate reset frequency vs ticket budget (scenario fleet, multi-seed)",
+			"Section 6.1 reset rule + Section 7 reset cost, restated as a falsifiable queueing prediction: at moderate bursty load resets fire only when a busy period's ticket excursion reaches M, so they rise super-linearly as M shrinks — not the linear 1/M a saturated fleet shows", runE19},
+		{"E20", "The entry gate under adversarial preemption: overflow becomes bounded waiting, never starvation",
+			"Section 6.1 Theorem + Section 6.3 liveness argument, operationally: with a tiny ticket budget and preemption-prone step pricing the gate fires constantly, yet no ticket overflows, no admitted client is stranded, and the extra acquire latency is bounded against a generous budget", runE20},
+		{"E21", "FCFS under ticket wrap: the modulo strawman degrades with contention, Bakery++ does not",
+			"Section 1.2 property 1 + Section 4 (prior work must redefine operators, not just wrap): naive modulo tickets invert doorway order ever more as contention grows, while Bakery++'s FCFS violation count stays zero on the identical fleet", runE21},
 	}
 }
 

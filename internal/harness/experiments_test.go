@@ -8,8 +8,8 @@ import (
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 18 {
-		t.Fatalf("got %d experiments, want 18", len(exps))
+	if len(exps) != 21 {
+		t.Fatalf("got %d experiments, want 21", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -22,7 +22,7 @@ func TestExperimentRegistry(t *testing.T) {
 		seen[e.ID] = true
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 18 || ids[0] != "E1" {
+	if len(ids) != 21 || ids[0] != "E1" {
 		t.Errorf("ExperimentIDs = %v", ids)
 	}
 }

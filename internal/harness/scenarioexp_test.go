@@ -1,0 +1,108 @@
+package harness
+
+import "testing"
+
+// The E19–E21 hypothesis experiments print Confirmed/Refuted verdicts;
+// these tests pin the same quantitative predictions as assertions, per
+// seed, so a refutation fails CI instead of silently landing in a
+// table. The runs are deterministic, so a failure here means the
+// predicted physics changed, not that a die rolled badly.
+
+// E19: at moderate bursty load, halving the ticket budget more than
+// doubles the entry-gate reset count — super-linear in 1/M.
+func TestE19ResetSuperLinearity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E19 measures ~5.8M events per cell over 9 cells; skipped under -short")
+	}
+	cells, err := measureE19(ExpConfig{SweepWorkers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := e19BySeed(cells)
+	for _, seed := range scenarioExpSeeds {
+		r := by[seed]
+		if r[16] <= 2*r[32] {
+			t.Errorf("seed %d: resets(M=16)=%d not more than double resets(M=32)=%d — halving M did not super-linearly raise resets", seed, r[16], r[32])
+		}
+		if r[32] <= 2*r[64] {
+			t.Errorf("seed %d: resets(M=32)=%d not more than double resets(M=64)=%d — halving M did not super-linearly raise resets", seed, r[32], r[64])
+		}
+		if r[16] < 20 {
+			t.Errorf("seed %d: only %d resets at M=16 — too little signal for the prediction to mean anything", seed, r[16])
+		}
+	}
+}
+
+// E20: a tiny ticket budget under preemption-prone pricing exercises the
+// gate constantly, yet no overflow, no stranded client, and acquire p99
+// within the declared bloat factor of a generous budget.
+func TestE20GateBoundedWaitingNoStarvation(t *testing.T) {
+	cells, err := measureE20(ExpConfig{SweepWorkers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p99 := map[int64]map[int]int64{}
+	for _, c := range cells {
+		if c.Stranded != 0 {
+			t.Errorf("m=%d seed %d: %d admitted clients stranded — starvation", c.M, c.Seed, c.Stranded)
+		}
+		if c.Overflows != 0 {
+			t.Errorf("m=%d seed %d: %d ticket overflows — the gate failed its one job", c.M, c.Seed, c.Overflows)
+		}
+		if c.MaxConc != 1 {
+			t.Errorf("m=%d seed %d: max concurrency %d, want 1", c.M, c.Seed, c.MaxConc)
+		}
+		if c.M == e20SmallM && c.Resets <= 50 {
+			t.Errorf("m=%d seed %d: only %d resets — the tiny budget did not exercise the gate", c.M, c.Seed, c.Resets)
+		}
+		if p99[c.Seed] == nil {
+			p99[c.Seed] = map[int]int64{}
+		}
+		p99[c.Seed][c.M] = c.P99
+	}
+	for _, seed := range scenarioExpSeeds {
+		small, large := p99[seed][e20SmallM], p99[seed][e20LargeM]
+		if float64(small) >= e20WaitBloat*float64(large) {
+			t.Errorf("seed %d: acquire p99 %d at m=%d is not within %.0fx of %d at m=%d — waiting not bounded",
+				seed, small, e20SmallM, e20WaitBloat, large, e20LargeM)
+		}
+	}
+}
+
+// E21: modbakery's FCFS violation count grows strictly with contention
+// and is nonzero even at light load; bakerypp's stays zero on the
+// identical fleet with mutual exclusion intact.
+func TestE21FCFSDegradation(t *testing.T) {
+	cells, err := measureE21(ExpConfig{SweepWorkers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfs := map[string]map[int64]map[int]int64{}
+	for _, c := range cells {
+		if fcfs[c.Algo] == nil {
+			fcfs[c.Algo] = map[int64]map[int]int64{}
+		}
+		if fcfs[c.Algo][c.Seed] == nil {
+			fcfs[c.Algo][c.Seed] = map[int]int64{}
+		}
+		fcfs[c.Algo][c.Seed][c.Arrival] = c.FCFS
+		if c.Algo == "bakerypp" && c.MaxConc != 1 {
+			t.Errorf("bakerypp interarrival=%d seed %d: max concurrency %d, want 1", c.Arrival, c.Seed, c.MaxConc)
+		}
+	}
+	for _, seed := range scenarioExpSeeds {
+		mod, pp := fcfs["modbakery"][seed], fcfs["bakerypp"][seed]
+		if !(mod[20] > mod[80] && mod[80] > mod[320]) {
+			t.Errorf("seed %d: modbakery fcfs-viol not strictly growing with contention: light→heavy %d, %d, %d",
+				seed, mod[320], mod[80], mod[20])
+		}
+		if mod[320] == 0 {
+			t.Errorf("seed %d: modbakery committed no FCFS violations even at light load — wrap never bit", seed)
+		}
+		for _, mean := range e21Arrivals {
+			if pp[mean] != 0 {
+				t.Errorf("seed %d: bakerypp committed %d FCFS violations at interarrival %d, want 0", seed, pp[mean], mean)
+			}
+		}
+	}
+}

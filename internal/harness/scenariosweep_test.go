@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// The presets are the documented entry points to the scenario layer, so
+// each must be in canonical form — Parse(text).String() == text — or the
+// -list output and the recorded log headers would disagree with the
+// source of truth here.
+func TestScenarioPresetsCanonical(t *testing.T) {
+	if len(scenarioPresets) == 0 {
+		t.Fatal("no scenario presets registered")
+	}
+	for name, text := range scenarioPresets {
+		spec, err := ResolveScenario(name)
+		if err != nil {
+			t.Errorf("preset %q does not resolve: %v", name, err)
+			continue
+		}
+		if spec.Name != name {
+			t.Errorf("preset %q declares name=%q; the map key and the spec name must match", name, spec.Name)
+		}
+		if got := spec.String(); got != text {
+			t.Errorf("preset %q is not canonical:\n  stored: %s\n  canon:  %s", name, text, got)
+		}
+	}
+}
+
+func TestResolveScenario(t *testing.T) {
+	if _, err := ResolveScenario("smoke"); err != nil {
+		t.Errorf("ResolveScenario(smoke): %v", err)
+	}
+	inline := "name=x;algo=bakerypp;shards=1;n=3;m=16;clients=100;class=a/1/poisson:10/fixed:2/50"
+	if spec, err := ResolveScenario(inline); err != nil {
+		t.Errorf("ResolveScenario(inline spec): %v", err)
+	} else if spec.Name != "x" {
+		t.Errorf("inline spec resolved to name %q, want x", spec.Name)
+	}
+	_, err := ResolveScenario("nosuchpreset")
+	if err == nil {
+		t.Fatal("unknown preset name resolved")
+	}
+	if !strings.Contains(err.Error(), "smoke") {
+		t.Errorf("unknown-preset error does not list the presets: %v", err)
+	}
+}

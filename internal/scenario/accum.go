@@ -1,0 +1,185 @@
+package scenario
+
+import (
+	"strconv"
+	"strings"
+
+	"bakerypp/internal/des"
+	"bakerypp/internal/stats"
+)
+
+// accum folds one shard's event stream into per-class and protocol
+// statistics. It is the single aggregation path for live runs and
+// replayed recordings — live runs call the structured methods (arrive,
+// reject, grant) directly plus Add for every protocol record, while a
+// replay feeds the whole recorded stream through Add, which routes the
+// synthetic fleet records (Pid >= N, tag-encoded) back to the same
+// structured methods. Replays are byte-identical by construction.
+type accum struct {
+	n        int
+	classIdx map[string]int
+
+	// Per-class fleet statistics, indexed like Spec.Classes.
+	arrivals []int64
+	rejected []int64
+	grants   []int64
+	sumLat   []int64
+	lat      []*stats.Histogram
+	slo      []*stats.SLOCounter
+
+	// Protocol statistics from the worker event stream.
+	events    int64
+	endTime   int64
+	resets    int64
+	overflows int64
+	fcfs      int64
+	inCS      int
+	maxConc   int
+	tryAt     []int64
+	doorwayAt []int64
+}
+
+func newAccum(spec *Spec) *accum {
+	k := len(spec.Classes)
+	a := &accum{
+		n:        spec.N,
+		classIdx: make(map[string]int, k),
+		arrivals: make([]int64, k),
+		rejected: make([]int64, k),
+		grants:   make([]int64, k),
+		sumLat:   make([]int64, k),
+		lat:      make([]*stats.Histogram, k),
+		slo:      make([]*stats.SLOCounter, k),
+	}
+	for ci, c := range spec.Classes {
+		a.classIdx[c.Name] = ci
+		a.lat[ci] = stats.NewHistogram()
+		a.slo[ci] = &stats.SLOCounter{Target: c.SLO}
+	}
+	a.tryAt = make([]int64, spec.N)
+	a.doorwayAt = make([]int64, spec.N)
+	for pid := 0; pid < spec.N; pid++ {
+		a.tryAt[pid] = -1
+		a.doorwayAt[pid] = -1
+	}
+	return a
+}
+
+func (a *accum) arrive(ci int) { a.arrivals[ci]++ }
+func (a *accum) reject(ci int) { a.rejected[ci]++ }
+
+func (a *accum) grant(ci int, lat int64) {
+	a.grants[ci]++
+	a.sumLat[ci] += lat
+	a.lat[ci].Record(lat)
+	a.slo[ci].Record(lat)
+}
+
+// Add consumes one event record. Worker records (Pid < N) drive the
+// protocol statistics, including the FCFS monitor: a process that
+// completed its doorway earlier than another process even began trying
+// must enter the critical section first, so at every cs-enter each
+// still-waiting earlier-doorway process counts as one inversion.
+func (a *accum) Add(r des.Rec) {
+	if r.T > a.endTime {
+		a.endTime = r.T
+	}
+	if r.Pid < 0 || r.Pid >= a.n {
+		a.addFleet(r)
+		return
+	}
+	a.events++
+	if r.Overflow {
+		a.overflows++
+	}
+	switch r.Tag {
+	case "try":
+		a.tryAt[r.Pid] = r.T
+	case "doorway-done":
+		a.doorwayAt[r.Pid] = r.T
+	case "cs-enter":
+		w := r.Pid
+		if t := a.tryAt[w]; t >= 0 {
+			for v := 0; v < a.n; v++ {
+				if v != w && a.doorwayAt[v] >= 0 && a.doorwayAt[v] < t {
+					a.fcfs++
+				}
+			}
+		}
+		a.tryAt[w] = -1
+		a.doorwayAt[w] = -1
+		a.inCS++
+		if a.inCS > a.maxConc {
+			a.maxConc = a.inCS
+		}
+	case "cs-exit":
+		if a.inCS > 0 {
+			a.inCS--
+		}
+	case "reset":
+		a.resets++
+	}
+}
+
+// Fleet-record tags, recorded with Pid = N + class index so readers can
+// tell them from worker records without a grammar change:
+//
+//	arrive:<class>          one request of <class> arrived
+//	reject:<class>          the arrival was turned away by admission
+//	grant:<class>:<lat>     the request entered its critical section
+//	                        <lat> ticks after arriving
+func (a *accum) addFleet(r des.Rec) {
+	kind, rest, ok := strings.Cut(r.Tag, ":")
+	if !ok {
+		return
+	}
+	switch kind {
+	case "arrive":
+		if ci, ok := a.classIdx[rest]; ok {
+			a.arrive(ci)
+		}
+	case "reject":
+		if ci, ok := a.classIdx[rest]; ok {
+			a.reject(ci)
+		}
+	case "grant":
+		name, latStr, ok := strings.Cut(rest, ":")
+		if !ok {
+			return
+		}
+		ci, okC := a.classIdx[name]
+		lat, err := strconv.ParseInt(latStr, 10, 64)
+		if okC && err == nil && lat >= 0 {
+			a.grant(ci, lat)
+		}
+	}
+}
+
+// fleetRec encodes a structured fleet call as a synthetic record for the
+// event log (recording paths only; the live path never builds these).
+func fleetRec(t int64, n, ci int, tag string) des.Rec {
+	return des.Rec{T: t, Pid: n + ci, Class: des.Think, Tag: tag}
+}
+
+// mergeInto folds this shard's totals into the run result. Histogram and
+// SLO merges are commutative, but callers still merge in canonical shard
+// order so recorded logs and counters line up everywhere.
+func (a *accum) mergeInto(r *Result) {
+	r.Events += a.events
+	r.Time += a.endTime
+	r.Resets += a.resets
+	r.Overflows += a.overflows
+	r.FCFSViolations += a.fcfs
+	if a.maxConc > r.MaxConcurrency {
+		r.MaxConcurrency = a.maxConc
+	}
+	for ci := range r.Classes {
+		c := &r.Classes[ci]
+		c.Arrivals += a.arrivals[ci]
+		c.Rejected += a.rejected[ci]
+		c.Grants += a.grants[ci]
+		c.SumLatency += a.sumLat[ci]
+		c.Latency.Merge(a.lat[ci])
+		c.SLO.Merge(a.slo[ci])
+	}
+}

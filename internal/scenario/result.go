@@ -1,0 +1,183 @@
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"strings"
+
+	"bakerypp/internal/stats"
+)
+
+// ClassResult is the aggregated outcome for one client class across all
+// shards.
+type ClassResult struct {
+	Name      string
+	SLOTarget int64
+	// Arrivals counts requests that arrived; Rejected those turned away
+	// by admission; Grants those that entered their critical section.
+	Arrivals int64
+	Rejected int64
+	Grants   int64
+	// SumLatency is the exact sum of granted acquire latencies (the
+	// mean that feeds Jain fairness; the histogram alone would round).
+	SumLatency int64
+	// Latency is the acquire-latency distribution (arrival → cs-enter).
+	Latency *stats.Histogram
+	// SLO counts grants at or under SLOTarget, exactly.
+	SLO *stats.SLOCounter
+}
+
+// Stranded counts admitted requests the run never served (a truncated
+// shard or a stuck protocol; zero for every correct algorithm).
+func (c *ClassResult) Stranded() int64 { return c.Arrivals - c.Rejected - c.Grants }
+
+// MeanLatency is the exact mean acquire latency of granted requests.
+func (c *ClassResult) MeanLatency() float64 {
+	if c.Grants == 0 {
+		return 0
+	}
+	return float64(c.SumLatency) / float64(c.Grants)
+}
+
+// Result is the merged outcome of one scenario run.
+type Result struct {
+	Spec         *Spec
+	Seed         int64
+	LatencyModel string
+	Classes      []ClassResult
+	// Events counts executed worker protocol actions across shards;
+	// Time sums the shards' final virtual clocks.
+	Events int64
+	Time   int64
+	// Resets counts "reset"-tagged actions (Bakery++'s overflow
+	// recovery); Overflows counts stores above M.
+	Resets    int64
+	Overflows int64
+	// FCFSViolations counts first-come-first-served inversions observed
+	// by the doorway monitor (zero for the bakery family; ModBakery's
+	// grow with contention).
+	FCFSViolations int64
+	// MaxConcurrency is the peak critical-section occupancy observed on
+	// any shard (above 1 = a mutual-exclusion violation).
+	MaxConcurrency int
+}
+
+func newResult(spec *Spec, seed int64, latency string) *Result {
+	r := &Result{Spec: spec, Seed: seed, LatencyModel: latency}
+	r.Classes = make([]ClassResult, len(spec.Classes))
+	for ci, c := range spec.Classes {
+		r.Classes[ci] = ClassResult{
+			Name:      c.Name,
+			SLOTarget: c.SLO,
+			Latency:   stats.NewHistogram(),
+			SLO:       &stats.SLOCounter{Target: c.SLO},
+		}
+	}
+	return r
+}
+
+// Grants sums grants across classes.
+func (r *Result) Grants() int64 {
+	var total int64
+	for i := range r.Classes {
+		total += r.Classes[i].Grants
+	}
+	return total
+}
+
+// Stranded sums stranded requests across classes.
+func (r *Result) Stranded() int64 {
+	var total int64
+	for i := range r.Classes {
+		total += r.Classes[i].Stranded()
+	}
+	return total
+}
+
+// Jain is Jain's fairness index over the classes' mean acquire
+// latencies (classes with no grants are excluded): 1.0 means every
+// class waits the same on average, 1/k means one class absorbs all the
+// waiting.
+func (r *Result) Jain() float64 {
+	means := make([]float64, 0, len(r.Classes))
+	for i := range r.Classes {
+		if r.Classes[i].Grants > 0 {
+			means = append(means, r.Classes[i].MeanLatency())
+		}
+	}
+	return stats.Jain(means)
+}
+
+// ClassTable renders the per-class results: arrival accounting, the
+// acquire-latency percentiles, and exact SLO attainment.
+func (r *Result) ClassTable() *stats.Table {
+	tb := stats.NewTable(
+		fmt.Sprintf("Scenario %q: per-class acquire latency (algo=%s seed=%d)", r.Spec.Name, r.Spec.Algo, r.Seed),
+		"class", "arrivals", "rejected", "grants", "stranded", "mean",
+		"p50", "p95", "p99", "p99.9", "slo", "slo-met%")
+	for i := range r.Classes {
+		c := &r.Classes[i]
+		tb.AddRow(c.Name, c.Arrivals, c.Rejected, c.Grants, c.Stranded(),
+			c.MeanLatency(),
+			c.Latency.Quantile(0.5), c.Latency.Quantile(0.95),
+			c.Latency.Quantile(0.99), c.Latency.Quantile(0.999),
+			c.SLOTarget, c.SLO.Attainment())
+	}
+	return tb
+}
+
+// SummaryTable renders the run-wide outcome: throughput in the virtual
+// clock, overflow/reset accounting, the FCFS monitor, and fairness.
+func (r *Result) SummaryTable() *stats.Table {
+	admit := r.Spec.Admit
+	if admit == "" {
+		admit = "-"
+	}
+	var grantsPerKTime, resetsPerMGrant float64
+	if r.Time > 0 {
+		grantsPerKTime = 1000 * float64(r.Grants()) / float64(r.Time)
+	}
+	if g := r.Grants(); g > 0 {
+		resetsPerMGrant = 1e6 * float64(r.Resets) / float64(g)
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("Scenario %q: summary (latency=%s)", r.Spec.Name, r.LatencyModel),
+		"algo", "shards", "n", "m", "clients", "admit", "events", "time",
+		"grants", "grants/ktime", "resets", "resets/Mgrant", "overflows",
+		"fcfs-viol", "maxconc", "jain")
+	tb.AddRow(r.Spec.Algo, r.Spec.Shards, r.Spec.N, r.Spec.M, r.Spec.Clients,
+		admit, r.Events, r.Time, r.Grants(), grantsPerKTime, r.Resets,
+		resetsPerMGrant, r.Overflows, r.FCFSViolations, r.MaxConcurrency,
+		r.Jain())
+	return tb
+}
+
+// Tables returns the run's report tables in render order.
+func (r *Result) Tables() []*stats.Table {
+	return []*stats.Table{r.ClassTable(), r.SummaryTable()}
+}
+
+// Fingerprint hashes the rendered tables — the whole deliverable — into
+// one token. Byte-identical tables ⇔ equal fingerprints, so this is
+// what CI compares across worker counts and what recorded logs carry in
+// their trailer.
+func (r *Result) Fingerprint() string {
+	h := fnv.New64a()
+	for _, tb := range r.Tables() {
+		io.WriteString(h, tb.Fingerprint())
+		io.WriteString(h, "\n")
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// String renders the full report.
+func (r *Result) String() string {
+	var b strings.Builder
+	for _, tb := range r.Tables() {
+		b.WriteString(tb.String())
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "fingerprint: %s\n", r.Fingerprint())
+	return b.String()
+}

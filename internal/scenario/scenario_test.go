@@ -1,0 +1,276 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// testSpec is a small but non-trivial scenario: three client classes
+// (Poisson, Gamma-burst, bimodal hold) over four shards with admission
+// control — every feature of the layer exercised at test-suite scale.
+const testSpec = "name=mix;algo=bakerypp;shards=4;n=4;m=64;clients=6000;admit=token:900,32;" +
+	"class=gold/1/poisson:40/fixed:4/60;" +
+	"class=bulk/2/burst:60,4/poisson:9/300;" +
+	"class=batch/1/poisson:90/bimodal:4,60,10/1200"
+
+func mustParse(t testing.TB, text string) *Spec {
+	t.Helper()
+	s, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	s := mustParse(t, testSpec)
+	if got := s.String(); got != testSpec {
+		t.Errorf("String() = %q, want the canonical input back:\n%q", got, testSpec)
+	}
+	s2 := mustParse(t, s.String())
+	if s2.String() != s.String() {
+		t.Errorf("Parse(String()) not a fixed point")
+	}
+}
+
+func TestSpecParseErrors(t *testing.T) {
+	for _, text := range []string{
+		"",
+		"name=x",
+		"name=x;algo=nope;shards=1;n=4;m=8;clients=10;class=a/1/poisson:9/fixed:2/50",
+		"name=x;algo=bakerypp;shards=0;n=4;m=8;clients=10;class=a/1/poisson:9/fixed:2/50",
+		"name=x;algo=bakerypp;shards=1;n=1;m=8;clients=10;class=a/1/poisson:9/fixed:2/50",
+		"name=x;algo=bakerypp;shards=1;n=4;m=8;clients=0;class=a/1/poisson:9/fixed:2/50",
+		"name=x;algo=bakerypp;shards=1;n=4;m=8;clients=10",
+		"name=x;algo=bakerypp;shards=1;n=4;m=8;clients=10;class=a/0/poisson:9/fixed:2/50",
+		"name=x;algo=bakerypp;shards=1;n=4;m=8;clients=10;class=a/1/warp:9/fixed:2/50",
+		"name=x;algo=bakerypp;shards=1;n=4;m=8;clients=10;class=a/1/poisson:9/fixed:2/0",
+		"name=x;algo=bakerypp;shards=1;n=4;m=8;clients=10;class=a/1/poisson:9/fixed:2/50;class=a/1/poisson:9/fixed:2/50",
+		"name=x;algo=bakerypp;shards=1;n=4;m=8;clients=10;admit=leaky:3,4;class=a/1/poisson:9/fixed:2/50",
+		"name=x;name=y;algo=bakerypp;shards=1;n=4;m=8;clients=10;class=a/1/poisson:9/fixed:2/50",
+		"name=x;algo=bakerypp;shards=1;n=4;m=8;clients=10;bogus=1;class=a/1/poisson:9/fixed:2/50",
+	} {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse(%q) did not error", text)
+		}
+	}
+}
+
+func TestQuotasConserveClients(t *testing.T) {
+	s := mustParse(t, testSpec)
+	q := s.quotas()
+	var total int64
+	for _, perShard := range q {
+		for _, v := range perShard {
+			total += v
+		}
+	}
+	if total != s.Clients {
+		t.Errorf("quotas assign %d clients, spec says %d", total, s.Clients)
+	}
+}
+
+// TestRunSmoke checks the basic accounting identities of a run: every
+// arrival is rejected, granted, or stranded; nothing is stranded for a
+// correct algorithm; mutual exclusion holds; the FCFS monitor is silent
+// for Bakery++.
+func TestRunSmoke(t *testing.T) {
+	s := mustParse(t, testSpec)
+	res, err := Run(s, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrivals int64
+	for i := range res.Classes {
+		c := &res.Classes[i]
+		arrivals += c.Arrivals
+		if c.Stranded() != 0 {
+			t.Errorf("class %s stranded %d requests", c.Name, c.Stranded())
+		}
+		if c.Grants > 0 && c.Latency.Count() != uint64(c.Grants) {
+			t.Errorf("class %s: %d grants but %d latency samples", c.Name, c.Grants, c.Latency.Count())
+		}
+	}
+	if arrivals != s.Clients {
+		t.Errorf("saw %d arrivals, spec says %d clients", arrivals, s.Clients)
+	}
+	if res.Grants() == 0 {
+		t.Fatal("run granted nothing")
+	}
+	if res.MaxConcurrency > 1 {
+		t.Errorf("mutual exclusion violated: max cs occupancy %d", res.MaxConcurrency)
+	}
+	if res.FCFSViolations != 0 {
+		t.Errorf("bakery++ showed %d FCFS inversions; its doorway order forbids any", res.FCFSViolations)
+	}
+	if j := res.Jain(); j <= 0 || j > 1 {
+		t.Errorf("Jain index %v outside (0, 1]", j)
+	}
+}
+
+// TestAdmissionRejects: with a tight token bucket the run must turn
+// requests away, and loosening only the bucket must strictly reduce
+// rejections.
+func TestAdmissionRejects(t *testing.T) {
+	tight := mustParse(t, "name=adm;algo=bakerypp;shards=1;n=4;m=64;clients=4000;admit=token:200,8;class=a/1/poisson:10/fixed:3/200")
+	loose := mustParse(t, "name=adm;algo=bakerypp;shards=1;n=4;m=64;clients=4000;admit=token:100000,64;class=a/1/poisson:10/fixed:3/200")
+	rt, err := Run(tight, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Run(loose, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Classes[0].Rejected == 0 {
+		t.Error("tight bucket rejected nothing at 5x its sustained rate")
+	}
+	if rl.Classes[0].Rejected >= rt.Classes[0].Rejected {
+		t.Errorf("loose bucket rejected %d >= tight %d", rl.Classes[0].Rejected, rt.Classes[0].Rejected)
+	}
+}
+
+// TestWorkerCountIrrelevant is the determinism contract: the rendered
+// tables and fingerprint are byte-identical whether shards run
+// sequentially or on every core.
+func TestWorkerCountIrrelevant(t *testing.T) {
+	s := mustParse(t, testSpec)
+	var reports []string
+	for _, workers := range []int{0, 1, 3, -1} {
+		res, err := Run(s, Options{Seed: 11, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, res.String())
+	}
+	for i, rep := range reports[1:] {
+		if rep != reports[0] {
+			t.Fatalf("workers=%d report differs from sequential:\n%s\nvs\n%s", []int{1, 3, -1}[i], rep, reports[0])
+		}
+	}
+}
+
+// TestSeedMatters: different seeds must not produce the same tables (or
+// the streams are not actually consumed).
+func TestSeedMatters(t *testing.T) {
+	s := mustParse(t, testSpec)
+	a, err := Run(s, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(s, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("seeds 1 and 2 produced identical fingerprints")
+	}
+}
+
+// TestRecordReplayRoundTrip: a recorded run must replay bit-identically
+// — same tables, same fingerprint — from the log alone, and the
+// recorded bytes themselves must not depend on the worker count.
+func TestRecordReplayRoundTrip(t *testing.T) {
+	s := mustParse(t, testSpec)
+	var seq, par bytes.Buffer
+	res, err := Run(s, Options{Seed: 5, Record: &seq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(s, Options{Seed: 5, Workers: -1, Record: &par}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatal("recorded log bytes differ between sequential and parallel runs")
+	}
+	rep, err := ReplayLog(bytes.NewReader(seq.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("replay fingerprint %s != recorded %s", rep.Fingerprint, rep.Recorded)
+	}
+	if rep.Result.String() != res.String() {
+		t.Error("replayed report differs from the live run's")
+	}
+}
+
+// TestReplayRejectsGarbage: truncated or foreign logs fail loudly.
+func TestReplayRejectsGarbage(t *testing.T) {
+	s := mustParse(t, testSpec)
+	var buf bytes.Buffer
+	if _, err := Run(s, Options{Seed: 5, Record: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	lines := strings.Split(strings.TrimSuffix(full, "\n"), "\n")
+	truncated := strings.Join(lines[:len(lines)-1], "\n") + "\n"
+	if _, err := ReplayLog(strings.NewReader(truncated)); err == nil {
+		t.Error("replay accepted a log with no trailer")
+	}
+	if _, err := ReplayLog(strings.NewReader(`{"v":1,"kind":"des-sweep"}` + "\n")); err == nil {
+		t.Error("replay accepted a des-sweep log")
+	}
+	if _, err := ReplayLog(strings.NewReader("")); err == nil {
+		t.Error("replay accepted an empty log")
+	}
+}
+
+// FuzzScenarioSpec is the issue's fuzz target for the spec grammar: an
+// accepted input must render canonically, re-parse to the same spec,
+// and never panic.
+func FuzzScenarioSpec(f *testing.F) {
+	f.Add(testSpec)
+	f.Add("name=x;algo=bakery;shards=1;n=2;m=8;clients=10;class=a/1/poisson:9/fixed:2/50")
+	f.Add("name=x;algo=modbakery;shards=2;n=3;m=12;clients=99;admit=token:5,5;class=a/3/uniform:2,9/fixed:1/9;class=b/1/burst:50,3/poisson:4/70")
+	f.Add("name=;algo=;shards=;class=")
+	f.Add("n=2;m=3")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := Parse(text)
+		if err != nil {
+			return
+		}
+		canon := s.String()
+		s2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted input %q does not re-parse: %v", canon, text, err)
+		}
+		if s2.String() != canon {
+			t.Fatalf("String() not a fixed point: %q -> %q", canon, s2.String())
+		}
+		if err := s2.Validate(); err != nil {
+			t.Fatalf("re-parsed spec fails validation: %v", err)
+		}
+	})
+}
+
+// TestScenarioHotPathAllocs is the perf contract on the per-event path:
+// once the kernel heap and request ring reach steady size, executing
+// events allocates nothing (pre-created closures, arena-backed
+// successor generation, fixed-size histograms).
+func TestScenarioHotPathAllocs(t *testing.T) {
+	s := mustParse(t, "name=allocs;algo=bakerypp;shards=1;n=4;m=64;clients=2000000;class=a/1/poisson:30/fixed:4/100;class=b/1/poisson:50/poisson:6/200")
+	quotas := s.quotas()
+	sim, err := newShardSim(s, 0, quotas, "unit", Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range sim.quota {
+		sim.k.At(s.N+ci, sim.arrivalD[ci].Draw(), sim.arriveFns[ci])
+	}
+	// Warm up: let the queue ring, kernel heap and succ arena reach
+	// steady state.
+	for i := 0; i < 50_000 && sim.k.Step(); i++ {
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		for i := 0; i < 2000; i++ {
+			if !sim.k.Step() {
+				t.Fatal("shard drained mid-measurement; enlarge the client quota")
+			}
+		}
+	})
+	if avg != 0 {
+		t.Errorf("per-event hot path allocates: %.2f allocs per 2000-event chunk, want 0", avg)
+	}
+}

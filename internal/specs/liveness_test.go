@@ -1,6 +1,10 @@
 package specs
 
-import "testing"
+import (
+	"testing"
+
+	"bakerypp/internal/gcl"
+)
 
 // The mechanical liveness declarations match each spec's actual shape:
 // every registered algorithm carries the FCFS monitor tags and cs-enter,
@@ -34,4 +38,34 @@ func TestLivenessOf(t *testing.T) {
 	if got := LivenessOf(safe).StarveAt; got != "l1" {
 		t.Errorf("safe variant: StarveAt = %q, want l1", got)
 	}
+}
+
+// Every registered algorithm can back the lock-service scenario layer,
+// and a program missing the monitor tags cannot — the gate
+// internal/scenario's spec validation rests on.
+func TestArbitrable(t *testing.T) {
+	for _, name := range Names() {
+		p, err := Get(name, Config{N: 3, M: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Arbitrable(p) {
+			t.Errorf("%s: not arbitrable despite carrying the full tag set", name)
+		}
+	}
+	bare := taglessToggle()
+	if Arbitrable(bare) {
+		t.Error("a program with no branch tags passed Arbitrable")
+	}
+}
+
+// taglessToggle is a well-formed two-label program with no branch tags
+// at all: structurally fine, observationally useless to the scenario
+// accumulator.
+func taglessToggle() *gcl.Prog {
+	p := gcl.New("tagless", 2)
+	p.Label("ncs", gcl.Goto("cs"))
+	p.Label("cs", gcl.Goto("ncs"))
+	p.MustBuild()
+	return p
 }

@@ -113,6 +113,17 @@ func LivenessOf(p *gcl.Prog) Liveness {
 	return l
 }
 
+// Arbitrable reports whether a built program can arbitrate the
+// lock-service scenario layer (internal/scenario): its event-loop
+// accumulator observes the FCFS monitor tags ("try", "doorway-done",
+// "cs-enter") plus "cs-exit" to attribute grants, count occupancy and
+// detect first-come-first-served inversions, so an algorithm missing any
+// of them cannot serve as a scenario backend.
+func Arbitrable(p *gcl.Prog) bool {
+	tags := p.BranchTags()
+	return LivenessOf(p).FCFS && tags["cs-exit"] > 0
+}
+
 // Names returns the registered specification names, sorted.
 func Names() []string {
 	out := make([]string, 0, len(registry))

@@ -1,0 +1,62 @@
+package stats
+
+// Fairness and SLO accumulators for the lock-service scenario layer.
+
+// Jain returns Jain's fairness index over the given per-class figures:
+// (Σx)² / (k·Σx²), which is 1 when every class sees the same figure and
+// 1/k when one class takes everything. Non-positive entries are kept
+// (they legitimately pull the index down); an empty or all-zero input
+// returns 0 rather than dividing by zero.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// SLOCounter tracks attainment of a latency objective online: samples at
+// or under the target count as met. It exists because the power-of-two
+// Histogram cannot answer "what fraction was <= target" exactly, and SLO
+// tables must be exact to be honest.
+type SLOCounter struct {
+	Target int64
+	Met    int64
+	Total  int64
+}
+
+// Record adds one sample.
+func (c *SLOCounter) Record(v int64) {
+	c.Total++
+	if v <= c.Target {
+		c.Met++
+	}
+}
+
+// Merge folds other into c; the targets must agree (merging attainment
+// across different objectives is meaningless).
+func (c *SLOCounter) Merge(other *SLOCounter) {
+	if other.Total > 0 && c.Total > 0 && other.Target != c.Target {
+		panic("stats: merging SLO counters with different targets")
+	}
+	if c.Total == 0 {
+		c.Target = other.Target
+	}
+	c.Met += other.Met
+	c.Total += other.Total
+}
+
+// Attainment returns the met fraction in percent (0 with no samples).
+func (c *SLOCounter) Attainment() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return 100 * float64(c.Met) / float64(c.Total)
+}

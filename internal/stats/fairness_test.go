@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJain(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{0, 0}, 0},
+		{[]float64{5}, 1},
+		{[]float64{3, 3, 3, 3}, 1},
+		{[]float64{1, 0, 0, 0}, 0.25}, // one class takes everything: 1/k
+		{[]float64{4, 1}, (4.0 + 1) * (4 + 1) / (2 * (16 + 1))},
+	}
+	for _, c := range cases {
+		if got := Jain(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Jain(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+	// The index must be scale-invariant: fairness is about proportions.
+	a := Jain([]float64{2, 5, 9})
+	b := Jain([]float64{20, 50, 90})
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("Jain not scale-invariant: %v vs %v", a, b)
+	}
+}
+
+func TestSLOCounter(t *testing.T) {
+	c := &SLOCounter{Target: 10}
+	for _, v := range []int64{1, 10, 11, 100} {
+		c.Record(v)
+	}
+	if c.Met != 2 || c.Total != 4 {
+		t.Fatalf("met/total = %d/%d, want 2/4", c.Met, c.Total)
+	}
+	if got := c.Attainment(); got != 50 {
+		t.Errorf("attainment = %v, want 50", got)
+	}
+	d := &SLOCounter{Target: 10}
+	d.Record(3)
+	d.Merge(c)
+	if d.Met != 3 || d.Total != 5 {
+		t.Errorf("after merge met/total = %d/%d, want 3/5", d.Met, d.Total)
+	}
+	e := &SLOCounter{}
+	e.Merge(c) // empty counter adopts the target
+	if e.Target != 10 || e.Total != 4 {
+		t.Errorf("empty-merge got target %d total %d", e.Target, e.Total)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("merging mismatched targets did not panic")
+		}
+	}()
+	f := &SLOCounter{Target: 99}
+	f.Record(1)
+	f.Merge(c)
+}
