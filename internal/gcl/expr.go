@@ -1,6 +1,9 @@
 package gcl
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Ctx is the evaluation context of an expression: a program, a state, and
 // the id of the process executing the action.
@@ -58,23 +61,74 @@ func Self() Expr {
 	return Expr{f: func(c *Ctx) int32 { return int32(c.Pid) }, shp: shapeSelf}
 }
 
+// exprLayout is a name-resolving closure's cached variable layout: the
+// program it was resolved against plus the resolved word offset and size.
+// Expressions are built once per spec but evaluated millions of times in
+// the successor hot loop, and the map[string]varInfo lookup inside
+// Prog.Local/Shared dominated expression cost in profiles. Each closure
+// carries its own cache behind an atomic pointer — a closure is shared by
+// the parallel engine's workers, so a plain captured variable would race.
+// In practice an expression only ever meets one built program, so the
+// cache hits permanently after the first evaluation; a mismatched program
+// (tests juggling specs) just re-resolves through the panicking accessor.
+type exprLayout struct {
+	p    *Prog
+	info varInfo
+}
+
+// localLayout returns the cached layout of a local variable, resolving and
+// caching it on first use (or on a program change).
+func localLayout(cache *atomic.Pointer[exprLayout], c *Ctx, name string) varInfo {
+	if e := cache.Load(); e != nil && e.p == c.P {
+		return e.info
+	}
+	e := &exprLayout{p: c.P, info: c.P.localVarInfo(name)}
+	cache.Store(e)
+	return e.info
+}
+
+// sharedLayout is localLayout for shared variables.
+func sharedLayout(cache *atomic.Pointer[exprLayout], c *Ctx, name string) varInfo {
+	if e := cache.Load(); e != nil && e.p == c.P {
+		return e.info
+	}
+	e := &exprLayout{p: c.P, info: c.P.sharedVarInfo(name)}
+	cache.Store(e)
+	return e.info
+}
+
 // L reads the executing process's local variable. Locals live in the
 // process's private block, so they never enter shared footprints.
 func L(name string) Expr {
-	return Expr{f: func(c *Ctx) int32 { return c.P.Local(c.S, c.Pid, name) }}
+	var cache atomic.Pointer[exprLayout]
+	return Expr{f: func(c *Ctx) int32 {
+		info := localLayout(&cache, c, name)
+		return c.S[c.P.sharedLen+c.Pid*c.P.localLen+info.off]
+	}}
 }
 
 // Sh reads a shared scalar.
 func Sh(name string) Expr {
+	var cache atomic.Pointer[exprLayout]
 	return Expr{
-		f:     func(c *Ctx) int32 { return c.P.Shared(c.S, name, 0) },
+		f: func(c *Ctx) int32 {
+			return c.S[sharedLayout(&cache, c, name).off]
+		},
 		reads: cellMap{name: {Idx: []int{0}}},
 	}
 }
 
 // ShI reads a shared array cell at a computed index.
 func ShI(name string, idx Expr) Expr {
-	e := Expr{f: func(c *Ctx) int32 { return c.P.Shared(c.S, name, int(idx.f(c))) }}
+	var cache atomic.Pointer[exprLayout]
+	e := Expr{f: func(c *Ctx) int32 {
+		info := sharedLayout(&cache, c, name)
+		i := int(idx.f(c))
+		if i < 0 || i >= info.size {
+			panic(fmt.Sprintf("gcl: %s: index %d out of range for %q", c.P.Name, i, name))
+		}
+		return c.S[info.off+i]
+	}}
 	e.reads = mergeReads([]Expr{idx})
 	e.reads = e.reads.add(name, idx.indexCells())
 	return e
@@ -83,8 +137,15 @@ func ShI(name string, idx Expr) Expr {
 // ShSelf reads the executing process's own cell of a shared array; it is
 // ShI(name, Self()) without the closure hop.
 func ShSelf(name string) Expr {
+	var cache atomic.Pointer[exprLayout]
 	return Expr{
-		f:     func(c *Ctx) int32 { return c.P.Shared(c.S, name, c.Pid) },
+		f: func(c *Ctx) int32 {
+			info := sharedLayout(&cache, c, name)
+			if c.Pid >= info.size {
+				panic(fmt.Sprintf("gcl: %s: index %d out of range for %q", c.P.Name, c.Pid, name))
+			}
+			return c.S[info.off+c.Pid]
+		},
 		reads: cellMap{name: {Self: true}},
 	}
 }
@@ -94,8 +155,18 @@ func ShSelf(name string) Expr {
 // coarse-grained doorway; internal/specs also provides a fine-grained
 // variant that reads one cell per step).
 func MaxSh(name string) Expr {
+	var cache atomic.Pointer[exprLayout]
 	return Expr{
-		f:     func(c *Ctx) int32 { return c.P.MaxShared(c.S, name) },
+		f: func(c *Ctx) int32 {
+			info := sharedLayout(&cache, c, name)
+			max := int32(0)
+			for _, v := range c.S[info.off : info.off+info.size] {
+				if v > max {
+					max = v
+				}
+			}
+			return max
+		},
 		reads: cellMap{name: {All: true}},
 	}
 }

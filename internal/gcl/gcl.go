@@ -358,6 +358,25 @@ func (p *Prog) Local(s State, pid int, name string) int32 {
 	return s[p.sharedLen+pid*p.localLen+info.off]
 }
 
+// localVarInfo resolves a local variable's layout, panicking like Local.
+// It backs the expression closures' offset caches (expr.go).
+func (p *Prog) localVarInfo(name string) varInfo {
+	info, ok := p.localInfo[name]
+	if !ok {
+		panic(fmt.Sprintf("gcl: %s: unknown local variable %q", p.Name, name))
+	}
+	return info
+}
+
+// sharedVarInfo resolves a shared variable's layout, panicking like Shared.
+func (p *Prog) sharedVarInfo(name string) varInfo {
+	info, ok := p.sharedInfo[name]
+	if !ok {
+		panic(fmt.Sprintf("gcl: %s: unknown shared variable %q", p.Name, name))
+	}
+	return info
+}
+
 // SetLocal sets process pid's local variable.
 func (p *Prog) SetLocal(s State, pid int, name string, v int32) {
 	info, ok := p.localInfo[name]

@@ -89,6 +89,106 @@ func TestCanonicalizerAllocFree(t *testing.T) {
 	_ = sink
 }
 
+// TestCanonicalizeBatchAllocFree pins the structure-of-arrays batch path at
+// zero steady-state allocations: once the key slab has warmed up,
+// canonicalizing and fingerprinting a whole successor chunk — with and
+// without permutation ranking — allocates nothing.
+func TestCanonicalizeBatchAllocFree(t *testing.T) {
+	p := symProg(4)
+	states := walkStates(p, 16)
+	var buf SuccBuf
+	for _, s := range states {
+		p.AllSuccsInto(s, ModeUnbounded, &buf)
+	}
+	succs := buf.Succs()
+	c := p.NewCanonicalizer()
+	var ks KeySlab
+	var fps []uint64
+	var sink uint64
+	batch := func() {
+		ks.Reset()
+		base := c.CanonicalizeBatch(succs, &ks)
+		base = c.CanonicalizeBatchPerms(succs, &ks)
+		fps = FingerprintSuccs(succs, fps)
+		sink ^= ks.Fp(base) ^ uint64(ks.PermIdx(base)) ^ fps[0]
+	}
+	batch() // warm the slab, the perm tables, and the fingerprint buffer
+	if avg := testing.AllocsPerRun(50, batch); avg != 0 {
+		t.Errorf("CanonicalizeBatch paths allocate %.2f objects per %d-successor chunk, want 0", avg, len(succs))
+	}
+	_ = sink
+}
+
+// TestKeySlabAppendKeyAllocFree pins the FCFS product's probe path — a
+// prepared key plus extra words packed and fingerprinted into the slab —
+// at zero steady-state allocations.
+func TestKeySlabAppendKeyAllocFree(t *testing.T) {
+	p := symProg(4)
+	states := walkStates(p, 32)
+	var ks KeySlab
+	var sink uint64
+	pack := func() {
+		ks.Reset()
+		for i, s := range states {
+			ki := ks.AppendKey(s, int32(i&3))
+			sink ^= ks.Fp(ki)
+		}
+	}
+	pack()
+	if avg := testing.AllocsPerRun(100, pack); avg != 0 {
+		t.Errorf("KeySlab.AppendKey allocates %.2f objects per %d-key sweep, want 0", avg, len(states))
+	}
+	_ = sink
+}
+
+// BenchmarkCanonicalizePerState and BenchmarkCanonicalizeBatch compare the
+// engines' historical one-state-at-a-time probe — canonicalize, copy the
+// key out of the canonicalizer's scratch (it is overwritten by the next
+// call, and the engine batches probes across a head's ample check), then
+// fingerprint — against the batched structure-of-arrays pass over the same
+// successor chunk, which canonicalizes directly into the retained slab slot
+// and fingerprints in one pass. This is the measurement behind the engines'
+// switch to CanonicalizeBatch.
+func BenchmarkCanonicalizePerState(b *testing.B) {
+	p := symProg(4)
+	var buf SuccBuf
+	for _, s := range walkStates(p, 16) {
+		p.AllSuccsInto(s, ModeUnbounded, &buf)
+	}
+	succs := buf.Succs()
+	c := p.NewCanonicalizer()
+	var keys SuccBuf
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keys.Reset()
+		for si := range succs {
+			key := keys.CopyIn(c.Canonicalize(succs[si].State))
+			sink ^= key.Fingerprint()
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkCanonicalizeBatch(b *testing.B) {
+	p := symProg(4)
+	var buf SuccBuf
+	for _, s := range walkStates(p, 16) {
+		p.AllSuccsInto(s, ModeUnbounded, &buf)
+	}
+	succs := buf.Succs()
+	c := p.NewCanonicalizer()
+	var ks KeySlab
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ks.Reset()
+		base := c.CanonicalizeBatch(succs, &ks)
+		sink ^= ks.Fp(base)
+	}
+	_ = sink
+}
+
 // refFingerprint recomputes fpAbsorb through an independent route: the
 // state is serialized to little-endian bytes and the lanes are re-read 8
 // bytes at a time (4-byte tail for odd word counts). Any disagreement

@@ -232,7 +232,7 @@ func (w *canonicalizer) enumerateFiltered(s State, cursors, pinnedMask uint32) {
 		if pinnedMask&^p.fixMasks[pi] != 0 {
 			continue // moves a pinned pid
 		}
-		if w.imageLess(s, p.invPerms[pi]) {
+		if w.imageLess(w.buf, s, p.invPerms[pi]) {
 			p.permuteInto(w.buf, s, perm)
 			copy(w.bestPerm, perm)
 		}

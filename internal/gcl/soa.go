@@ -1,0 +1,159 @@
+package gcl
+
+// Structure-of-arrays batch layout for prepared visited-store probes.
+//
+// The exploration engines (internal/mc) probe the visited store once per
+// generated successor: canonicalize (under symmetry), fingerprint, then
+// look the key up. Doing that one state at a time costs a pooled scratch
+// copy and a cache-cold fingerprint per successor. A KeySlab instead packs
+// the prepared keys of a whole SuccBuf chunk into one contiguous []int32
+// slab with stride addressing — key i occupies words[i*stride:(i+1)*stride]
+// — with the fingerprints and witnessing-permutation indices in parallel
+// arrays. Canonicalization writes its result directly into the slab slot
+// (no intermediate copy), and fingerprinting becomes a tight second pass
+// over adjacent words. The slab grows monotonically and is recycled with
+// Reset, so a warmed-up exploration loop allocates nothing per chunk
+// (pinned by TestCanonicalizeBatchAllocFree).
+//
+// Key slices returned by Key alias the slab. Growth reallocates the
+// backing array, so a previously returned slice may point at the old
+// backing — its CONTENT stays valid (growth copies), which is all the
+// engines rely on: keys are compared and retained by value, never by
+// identity.
+
+// KeySlab is a batch of prepared store probes in structure-of-arrays form.
+// The zero value is an empty slab ready for use. Not goroutine-safe; the
+// engines hold one per worker.
+type KeySlab struct {
+	words  []int32
+	fps    []uint64
+	perms  []int32
+	stride int
+	n      int
+}
+
+// Reset empties the slab, retaining capacity. The stride is re-latched by
+// the first append after a Reset, so one slab can serve batches of
+// different key widths across chunks (not within one).
+func (ks *KeySlab) Reset() { ks.n = 0; ks.words = ks.words[:0] }
+
+// Len returns the number of keys in the slab.
+func (ks *KeySlab) Len() int { return ks.n }
+
+// Stride returns the key width in words (0 while empty).
+func (ks *KeySlab) Stride() int {
+	if ks.n == 0 {
+		return 0
+	}
+	return ks.stride
+}
+
+// Key returns key i, aliasing the slab (content-stable across growth).
+func (ks *KeySlab) Key(i int) State {
+	off := i * ks.stride
+	return State(ks.words[off : off+ks.stride])
+}
+
+// Fp returns the fingerprint of key i.
+func (ks *KeySlab) Fp(i int) uint64 { return ks.fps[i] }
+
+// PermIdx returns the witnessing-permutation index recorded for key i
+// (0, the identity, unless the batch was canonicalized with perms).
+func (ks *KeySlab) PermIdx(i int) int32 { return ks.perms[i] }
+
+// alloc appends one uninitialised slot of the given stride and returns its
+// index and the slot slice; the caller must overwrite every word.
+func (ks *KeySlab) alloc(stride int) (int, State) {
+	if ks.n == 0 {
+		ks.stride = stride
+	} else if stride != ks.stride {
+		panic("gcl: KeySlab stride change within a batch (Reset first)")
+	}
+	i := ks.n
+	ks.n++
+	need := ks.n * stride
+	if need > cap(ks.words) {
+		grown := make([]int32, len(ks.words), max(2*cap(ks.words), need))
+		copy(grown, ks.words)
+		ks.words = grown
+	}
+	ks.words = ks.words[:need]
+	if len(ks.fps) < ks.n {
+		ks.fps = append(ks.fps, 0)
+		ks.perms = append(ks.perms, 0)
+	} else {
+		ks.fps[i], ks.perms[i] = 0, 0
+	}
+	return i, State(ks.words[i*stride : need])
+}
+
+// AppendKey copies key plus optional extra words (a monitor phase, a
+// belief id) into the slab as one slot and fingerprints it over the full
+// stride, returning the slot index. This is the slab entry point for
+// callers whose key is already prepared — the FCFS monitor product packs
+// its pinned-canonical keys this way instead of allocating one per probe.
+func (ks *KeySlab) AppendKey(key State, extra ...int32) int {
+	i, slot := ks.alloc(len(key) + len(extra))
+	copy(slot, key)
+	copy(slot[len(key):], extra)
+	ks.fps[i] = slot.Fingerprint()
+	return i
+}
+
+// fingerprintFrom fills fps[i] for every i >= base in one pass over the
+// packed slab words.
+func (ks *KeySlab) fingerprintFrom(base int) {
+	for i := base; i < ks.n; i++ {
+		off := i * ks.stride
+		ks.fps[i] = State(ks.words[off : off+ks.stride]).Fingerprint()
+	}
+}
+
+// CanonicalizeBatch canonicalizes every successor state in succs, appending
+// one canonical key per successor to ks (in order) and fingerprinting the
+// batch in a single pass over the packed slab. It returns the slab index of
+// the first appended key. The per-state normalization, ordering and
+// permutation scratch is the context's own, reused across the whole batch;
+// nothing is allocated once the slab has warmed up.
+func (c *Canonicalizer) CanonicalizeBatch(succs []Succ, ks *KeySlab) int {
+	w := c.w
+	stride := w.p.StateLen()
+	base := ks.n
+	for si := range succs {
+		_, slot := ks.alloc(stride)
+		w.canonicalizeInto(slot, succs[si].State)
+	}
+	ks.fingerprintFrom(base)
+	return base
+}
+
+// CanonicalizeBatchPerms is CanonicalizeBatch additionally recording each
+// key's witnessing-permutation index (PermIdx), which the quotient-graph
+// liveness analyses consume. Requires CanTrackPerms.
+func (c *Canonicalizer) CanonicalizeBatchPerms(succs []Succ, ks *KeySlab) int {
+	w := c.w
+	p := w.p
+	stride := p.StateLen()
+	base := ks.n
+	for si := range succs {
+		i, slot := ks.alloc(stride)
+		w.canonicalizeInto(slot, succs[si].State)
+		ks.perms[i] = int32(p.PermIndexOf(w.bestPerm))
+	}
+	ks.fingerprintFrom(base)
+	return base
+}
+
+// FingerprintSuccs fingerprints every successor state into fps (reusing its
+// capacity) — the batch probe for non-symmetric stores, whose key is the
+// successor state itself.
+func FingerprintSuccs(succs []Succ, fps []uint64) []uint64 {
+	if cap(fps) < len(succs) {
+		fps = make([]uint64, len(succs))
+	}
+	fps = fps[:len(succs)]
+	for i := range succs {
+		fps[i] = succs[i].State.Fingerprint()
+	}
+	return fps
+}

@@ -438,19 +438,27 @@ type canonicalizer struct {
 
 // canonicalize computes the least valid image of the cursor-normalized
 // state into w.buf and returns it (valid until the worker is reused) with
-// the witnessing permutation in w.bestPerm. With no active cursor every
-// permutation is valid and column sorting finds the least image directly;
-// otherwise the permutation table is enumerated under the cursor mask.
+// the witnessing permutation in w.bestPerm.
 func (w *canonicalizer) canonicalize(s State) State {
+	w.canonicalizeInto(w.buf, s)
+	return w.buf
+}
+
+// canonicalizeInto is canonicalize writing the canonical image into a
+// caller-owned destination of StateLen words — the KeySlab batch path
+// (soa.go) canonicalizes straight into slab slots through it, skipping the
+// scratch-then-copy round trip. With no active cursor every permutation is
+// valid and column sorting finds the least image directly; otherwise the
+// permutation table is enumerated under the cursor mask.
+func (w *canonicalizer) canonicalizeInto(dst State, s State) {
 	copy(w.norm, s)
 	w.p.normalizeCursorsInPlace(w.norm)
 	mask := w.cursorMask(w.norm)
 	if mask == 0 {
-		w.sortColumns(w.norm)
+		w.sortColumns(dst, w.norm)
 	} else {
-		w.enumerate(w.norm, mask)
+		w.enumerate(dst, w.norm, mask)
 	}
-	return w.buf
 }
 
 // cursorMask collects the active cursor values of s as a bitmask: bit j is
@@ -474,8 +482,8 @@ func (w *canonicalizer) cursorMask(s State) uint32 {
 // pid-indexed array, in declaration order, then its block), so placing the
 // columns in sorted order yields exactly the lexicographically-least
 // flattened vector (ties order identical columns, which cannot change the
-// image).
-func (w *canonicalizer) sortColumns(s State) {
+// image). The image is written into dst.
+func (w *canonicalizer) sortColumns(dst State, s State) {
 	p := w.p
 	for i := range w.order {
 		w.order[i] = i
@@ -494,7 +502,7 @@ func (w *canonicalizer) sortColumns(s State) {
 	for k, i := range w.order {
 		w.bestPerm[i] = k
 	}
-	p.permuteInto(w.buf, s, w.bestPerm)
+	p.permuteInto(dst, s, w.bestPerm)
 }
 
 // compareColumns orders process columns by the state-layout word order:
@@ -516,14 +524,14 @@ func compareColumns(p *Prog, s State, i, j int) int {
 
 // enumerate walks the permutation table, skipping permutations whose
 // precomputed prefix-preservation mask does not cover the state's cursor
-// mask, and keeps the least image seen. The comparison against the
+// mask, and keeps the least image seen in dst. The comparison against the
 // incumbent walks the candidate image lazily in state-vector order through
 // the permutation's inverse, so a losing permutation is rejected after the
 // first differing word without materialising its image. The incumbent
 // starts as the identity image — s itself.
-func (w *canonicalizer) enumerate(s State, mask uint32) {
+func (w *canonicalizer) enumerate(dst State, s State, mask uint32) {
 	p := w.p
-	copy(w.buf, s)
+	copy(dst, s)
 	for i := range w.bestPerm {
 		w.bestPerm[i] = i
 	}
@@ -534,23 +542,23 @@ func (w *canonicalizer) enumerate(s State, mask uint32) {
 		if mask&^p.prefMasks[pi] != 0 {
 			continue // violates some visited prefix
 		}
-		if w.imageLess(s, p.invPerms[pi]) {
-			p.permuteInto(w.buf, s, perm)
+		if w.imageLess(dst, s, p.invPerms[pi]) {
+			p.permuteInto(dst, s, perm)
 			copy(w.bestPerm, perm)
 		}
 	}
 }
 
 // imageLess reports whether the image of s under the permutation with
-// inverse inv is lexicographically less than the incumbent in w.buf,
+// inverse inv is lexicographically less than the incumbent in cur,
 // comparing only pid-dependent words (all others are equal by
 // construction): the image word at slot q of a pid-indexed array is
 // s[off+inv[q]], and the image block in slot q is process inv[q]'s block.
-func (w *canonicalizer) imageLess(s State, inv []int) bool {
+func (w *canonicalizer) imageLess(cur State, s State, inv []int) bool {
 	p := w.p
 	for _, off := range p.pidArrayOffs {
 		for q := 0; q < p.N; q++ {
-			if v, b := s[off+inv[q]], w.buf[off+q]; v != b {
+			if v, b := s[off+inv[q]], cur[off+q]; v != b {
 				return v < b
 			}
 		}
@@ -559,7 +567,7 @@ func (w *canonicalizer) imageLess(s State, inv []int) bool {
 		src := p.sharedLen + inv[q]*p.localLen
 		dst := p.sharedLen + q*p.localLen
 		for k := 0; k < p.localLen; k++ {
-			if v, b := s[src+k], w.buf[dst+k]; v != b {
+			if v, b := s[src+k], cur[dst+k]; v != b {
 				return v < b
 			}
 		}

@@ -158,7 +158,58 @@ func RunMCBench(cfg ExpConfig) (*MCBenchReport, error) {
 	if err := appendScenarioBench(rep, []string{"smoke", "overload"}); err != nil {
 		return nil, err
 	}
+	if err := appendScalingBench(rep); err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+// scalingWorkers is the worker grid of the scaling rows: the parallel
+// engine pinned to 1, 2, and 4 workers, plus -1 (every core the machine
+// has). Row names carry the setting as a "/w<n>" (or "/wmax") suffix so
+// CompareMCBench can pair them and watch the wmax/w1 speedup ratio.
+var scalingWorkers = []int{1, 2, 4, -1}
+
+// scalingWorkerSuffix renders a worker setting as the scaling rows' name
+// suffix.
+func scalingWorkerSuffix(w int) string {
+	if w < 0 {
+		return "wmax"
+	}
+	return fmt.Sprintf("w%d", w)
+}
+
+// appendScalingBench measures how the parallel engine scales with worker
+// count: an unreduced safety check of two mid-size cells — big enough that
+// the chunked expand/drain machinery dominates, small enough that four
+// worker settings stay cheap — at each scalingWorkers setting. The rows
+// feed CompareMCBench's scaling tripwire: on a multi-core machine the
+// "wmax" row should not fall behind "w1" (owner-computes sharding is
+// supposed to pay for its routing), and a regression of that ratio across
+// snapshots warns without failing the gate (single-core runners would
+// otherwise always fail it).
+func appendScalingBench(rep *MCBenchReport) error {
+	cells := []mcBenchCell{
+		{"bakerypp", specs.Config{N: 4, M: 2}, true},
+		{"bakery", specs.Config{N: 4, M: 4}, true},
+	}
+	none := benchMode{"none", false, false}
+	for _, cell := range cells {
+		for _, w := range scalingWorkers {
+			p, err := specs.Get(cell.algo, cell.cfg)
+			if err != nil {
+				return err
+			}
+			res := mc.Check(p, mc.Options{
+				Invariants: safetyInvariants(),
+				Workers:    w,
+			})
+			rec := benchRecord(cell.algo, none, w, "exact", res)
+			rec.Name = fmt.Sprintf("scale/%s-n%d-m%d/%s", cell.algo, cell.cfg.N, cell.cfg.M, scalingWorkerSuffix(w))
+			rep.Records = append(rep.Records, rec)
+		}
+	}
+	return nil
 }
 
 // RunMCBenchSmall runs a trimmed safety-only grid — the cells quick enough

@@ -38,12 +38,41 @@ type BenchRowDelta struct {
 	NewVerdict      string
 }
 
+// ScalingWarnThreshold is the acceptable decay of a wmax/w1 speedup ratio
+// across snapshots before the comparison warns: the new speedup must stay
+// above 90% of the baseline (the old snapshot's speedup for the same pair,
+// or parity when the old snapshot lacks it). A warning, never a failure —
+// a single-core CI runner measures a speedup of ~1.0 by construction and
+// must not fail a gate a multi-core baseline was recorded on.
+const ScalingWarnThreshold = 0.9
+
+// ScalingDelta is one watched worker-scaling pair: the "<stem>/w1" and
+// "<stem>/wmax" rows of the scaling grid, reduced to the speedup the extra
+// workers buy.
+type ScalingDelta struct {
+	// Stem is the pair's shared name prefix (e.g. "scale/bakerypp-n4-m2").
+	Stem string
+	// OldSpeedup is the old snapshot's wmax/w1 rate ratio, 0 when the old
+	// snapshot lacks the pair (then parity is the baseline).
+	OldSpeedup float64
+	// NewSpeedup is the new snapshot's wmax/w1 rate ratio.
+	NewSpeedup float64
+	// Warn is set when NewSpeedup fell below ScalingWarnThreshold times the
+	// baseline and the pair ran long enough to trust.
+	Warn bool
+	// TooFast marks pairs under the wall-time noise floor, never warned on.
+	TooFast bool
+}
+
 // BenchComparison is the result of diffing two bench-json snapshots.
 type BenchComparison struct {
 	// Threshold is the acceptable new/old rate ratio (0.7 = fail on >30%
 	// regression).
 	Threshold float64
 	Rows      []BenchRowDelta
+	// Scaling collects the worker-scaling pairs found in the new snapshot
+	// (see ScalingDelta); decayed speedups warn without failing.
+	Scaling []ScalingDelta
 	// OldOnly/NewOnly list row names present in just one snapshot. Grid
 	// growth (NewOnly) is normal across PRs and merely informs; rows
 	// that vanished (OldOnly) are rendered as a warning — a silently
@@ -85,6 +114,17 @@ func (c *BenchComparison) String() string {
 			note = "  (sub-50ms, informational)"
 		}
 		fmt.Fprintf(&b, "%-44s %14.0f %14.0f %6.2fx%s\n", r.Name, r.OldRate, r.NewRate, r.Ratio, note)
+	}
+	for _, s := range c.Scaling {
+		switch {
+		case s.Warn:
+			fmt.Fprintf(&b, "SCALING WARNING: %s wmax/w1 speedup fell to %.2fx (baseline %.2fx)\n",
+				s.Stem, s.NewSpeedup, s.baseline())
+		case s.TooFast:
+			fmt.Fprintf(&b, "scaling %s: wmax/w1 = %.2fx (sub-50ms, informational)\n", s.Stem, s.NewSpeedup)
+		default:
+			fmt.Fprintf(&b, "scaling %s: wmax/w1 = %.2fx\n", s.Stem, s.NewSpeedup)
+		}
 	}
 	if len(c.OldOnly) > 0 {
 		fmt.Fprintf(&b, "WARNING: %d row(s) in the old snapshot have no counterpart in the new run and are unguarded: %s\n",
@@ -148,5 +188,61 @@ func CompareMCBench(old, new *MCBenchReport, threshold float64) *BenchComparison
 			c.OldOnly = append(c.OldOnly, or.Name)
 		}
 	}
+	c.Scaling = scalingDeltas(old, new)
 	return c
+}
+
+// baseline is the speedup a pair is judged against: the old snapshot's, or
+// parity when the old snapshot lacks the pair.
+func (s *ScalingDelta) baseline() float64 {
+	if s.OldSpeedup > 0 {
+		return s.OldSpeedup
+	}
+	return 1.0
+}
+
+// speedupOf extracts a report's wmax/w1 speedup for one stem, along with
+// whether either side ran under the noise floor; ok is false unless both
+// rows exist with a positive w1 rate.
+func speedupOf(rep *MCBenchReport, stem string) (speedup float64, tooFast, ok bool) {
+	var w1, wmax *MCBenchRecord
+	for i := range rep.Records {
+		switch rep.Records[i].Name {
+		case stem + "/w1":
+			w1 = &rep.Records[i]
+		case stem + "/wmax":
+			wmax = &rep.Records[i]
+		}
+	}
+	if w1 == nil || wmax == nil || w1.StatesPerSec <= 0 {
+		return 0, false, false
+	}
+	return wmax.StatesPerSec / w1.StatesPerSec,
+		w1.WallSeconds < benchCompareMinSeconds || wmax.WallSeconds < benchCompareMinSeconds,
+		true
+}
+
+// scalingDeltas pairs the new snapshot's "<stem>/w1" rows with their
+// "<stem>/wmax" counterparts and judges each pair's speedup against the
+// old snapshot's (or parity). Decay past ScalingWarnThreshold warns; pairs
+// under the noise floor are informational only.
+func scalingDeltas(old, new *MCBenchReport) []ScalingDelta {
+	var out []ScalingDelta
+	for _, nr := range new.Records {
+		stem, found := strings.CutSuffix(nr.Name, "/w1")
+		if !found {
+			continue
+		}
+		speedup, tooFast, ok := speedupOf(new, stem)
+		if !ok {
+			continue
+		}
+		d := ScalingDelta{Stem: stem, NewSpeedup: speedup, TooFast: tooFast}
+		if oldSpeedup, _, ok := speedupOf(old, stem); ok {
+			d.OldSpeedup = oldSpeedup
+		}
+		d.Warn = !tooFast && speedup < ScalingWarnThreshold*d.baseline()
+		out = append(out, d)
+	}
+	return out
 }

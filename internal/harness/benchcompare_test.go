@@ -84,3 +84,60 @@ func TestCompareWarnsOnDroppedRows(t *testing.T) {
 		t.Error("self-comparison rendered a dropped-row warning")
 	}
 }
+
+// The worker-scaling pairs ("<stem>/w1" vs "<stem>/wmax") are judged on
+// their speedup ratio: a wmax rate that falls behind w1 — or behind the
+// old snapshot's speedup for the same pair — must warn, but never fail
+// (single-core runners measure ~1.0x by construction).
+func TestCompareWarnsOnScalingRegression(t *testing.T) {
+	old := &MCBenchReport{Records: []MCBenchRecord{
+		cmpRec("scale/a/w1", 1000, 1.0, "verified"),
+		cmpRec("scale/a/wmax", 3000, 1.0, "verified"), // 3.0x baseline
+		cmpRec("scale/b/w1", 1000, 1.0, "verified"),
+		cmpRec("scale/b/wmax", 1000, 1.0, "verified"), // parity baseline
+	}}
+	new := &MCBenchReport{Records: []MCBenchRecord{
+		cmpRec("scale/a/w1", 1000, 1.0, "verified"),
+		cmpRec("scale/a/wmax", 1500, 1.0, "verified"), // 1.5x: decayed from 3.0x
+		cmpRec("scale/b/w1", 1000, 1.0, "verified"),
+		cmpRec("scale/b/wmax", 950, 1.0, "verified"), // 0.95x: within tolerance of parity
+		cmpRec("scale/c/w1", 1000, 1.0, "verified"),
+		cmpRec("scale/c/wmax", 500, 1.0, "verified"), // 0.5x, no baseline: below parity
+		cmpRec("scale/d/w1", 1000, 0.01, "verified"),
+		cmpRec("scale/d/wmax", 100, 0.01, "verified"), // terrible but sub-50ms
+	}}
+	// Row threshold 0.4: the wmax rows' raw-rate drops stay under the
+	// per-row tripwire, isolating the scaling verdicts.
+	c := CompareMCBench(old, new, 0.4)
+	if c.Failed() {
+		t.Error("scaling decay alone must warn, not fail")
+	}
+	byStem := map[string]ScalingDelta{}
+	for _, s := range c.Scaling {
+		byStem[s.Stem] = s
+	}
+	if len(byStem) != 4 {
+		t.Fatalf("got %d scaling pairs (%v), want 4", len(byStem), byStem)
+	}
+	if s := byStem["scale/a"]; !s.Warn || s.OldSpeedup != 3.0 || s.NewSpeedup != 1.5 {
+		t.Errorf("scale/a = %+v, want warned decay 3.0x -> 1.5x", s)
+	}
+	if s := byStem["scale/b"]; s.Warn {
+		t.Errorf("scale/b = %+v, want no warning (0.95x vs 1.0x baseline is within tolerance)", s)
+	}
+	if s := byStem["scale/c"]; !s.Warn || s.OldSpeedup != 0 {
+		t.Errorf("scale/c = %+v, want warned against the parity baseline", s)
+	}
+	if s := byStem["scale/d"]; s.Warn || !s.TooFast {
+		t.Errorf("scale/d = %+v, want too-fast informational, never warned", s)
+	}
+	out := c.String()
+	if !strings.Contains(out, "SCALING WARNING") || !strings.Contains(out, "scale/a") {
+		t.Errorf("String() does not render the scaling warning:\n%s", out)
+	}
+
+	// A healthy multi-core snapshot compared against itself stays quiet.
+	if c2 := CompareMCBench(old, old, 0.4); strings.Contains(c2.String(), "SCALING WARNING") {
+		t.Error("self-comparison rendered a scaling warning")
+	}
+}

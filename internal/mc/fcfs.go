@@ -114,6 +114,23 @@ func CheckFCFS(p *gcl.Prog, first, second int, opts Options) (*FCFSResult, error
 	fp0, key0 := seen.Prepare(nodes[0].st, 0)
 	seen.Insert(fp0, key0, 0)
 
+	// The product loop probes the store through a per-head key slab instead
+	// of the allocating Prepare path: successors are generated into a
+	// reusable SuccBuf, each probe key (pinned-canonical under symmetry,
+	// concrete otherwise, plus the phase word) is packed into the slab, and
+	// only keys of FRESH product nodes are promoted to stable arena storage
+	// for the store to retain. Duplicates — the vast majority in a dense
+	// product — cost no allocation at all.
+	var (
+		buf     gcl.SuccBuf
+		scratch gcl.KeySlab
+		stable  retainArena
+		canon   *gcl.Canonicalizer
+	)
+	if plan.Pinned != nil {
+		canon = p.NewCanonicalizer()
+	}
+
 	buildTrace := func(i int32, extra *gcl.Succ) *Trace {
 		var rev []int32
 		for k := i; k >= 0; k = nodes[k].parent {
@@ -137,7 +154,10 @@ func CheckFCFS(p *gcl.Prog, first, second int, opts Options) (*FCFSResult, error
 			return res, nil
 		}
 		nd := nodes[head]
-		for _, sc := range p.AllSuccs(nd.st, gcl.ModeUnbounded) {
+		buf.Reset()
+		scratch.Reset()
+		p.AllSuccsInto(nd.st, gcl.ModeUnbounded, &buf)
+		for _, sc := range buf.Succs() {
 			phase := nd.phase
 			switch {
 			case phase == 0 && sc.Pid == first && sc.Tag == "doorway-done":
@@ -155,13 +175,18 @@ func CheckFCFS(p *gcl.Prog, first, second int, opts Options) (*FCFSResult, error
 				res.Witness = buildTrace(head, &sc)
 				return res, nil
 			}
-			fp, key := seen.Prepare(sc.State, int32(phase))
+			probe := sc.State
+			if canon != nil {
+				probe = canon.CanonicalizePinned(sc.State, plan.Pinned)
+			}
+			ki := scratch.AppendKey(probe, int32(phase))
+			fp, key := scratch.Fp(ki), scratch.Key(ki)
 			if _, dup := seen.Lookup(fp, key); dup {
 				continue
 			}
-			seen.Insert(fp, key, int32(len(nodes)))
+			seen.Insert(fp, stable.retain(key), int32(len(nodes)))
 			nodes = append(nodes, node{
-				st: sc.State, phase: phase, parent: head,
+				st: stable.retain(sc.State), phase: phase, parent: head,
 				byPid: int8(sc.Pid), label: sc.Label(p),
 			})
 		}

@@ -95,13 +95,16 @@ func BuildGraph(p *gcl.Prog, opts Options) (*Graph, error) {
 				p.Name, e.opts.MaxStates)
 		}
 		e.wc.buf.Reset()
+		e.wc.slab.Reset()
 		s := e.stateAt(int32(head))
 		res.Depth = int(e.depth[head])
 		succs, _, _, _ := e.successors(s, &e.wc)
-		for _, sc := range succs {
+		e.prepBuf = growPreps(e.prepBuf, len(succs))
+		e.prepSuccs(&e.wc, succs, e.prepBuf)
+		for i, sc := range succs {
 			res.Transitions++
-			fp, key, perm := e.prepareProbe(&e.wc, sc.State)
-			idx, fresh := e.addPrepared(fp, key, perm, sc.State, int32(head), int32(sc.Pid), sc.LabelIdx)
+			pr := &e.prepBuf[i]
+			idx, fresh := e.addPrepared(pr.fp, pr.key, pr.perm, sc.State, int32(head), int32(sc.Pid), sc.LabelIdx)
 			if fresh {
 				g.Adj = append(g.Adj, nil)
 				if name, bad := e.checkInvariants(sc.State); bad && res.Violation == nil {
@@ -110,7 +113,7 @@ func BuildGraph(p *gcl.Prog, opts Options) (*Graph, error) {
 				}
 			}
 			g.Adj[head] = append(g.Adj[head], Edge{To: idx, Pid: int8(sc.Pid), LabelIdx: sc.LabelIdx,
-				Perm: e.edgePermIdx(perm, idx, fresh)})
+				Perm: e.edgePermIdx(pr.perm, idx, fresh)})
 		}
 	}
 	res.States = e.numStates()

@@ -336,6 +336,15 @@ const crashLabelIdx = int32(-1)
 type wctx struct {
 	buf   gcl.SuccBuf
 	canon *gcl.Canonicalizer
+	// slab and fps are the batched store-probe scratch behind prepSuccs:
+	// under symmetry a whole successor run canonicalizes into the
+	// structure-of-arrays key slab in one call; otherwise only the
+	// fingerprint batch is computed (the key is the state itself). preps is
+	// the per-worker probe scratch the parallel engine's expansion fills.
+	// All recycled on the same cadence as buf.
+	slab  gcl.KeySlab
+	fps   []uint64
+	preps []prep
 }
 
 // retainArena is append-only bump storage for data that must live for the
@@ -402,8 +411,10 @@ type explorer struct {
 	// shared state: while disabled, another process's write can enable
 	// them, so their process cannot be singled out (see ampleProcessOK).
 	porGuardShared [][]bool
-	// prepBuf carries prepared store probes from ampleOK to the committed
-	// insertion so reduced expansions do not canonicalize twice.
+	// prepBuf holds the current head's prepared store probes, aligned
+	// index-for-index with its successor list: the ample segment is
+	// batch-prepared first for the C3 proviso check, the remainder only when
+	// the proviso fails, so committed reductions never canonicalize twice.
 	// Sequential engine only.
 	prepBuf []prep
 	// chaseCap bounds local-chain compression so a cycle of local actions
@@ -619,6 +630,45 @@ func (e *explorer) add(w *wctx, s gcl.State, parent int32, byPid int32, labelIdx
 	return e.addPrepared(fp, key, perm, s, parent, byPid, labelIdx)
 }
 
+// prepSuccs prepares the store probes for a run of successors in one batch,
+// writing succs[i]'s probe into dst[i]. Under symmetry the whole run is
+// canonicalized into the context's key slab — a contiguous
+// structure-of-arrays pass with no per-state scratch copy (gcl.KeySlab);
+// otherwise the key is the successor state itself and only the fingerprint
+// batch is computed. The engines reach the canon == nil arm exactly when
+// the plan involves no canonicalization and no extra key words, where every
+// store tier's Prepare degenerates to (s.Fingerprint(), s) — see prepare().
+func (e *explorer) prepSuccs(w *wctx, succs []gcl.Succ, dst []prep) {
+	if len(succs) == 0 {
+		return
+	}
+	if w.canon == nil {
+		w.fps = gcl.FingerprintSuccs(succs, w.fps)
+		for i := range succs {
+			dst[i] = prep{fp: w.fps[i], key: succs[i].State}
+		}
+		return
+	}
+	var base int
+	if e.trackPerms {
+		base = w.canon.CanonicalizeBatchPerms(succs, &w.slab)
+	} else {
+		base = w.canon.CanonicalizeBatch(succs, &w.slab)
+	}
+	for i := range succs {
+		dst[i] = prep{fp: w.slab.Fp(base + i), key: w.slab.Key(base + i), perm: w.slab.PermIdx(base + i)}
+	}
+}
+
+// growPreps resizes a probe scratch buffer to hold n entries, reusing its
+// capacity.
+func growPreps(buf []prep, n int) []prep {
+	if cap(buf) < n {
+		return make([]prep, n)
+	}
+	return buf[:n]
+}
+
 // addPrepared is add with the store probe already computed — the reduced
 // expansion path prepares each ample candidate once in ampleOK and must
 // not pay a second canonicalization here. The exact stores retain the
@@ -749,6 +799,18 @@ func (e *explorer) checkInvariants(s gcl.State) (string, bool) {
 	return "", false
 }
 
+// checkInvariantsIdx returns the index into Options.Invariants of the first
+// violated invariant, or -1 — the form the parallel engine's candidate
+// records carry (an int32 instead of a name string keeps them compact).
+func (e *explorer) checkInvariantsIdx(s gcl.State) int32 {
+	for i := range e.opts.Invariants {
+		if !e.opts.Invariants[i].Holds(e.p, s) {
+			return int32(i)
+		}
+	}
+	return -1
+}
+
 // successors yields all program successors of s plus crash transitions,
 // together with the ample segment: when POR is on and some process's
 // every enabled branch is ample-eligible, aPid is the lowest such pid and
@@ -874,25 +936,20 @@ func (e *explorer) chase(sc gcl.Succ, buf *gcl.SuccBuf) gcl.Succ {
 	return sc
 }
 
-// ampleOK decides the BFS cycle proviso (C3) for a state at depth d: a
-// reduced expansion is allowed only if every ample successor is either not
-// yet in the visited store (it will be numbered at depth d+1) or already
-// stored at exactly depth d+1. Every edge a reduced expansion keeps
-// therefore strictly increases depth by one, and depth cannot strictly
-// increase around a cycle, so every cycle of the reduced graph contains at
-// least one fully expanded state — no enabled action is ignored forever.
-// (The classic stricter proviso — all successors fresh — breaks ties the
-// same way but refuses harmless cross-edges within the next BFS level,
-// which in diamond-shaped interleaving lattices vetoes most reductions.)
-// It caches each candidate's prepared probe in e.prepBuf so a committed
-// reduced expansion inserts through addPrepared without canonicalizing
-// again.
-func (e *explorer) ampleOK(w *wctx, succs []gcl.Succ, d int32) bool {
-	e.prepBuf = e.prepBuf[:0]
-	for i := range succs {
-		fp, key, perm := e.prepareProbe(w, succs[i].State)
-		e.prepBuf = append(e.prepBuf, prep{fp: fp, key: key, perm: perm})
-		if idx, ok := e.store.Lookup(fp, key); ok && e.depth[idx] != d+1 {
+// ampleOKPrep decides the BFS cycle proviso (C3) for a state at depth d
+// over already-prepared probes: a reduced expansion is allowed only if
+// every ample successor is either not yet in the visited store (it will be
+// numbered at depth d+1) or already stored at exactly depth d+1. Every edge
+// a reduced expansion keeps therefore strictly increases depth by one, and
+// depth cannot strictly increase around a cycle, so every cycle of the
+// reduced graph contains at least one fully expanded state — no enabled
+// action is ignored forever. (The classic stricter proviso — all
+// successors fresh — breaks ties the same way but refuses harmless
+// cross-edges within the next BFS level, which in diamond-shaped
+// interleaving lattices vetoes most reductions.)
+func (e *explorer) ampleOKPrep(preps []prep, d int32) bool {
+	for i := range preps {
+		if idx, ok := e.store.Lookup(preps[i].fp, preps[i].key); ok && e.depth[idx] != d+1 {
 			return false
 		}
 	}
@@ -939,9 +996,11 @@ func Check(p *gcl.Prog, opts Options) *Result {
 			return finish()
 		}
 		// One head, one buffer generation: every successor vector, canonical
-		// key, and chase intermediate below lives in e.wc.buf and is
-		// recycled here. Fresh states were promoted out by addPrepared.
+		// key, chase intermediate, and slab-packed probe below lives in
+		// e.wc's scratch and is recycled here. Fresh states were promoted
+		// out by addPrepared.
 		e.wc.buf.Reset()
+		e.wc.slab.Reset()
 		s := e.stateAt(int32(head))
 		res.Depth = int(e.depth[head])
 		succs, aPid, aLo, aHi := e.successors(s, &e.wc)
@@ -952,24 +1011,27 @@ func Check(p *gcl.Prog, opts Options) *Result {
 				break
 			}
 		}
-		// On a committed reduction the loop walks the ample segment, whose
-		// probes ampleOK just prepared; on proviso failure the full list
-		// still reuses the (possibly partial) prepared prefix rather than
-		// canonicalizing those successors a second time.
-		use, pLo := succs, aLo
-		if aPid >= 0 && e.ampleOK(&e.wc, succs[aLo:aHi], e.depth[head]) {
-			use, pLo = succs[aLo:aHi], 0
+		// Probes are batch-prepared into prepBuf, index-aligned with succs.
+		// A committed reduction prepares and walks only the ample segment;
+		// on proviso failure the complement is prepared too — the segment's
+		// probes are never recomputed.
+		e.prepBuf = growPreps(e.prepBuf, len(succs))
+		use, preps := succs, e.prepBuf
+		if aPid >= 0 {
+			e.prepSuccs(&e.wc, succs[aLo:aHi], e.prepBuf[aLo:aHi])
+			if e.ampleOKPrep(e.prepBuf[aLo:aHi], e.depth[head]) {
+				use, preps = succs[aLo:aHi], e.prepBuf[aLo:aHi]
+			} else {
+				e.prepSuccs(&e.wc, succs[:aLo], e.prepBuf[:aLo])
+				e.prepSuccs(&e.wc, succs[aHi:], e.prepBuf[aHi:])
+			}
+		} else {
+			e.prepSuccs(&e.wc, succs, e.prepBuf)
 		}
 		for i, sc := range use {
 			res.Transitions++
-			var idx int32
-			var fresh bool
-			if aPid >= 0 && i >= pLo && i < pLo+len(e.prepBuf) {
-				pr := &e.prepBuf[i-pLo]
-				idx, fresh = e.addPrepared(pr.fp, pr.key, pr.perm, sc.State, int32(head), int32(sc.Pid), sc.LabelIdx)
-			} else {
-				idx, fresh = e.add(&e.wc, sc.State, int32(head), int32(sc.Pid), sc.LabelIdx)
-			}
+			pr := &preps[i]
+			idx, fresh := e.addPrepared(pr.fp, pr.key, pr.perm, sc.State, int32(head), int32(sc.Pid), sc.LabelIdx)
 			if !fresh {
 				continue
 			}

@@ -1,20 +1,41 @@
 package mc
 
-// Parallel explicit-state exploration. The engine alternates two phases
-// over chunks of the BFS queue: a pool of worker goroutines expands the next
-// chunk of numbered states (successor generation, fingerprinting, and
-// invariant evaluation — the expensive, embarrassingly parallel part), then
-// a single merge pass numbers the freshly discovered states in exactly the
-// order the sequential engine would have. Because state numbering, parent
-// attribution, edge order, and stop conditions are all decided by the
-// deterministic merge pass, every downstream analysis — Trace, SCCs,
-// FindStarvation, FindNoProgress — sees a graph identical to the sequential
-// engine's, regardless of worker count or scheduling. See
-// docs/model-checking.md for the design in full.
+// Parallel explicit-state exploration. The engine alternates phases over
+// chunks of the BFS queue: a pool of worker goroutines expands the next
+// chunk of numbered states (successor generation and batched
+// canonicalization/fingerprinting — the expensive, embarrassingly parallel
+// part), a second owner-computes pass resolves each candidate's visited-set
+// verdict on the worker that owns its store shard, then a single merge pass
+// numbers the freshly discovered states in exactly the order the sequential
+// engine would have. Because state numbering, parent attribution, edge
+// order, and stop conditions are all decided by the deterministic merge
+// pass, every downstream analysis — Trace, SCCs, FindStarvation,
+// FindNoProgress — sees a graph identical to the sequential engine's,
+// regardless of worker count or scheduling. See docs/model-checking.md for
+// the design in full.
+//
+// Owner-computes sharding: the visited store's 64 fingerprint shards are
+// statically partitioned over the workers (owner = shard mod workers).
+// Expansion workers do not probe the store at all; they route each produced
+// candidate, by fingerprint, into a per-(producer, owner) inbox. After the
+// expansion barrier every owner drains the inboxes addressed to it and
+// resolves its candidates' verdicts with plain unlocked lookups — each
+// shard's table is read by exactly one goroutine per phase, so the steady
+// state needs no locks and each owner's shards stay resident in its cache.
+// The phases never overlap the merge pass (chunk barriers separate them),
+// which remains the sole writer.
+//
+// Profiling: the expansion and drain goroutines run under runtime/pprof
+// labels ("mc-stage" = expand|drain, plus "mc-worker"/"mc-shard-owner"), so
+// CPU profiles taken with -cpuprofile can be sliced per stage and per
+// worker; see the Performance section of docs/model-checking.md.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,12 +43,25 @@ import (
 	"bakerypp/internal/gcl"
 )
 
+// Sentinel values for candidate.violated beyond a real invariant index.
+const (
+	// candInvNone: invariants were evaluated and none is violated.
+	candInvNone int32 = -1
+	// candInvUnchecked: the expansion deferred invariant evaluation; the
+	// merge pass evaluates lazily, and only on states that merge as fresh.
+	// This is the steady state of the inline (single-worker) path, which
+	// skips the advisory store probe too — deferring both halves the
+	// per-successor store traffic and skips invariant checks on duplicates,
+	// matching the sequential engine's work exactly.
+	candInvUnchecked int32 = -2
+)
+
 // candidate is one successor produced by a worker, carrying everything the
 // merge pass needs to number it without recomputing: the state, its
 // prepared store key (the state itself, or its canonical orbit
 // representative under symmetry reduction) with fingerprint, the
-// transition that produced it, the visited-set verdict at expansion time,
-// and the invariant verdict if it looked fresh.
+// transition that produced it, and the advisory verdicts resolved by the
+// owner-computes drain.
 type candidate struct {
 	state gcl.State
 	key   gcl.State
@@ -37,14 +71,15 @@ type candidate struct {
 	perm     int32
 	pid      int32
 	labelIdx int32
-	// seen is the state's index if it was already numbered when the worker
-	// expanded it, else -1. A -1 candidate may still duplicate a state
+	// seen is the state's index if it was already numbered when its owner
+	// drained it, else -1. A -1 candidate may still duplicate a state
 	// discovered concurrently in the same chunk; the merge pass resolves
 	// that deterministically.
 	seen int32
-	// violated names the first invariant the state breaks, or "" — computed
-	// by the worker so the merge pass stays cheap.
-	violated string
+	// violated is the index into Options.Invariants of the first invariant
+	// the state breaks, candInvNone if none, or candInvUnchecked when the
+	// check was deferred to the merge pass.
+	violated int32
 }
 
 // expansion is the ordered successor set of one frontier state.
@@ -61,21 +96,40 @@ type expansion struct {
 	aPid, aLo, aHi int32
 }
 
+// candInbox is one single-producer single-consumer batch lane of the
+// owner-computes routing mesh: expansion worker p appends candidate
+// pointers for shard-owner o into inboxes[p][o], and owner o drains every
+// inboxes[*][o] after the expansion barrier. The two sides never run
+// concurrently (the barrier orders them), so a plain slice suffices; its
+// capacity is retained across chunks, making steady-state push and drain
+// allocation-free (pinned by TestInboxPushDrainAllocFree).
+type candInbox struct {
+	items []*candidate
+}
+
 // pexplorer drives the parallel engine. It reuses the sequential explorer's
 // state/parent/depth arrays (so Graph, Trace, and the SCC analyses work
 // unchanged); the shared visited set is the explorer's StateStore, built
-// in its sharded variant so worker lookups are safe.
+// in its sharded variant so ownership partitions cleanly.
 type pexplorer struct {
 	e       *explorer
 	workers int
 	// wcs/cslabs are the per-worker expansion contexts and candidate
-	// arenas: worker w allocates successor vectors and canonical keys from
-	// wcs[w].buf and candidate records from cslabs[w]. Both are recycled at
-	// each chunk boundary — by then the previous chunk's candidates have all
-	// been merged (fresh keys promoted to stable storage by addPrepared), so
+	// arenas: worker w batch-canonicalizes into wcs[w].slab and allocates
+	// candidate records from cslabs[w]. Both are recycled at each chunk
+	// boundary — by then the previous chunk's candidates have all been
+	// merged (fresh keys promoted to stable storage by addPrepared), so
 	// nothing references the scratch anymore.
 	wcs    []wctx
 	cslabs []candSlab
+	// exps is the chunk's expansion-slot buffer, reused across chunks.
+	exps []expansion
+	// inboxes[p][o] routes candidates from producer p to shard-owner o.
+	inboxes [][]candInbox
+	// sst is the store downcast to its sharded variant, giving the drain
+	// pass direct unlocked shard access; nil for other tiers (compact,
+	// bitstate, spill), whose concurrent-safe Lookup is used instead.
+	sst *shardedStore
 	// mb is the store's merge-batching hook, when it has one.
 	mb mergeBatcher
 }
@@ -139,6 +193,11 @@ func newPExplorer(p *gcl.Prog, opts Options, plan Plan) *pexplorer {
 			pe.wcs[i].canon = p.NewCanonicalizer()
 		}
 	}
+	pe.inboxes = make([][]candInbox, w)
+	for i := range pe.inboxes {
+		pe.inboxes[i] = make([]candInbox, w)
+	}
+	pe.sst, _ = pe.e.store.(*shardedStore)
 	pe.mb, _ = pe.e.store.(mergeBatcher)
 	return pe
 }
@@ -170,7 +229,8 @@ func (pe *pexplorer) addNumbered(c *candidate, parent int32) (int32, bool) {
 // addInit numbers the initial state (index 0).
 func (pe *pexplorer) addInit(init gcl.State) {
 	fp, key, perm := pe.e.prepareProbe(&pe.e.wc, init)
-	c := candidate{state: init, key: key, fp: fp, perm: perm, pid: -1, labelIdx: crashLabelIdx, seen: -1}
+	c := candidate{state: init, key: key, fp: fp, perm: perm, pid: -1,
+		labelIdx: crashLabelIdx, seen: -1, violated: candInvNone}
 	pe.addNumbered(&c, -1)
 }
 
@@ -182,19 +242,28 @@ const maxChunk = 4096
 
 // expandRange expands every state numbered in [lo, hi) — the next chunk of
 // the BFS queue, contiguous because numbering follows discovery order —
-// across the worker pool. Workers claim batches of states through an atomic
-// cursor (batched hand-off keeps the cursor off the hot path) and write
-// results into disjoint slots, so the only synchronisation is the final
-// barrier. checkInv asks workers to pre-evaluate invariants on states that
-// look fresh. Tiny chunks (the first few BFS levels) are expanded inline:
-// there is no parallelism to win there.
+// across the worker pool, in two barrier-separated stages. Stage one:
+// workers claim batches of states through an atomic cursor (batched
+// hand-off keeps the cursor off the hot path), generate and batch-prepare
+// successors into disjoint slots, and route each candidate to its shard
+// owner's inbox. Stage two: each owner drains its inboxes, resolving
+// visited-set verdicts with unlocked lookups confined to the shards it
+// owns, and pre-evaluating invariants (checkInv) on candidates that look
+// fresh. Tiny chunks (the first few BFS levels) and single-worker runs are
+// expanded inline with both verdicts deferred to the merge pass: there is
+// no parallelism to win, and deferring saves the advisory probe.
 func (pe *pexplorer) expandRange(lo, hi int32, checkInv bool) []expansion {
 	n := int(hi - lo)
-	out := make([]expansion, n)
+	if cap(pe.exps) < n {
+		pe.exps = make([]expansion, n)
+	}
+	out := pe.exps[:n]
 	// Chunk boundary: the previous chunk is fully merged, so every worker's
-	// successor buffer and candidate slab can be recycled wholesale.
+	// successor buffer, key slab, and candidate slab can be recycled
+	// wholesale.
 	for w := range pe.wcs {
 		pe.wcs[w].buf.Reset()
+		pe.wcs[w].slab.Reset()
 		pe.cslabs[w].reset()
 	}
 	workers := pe.workers
@@ -203,9 +272,14 @@ func (pe *pexplorer) expandRange(lo, hi int32, checkInv bool) []expansion {
 	}
 	if workers <= 1 || n < 64 {
 		for i := range out {
-			pe.expandState(lo+int32(i), &out[i], checkInv, &pe.wcs[0], &pe.cslabs[0])
+			pe.expandState(lo+int32(i), &out[i], &pe.wcs[0], &pe.cslabs[0])
 		}
 		return out
+	}
+	for p := 0; p < workers; p++ {
+		for o := 0; o < workers; o++ {
+			pe.inboxes[p][o].items = pe.inboxes[p][o].items[:0]
+		}
 	}
 	batch := n / (workers * 4)
 	if batch < 1 {
@@ -220,55 +294,104 @@ func (pe *pexplorer) expandRange(lo, hi int32, checkInv bool) []expansion {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for {
-				end := atomic.AddInt64(&cursor, int64(batch))
-				start := end - int64(batch)
-				if start >= int64(n) {
-					return
+			labels := pprof.Labels("mc-stage", "expand", "mc-worker", strconv.Itoa(w))
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				inbox := pe.inboxes[w][:workers]
+				for {
+					end := atomic.AddInt64(&cursor, int64(batch))
+					start := end - int64(batch)
+					if start >= int64(n) {
+						return
+					}
+					if end > int64(n) {
+						end = int64(n)
+					}
+					for i := start; i < end; i++ {
+						x := &out[i]
+						pe.expandState(lo+int32(i), x, &pe.wcs[w], &pe.cslabs[w])
+						for ci := range x.cands {
+							c := &x.cands[ci]
+							o := int(c.fp&(shardCount-1)) % workers
+							inbox[o].items = append(inbox[o].items, c)
+						}
+					}
 				}
-				if end > int64(n) {
-					end = int64(n)
-				}
-				for i := start; i < end; i++ {
-					pe.expandState(lo+int32(i), &out[i], checkInv, &pe.wcs[w], &pe.cslabs[w])
-				}
-			}
+			})
 		}(w)
 	}
 	wg.Wait()
+	var dg sync.WaitGroup
+	for o := 0; o < workers; o++ {
+		dg.Add(1)
+		go func(o int) {
+			defer dg.Done()
+			labels := pprof.Labels("mc-stage", "drain", "mc-shard-owner", strconv.Itoa(o))
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				pe.drainOwner(o, workers, checkInv)
+			})
+		}(o)
+	}
+	dg.Wait()
 	return out
 }
 
-// expandState computes the ordered successor candidates of one state. It
-// reads the numbered-state prefix and the visited set but writes only to
-// its private result slot and the worker-owned scratch w/cs.
-func (pe *pexplorer) expandState(idx int32, out *expansion, checkInv bool, w *wctx, cs *candSlab) {
+// expandState computes the ordered successor candidates of one state:
+// successor generation plus one batched canonicalize/fingerprint pass over
+// the whole run (prepSuccs). It reads only the numbered-state prefix —
+// never the visited store — and writes only to its private result slot and
+// the worker-owned scratch w/cs, so expansion workers share nothing but
+// read-only data.
+func (pe *pexplorer) expandState(idx int32, out *expansion, w *wctx, cs *candSlab) {
 	e := pe.e
 	succs, aPid, aLo, aHi := e.successors(e.stateAt(idx), w)
 	out.aPid, out.aLo, out.aHi = int32(aPid), int32(aLo), int32(aHi)
+	out.progress = false
+	w.preps = growPreps(w.preps, len(succs))
+	e.prepSuccs(w, succs, w.preps)
 	out.cands = cs.alloc(len(succs))
-	for _, sc := range succs {
+	for i, sc := range succs {
 		if sc.LabelIdx >= 0 {
 			out.progress = true
 		}
-		fp, key, perm := e.prepareProbe(w, sc.State)
-		c := candidate{
+		pr := &w.preps[i]
+		out.cands = append(out.cands, candidate{
 			state:    sc.State,
-			key:      key,
-			fp:       fp,
-			perm:     perm,
+			key:      pr.key,
+			fp:       pr.fp,
+			perm:     pr.perm,
 			pid:      int32(sc.Pid),
 			labelIdx: sc.LabelIdx,
 			seen:     -1,
-		}
-		if i, ok := e.store.Lookup(c.fp, c.key); ok {
-			c.seen = i
-		} else if checkInv {
-			if name, bad := e.checkInvariants(sc.State); bad {
-				c.violated = name
+			violated: candInvUnchecked,
+		})
+	}
+}
+
+// drainOwner resolves the advisory verdicts of every candidate routed to
+// shard-owner o: a visited-set lookup (unlocked and confined to o's own
+// shards when the store is the sharded exact tier), then invariant
+// pre-evaluation on candidates that look fresh. Each candidate is routed to
+// exactly one owner, so the field writes are exclusive; the surrounding
+// barriers order them against both expansion and merge.
+func (pe *pexplorer) drainOwner(o, workers int, checkInv bool) {
+	e := pe.e
+	for p := 0; p < workers; p++ {
+		for _, c := range pe.inboxes[p][o].items {
+			var idx int32
+			var ok bool
+			if pe.sst != nil {
+				idx, ok = pe.sst.shards[c.fp&(shardCount-1)].t.lookup(c.fp, c.key)
+			} else {
+				idx, ok = e.store.Lookup(c.fp, c.key)
+			}
+			if ok {
+				c.seen = idx
+				continue
+			}
+			if checkInv {
+				c.violated = e.checkInvariantsIdx(c.state)
 			}
 		}
-		out.cands = append(out.cands, c)
 	}
 }
 
@@ -277,7 +400,7 @@ func (pe *pexplorer) expandState(idx int32, out *expansion, checkInv bool, w *wc
 // absent from the visited store (an earlier merge in this chunk may have
 // inserted it since expansion) or stored at exactly the next BFS depth —
 // the same decision, at the same logical point, as the sequential engine's
-// ampleOK, which keeps the two engines byte-identical. An expansion-time
+// ampleOKPrep, which keeps the two engines byte-identical. A drain-time
 // seen hit is re-used only for its index (the store never deletes).
 func (pe *pexplorer) ampleOKAtMerge(cands []candidate, d int32) bool {
 	e := pe.e
@@ -292,6 +415,18 @@ func (pe *pexplorer) ampleOKAtMerge(cands []candidate, d int32) bool {
 		}
 	}
 	return true
+}
+
+// mergeViolation resolves a fresh candidate's invariant verdict: the
+// drain's pre-computed index, or a lazy evaluation when the check was
+// deferred (inline path). Returns the invariant index, or a negative
+// sentinel if none is violated.
+func (pe *pexplorer) mergeViolation(c *candidate) int32 {
+	v := c.violated
+	if v == candInvUnchecked {
+		v = pe.e.checkInvariantsIdx(c.state)
+	}
+	return v
 }
 
 // checkParallel is Check on the parallel engine. The merge pass replays the
@@ -350,9 +485,9 @@ func checkParallel(p *gcl.Prog, opts Options, plan Plan) *Result {
 				if !fresh {
 					continue
 				}
-				if c.violated != "" {
+				if v := pe.mergeViolation(c); v >= 0 {
 					t := e.trace(idx)
-					res.Violation = &Violation{Invariant: c.violated, Trace: t}
+					res.Violation = &Violation{Invariant: e.opts.Invariants[v].Name, Trace: t}
 					return finish()
 				}
 			}
@@ -412,9 +547,11 @@ func buildGraphParallel(p *gcl.Prog, opts Options, plan Plan) (*Graph, error) {
 				idx, fresh := pe.addNumbered(c, head)
 				if fresh {
 					g.Adj = append(g.Adj, nil)
-					if c.violated != "" && res.Violation == nil {
-						t := e.trace(idx)
-						res.Violation = &Violation{Invariant: c.violated, Trace: t}
+					if res.Violation == nil {
+						if v := pe.mergeViolation(c); v >= 0 {
+							t := e.trace(idx)
+							res.Violation = &Violation{Invariant: e.opts.Invariants[v].Name, Trace: t}
+						}
 					}
 				}
 				g.Adj[head] = append(g.Adj[head], Edge{To: idx, Pid: int8(c.pid), LabelIdx: c.labelIdx,

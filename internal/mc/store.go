@@ -14,11 +14,13 @@ package mc
 //     table (fpTable), no locking — the sequential engine and the
 //     monitor/memo searches.
 //   - sharded-parallel (newShardedStore): the same table striped over 64
-//     RWMutex-guarded shards selected by fingerprint, safe for the
-//     parallel engine's concurrent advisory lookups during expansion
-//     while the single-threaded merge pass remains the only writer — and
-//     elides the shard locks entirely between BeginMerge/EndMerge, when
-//     the engine guarantees the workers are quiescent.
+//     shards selected by fingerprint. The parallel engine partitions the
+//     shards over its workers (owner-computes): each shard is read by
+//     exactly one drain goroutine per phase, through direct unlocked table
+//     access, while the single-threaded merge pass remains the only writer
+//     — phases are separated by chunk barriers, and the locked
+//     Lookup/Insert path (elided between BeginMerge/EndMerge) stays as the
+//     generic interface for callers outside that protocol.
 //   - symmetry-aware (either of the above with Plan.Symmetry): Prepare
 //     canonicalizes the state before probing, so all states of one
 //     process-permutation orbit collapse onto a single entry. The store
@@ -144,24 +146,32 @@ func bucketInsert(bucket []kv, key gcl.State, val int32) []kv {
 	return append(bucket, kv{key: key, val: val})
 }
 
+// fpEntry packs the probe-relevant words of one fpTable slot — fingerprint
+// and value — into 16 bytes, four slots per cache line, so a probe walks a
+// single scalar array and only touches the pointer-carrying (GC-scanned)
+// keys array on a fingerprint match. fp == 0 marks an empty slot; the one
+// real fingerprint equal to 0 is remapped to 1 on entry (the full key
+// comparison disambiguates the two colliding fingerprints, so exactness is
+// unchanged).
+type fpEntry struct {
+	fp  uint64
+	val int32
+}
+
 // fpTable is the exact stores' hash table: open addressing with linear
-// probing over flat parallel arrays, replacing the historical
-// map[uint64][]kv buckets. An empty slot is keys[i] == nil; a probe matches
-// on fingerprint first (one integer compare) and confirms with the full
-// key comparison, so exactness is unchanged. The flat layout wins twice on
-// the hot path: a probe is one cache-line-friendly array walk instead of a
-// map access plus a bucket-slice chase, and growth rehashes in place with
-// zero per-entry allocations — the Go map's incremental evacuation and
-// per-bucket overflow allocations disappear. Fingerprints come out of
-// gcl's fmix64 finalizer, so masking low bits for the initial slot is
-// well-dispersed. NOT goroutine-safe; callers lock (or run single-threaded).
+// probing over flat arrays, replacing the historical map[uint64][]kv
+// buckets. A probe matches on fingerprint first (one integer compare) and
+// confirms with the full key comparison, so exactness is unchanged. The
+// flat layout wins twice on the hot path: a probe is one
+// cache-line-friendly array walk instead of a map access plus a
+// bucket-slice chase, and growth rehashes in place with zero per-entry
+// allocations. NOT goroutine-safe; callers lock (or run single-threaded).
 type fpTable struct {
-	fps  []uint64
+	ents []fpEntry
 	keys []gcl.State
-	vals []int32
 	n    int
 	mask uint64
-	// limit is the occupancy at which the table doubles (0.7 load factor —
+	// limit is the occupancy at which the table grows (0.7 load factor —
 	// past that linear-probe clusters lengthen quickly).
 	limit int
 }
@@ -169,26 +179,42 @@ type fpTable struct {
 // fpTableMinSize is the initial slot count (power of two).
 const fpTableMinSize = 1024
 
+// fpShardBits is the number of low fingerprint bits the sharded store
+// consumes for shard selection (shardCount == 1<<fpShardBits). Home slots
+// are derived from the bits ABOVE them: within one shard every fingerprint
+// agrees on its low 6 bits, so homing on fp&mask would leave only every
+// 64th slot reachable as a home position and chain insertions into long
+// probe clusters (measured ~45-slot average probes on the bakerypp n4m2
+// graph). Homing on fp>>fpShardBits restores uniform slot occupancy; the
+// unsharded stores share the derivation — fmix64-finalized fingerprints
+// are equidistributed in every bit range, so it costs them nothing.
+const fpShardBits = 6
+
+// homeSlot returns the initial probe position for a (nonzero) fingerprint.
+func (t *fpTable) homeSlot(fp uint64) uint64 { return (fp >> fpShardBits) & t.mask }
+
 func (t *fpTable) init(size int) {
-	t.fps = make([]uint64, size)
+	t.ents = make([]fpEntry, size)
 	t.keys = make([]gcl.State, size)
-	t.vals = make([]int32, size)
 	t.mask = uint64(size - 1)
 	t.limit = size * 7 / 10
 	t.n = 0
 }
 
 func (t *fpTable) lookup(fp uint64, key gcl.State) (int32, bool) {
-	if t.keys == nil {
+	if t.ents == nil {
 		return -1, false
 	}
-	for i := fp & t.mask; ; i = (i + 1) & t.mask {
-		k := t.keys[i]
-		if k == nil {
+	if fp == 0 {
+		fp = 1
+	}
+	for i := t.homeSlot(fp); ; i = (i + 1) & t.mask {
+		e := t.ents[i]
+		if e.fp == 0 {
 			return -1, false
 		}
-		if t.fps[i] == fp && k.Equal(key) {
-			return t.vals[i], true
+		if e.fp == fp && t.keys[i].Equal(key) {
+			return e.val, true
 		}
 	}
 }
@@ -196,22 +222,25 @@ func (t *fpTable) lookup(fp uint64, key gcl.State) (int32, bool) {
 // insert stores val under (fp, key), replacing the value if the key is
 // already present. The key slice is retained.
 func (t *fpTable) insert(fp uint64, key gcl.State, val int32) {
-	if t.keys == nil {
+	if t.ents == nil {
 		t.init(fpTableMinSize)
 	} else if t.n >= t.limit {
 		t.grow()
 	}
-	for i := fp & t.mask; ; i = (i + 1) & t.mask {
-		k := t.keys[i]
-		if k == nil {
-			t.fps[i] = fp
+	if fp == 0 {
+		fp = 1
+	}
+	for i := t.homeSlot(fp); ; i = (i + 1) & t.mask {
+		e := &t.ents[i]
+		if e.fp == 0 {
+			e.fp = fp
+			e.val = val
 			t.keys[i] = key
-			t.vals[i] = val
 			t.n++
 			return
 		}
-		if t.fps[i] == fp && k.Equal(key) {
-			t.vals[i] = val
+		if e.fp == fp && t.keys[i].Equal(key) {
+			e.val = val
 			return
 		}
 	}
@@ -221,18 +250,16 @@ func (t *fpTable) insert(fp uint64, key gcl.State, val int32) {
 // larger steps cost less total zeroing and probing than doubling would; the
 // transient low load factor after a step is cheap by comparison.
 func (t *fpTable) grow() {
-	oldFps, oldKeys, oldVals := t.fps, t.keys, t.vals
-	t.init(len(oldKeys) * 4)
-	for i, k := range oldKeys {
-		if k == nil {
+	oldEnts, oldKeys := t.ents, t.keys
+	t.init(len(oldEnts) * 4)
+	for i, e := range oldEnts {
+		if e.fp == 0 {
 			continue
 		}
-		fp := oldFps[i]
-		for j := fp & t.mask; ; j = (j + 1) & t.mask {
-			if t.keys[j] == nil {
-				t.fps[j] = fp
-				t.keys[j] = k
-				t.vals[j] = oldVals[i]
+		for j := t.homeSlot(e.fp); ; j = (j + 1) & t.mask {
+			if t.ents[j].fp == 0 {
+				t.ents[j] = e
+				t.keys[j] = oldKeys[i]
 				t.n++
 				break
 			}
@@ -269,11 +296,12 @@ func (st *seqStore) Insert(fp uint64, key gcl.State, val int32) {
 const shardCount = 64
 
 // storeShard is one stripe: an fpTable guarded by a read-write mutex.
-// Exploration workers only read (their lookups during expansion are
-// advisory); the merge pass is the sole writer. Strictly the expand and
-// merge phases never overlap (they are separated by the chunk barrier), so
-// the locks are uncontended belt-and-braces that keep the set safe if a
-// future change lets phases overlap.
+// The parallel engine's drain pass bypasses the mutex entirely — under
+// owner-computes sharding each shard's table is read by exactly one owner
+// goroutine per phase, and the sole writer (the merge pass) runs strictly
+// between phases — so the lock only serializes the generic Lookup/Insert
+// interface for callers outside the engine's barrier protocol (the
+// monitor and memo searches, tests).
 type storeShard struct {
 	mu sync.RWMutex
 	t  fpTable
